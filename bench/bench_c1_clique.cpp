@@ -1,0 +1,87 @@
+// EXP-C1 -- Corollary 1: k-clique membership listing in O(1) amortized
+// rounds for every k >= 3.
+//
+// Plants k-cliques (one edge per round, so all insertion orders occur),
+// churns them, and reports amortized complexity per k across sizes -- plus
+// the per-node listing volume, demonstrating that the same triangle
+// structure serves every clique size without extra communication.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/triangle.hpp"
+#include "dynamics/planted.hpp"
+
+namespace dynsub {
+namespace {
+
+constexpr std::size_t kSizes[] = {32, 64, 128, 256, 512};
+constexpr std::size_t kCliqueSizes[] = {3, 4, 5, 6};
+
+struct Cell {
+  double amortized = 0;
+  std::size_t cliques_listed = 0;
+};
+
+Cell run(std::size_t n, std::size_t k) {
+  dynamics::PlantedParams pp;
+  pp.n = n;
+  pp.k = k;
+  pp.plants = 2;  // constant plant count: constant change rate across n
+  pp.noise_per_round = 2;
+  pp.rebuild_period = 8 + k * (k - 1) / 2;
+  pp.rounds = 300;
+  pp.seed = 0xC11 + n * 7 + k;
+  dynamics::PlantedCliqueWorkload wl(pp);
+  net::Simulator sim(n, bench::factory_of<core::TriangleNode>(),
+                     {.enforce_bandwidth = true, .track_prev_graph = false});
+  net::run_workload(sim, wl, 1000000);
+  Cell cell;
+  cell.amortized = sim.metrics().amortized();
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& node = dynamic_cast<const core::TriangleNode&>(sim.node(v));
+    cell.cliques_listed += node.list_cliques(static_cast<int>(k)).size();
+  }
+  return cell;
+}
+
+}  // namespace
+}  // namespace dynsub
+
+int main() {
+  using namespace dynsub;
+  bench::print_block_header(
+      "EXP-C1", "Corollary 1: k-clique membership listing (k = 3..6)",
+      "one triangle-membership structure answers every clique size in O(1) "
+      "amortized rounds (flat in n for every k)");
+
+  const std::size_t rows = std::size(kSizes);
+  const std::size_t cols = std::size(kCliqueSizes);
+  std::vector<Cell> cells(rows * cols);
+  harness::parallel_for(rows * cols, [&](std::size_t idx) {
+    cells[idx] = run(kSizes[idx / cols], kCliqueSizes[idx % cols]);
+  });
+
+  std::vector<harness::Series> series;
+  for (std::size_t c = 0; c < cols; ++c) {
+    harness::Series s{"k=" + std::to_string(kCliqueSizes[c]),
+                      std::vector<harness::SeriesPoint>(rows)};
+    for (std::size_t r = 0; r < rows; ++r) {
+      s.points[r] = {static_cast<double>(kSizes[r]),
+                     cells[r * cols + c].amortized};
+    }
+    series.push_back(std::move(s));
+  }
+  bench::print_results("n", series);
+
+  std::printf("\nlisting volume (clique memberships reported, final round):\n");
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::printf("  n=%-5zu", kSizes[r]);
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::printf("  k=%zu:%-6zu", kCliqueSizes[c],
+                  cells[r * cols + c].cliques_listed);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark): throughput of the hot paths the
+// experiment harnesses lean on -- simulator rounds per algorithm, the
+// EdgeKnowledge state machine, and the oracle's enumeration routines.
+#include <benchmark/benchmark.h>
+
+#include "core/edge_knowledge.hpp"
+#include "core/robust2hop.hpp"
+#include "core/robust3hop.hpp"
+#include "core/triangle.hpp"
+#include "dynamics/random_churn.hpp"
+#include "net/simulator.hpp"
+#include "oracle/robust_sets.hpp"
+#include "oracle/subgraphs.hpp"
+
+namespace dynsub {
+namespace {
+
+template <typename NodeT>
+void run_rounds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  net::Simulator sim(
+      n,
+      [](NodeId v, std::size_t nn) { return std::make_unique<NodeT>(v, nn); },
+      {.enforce_bandwidth = true, .track_prev_graph = false});
+  dynamics::RandomChurnParams cp;
+  cp.n = n;
+  cp.target_edges = 2 * n;
+  cp.max_changes = 4;
+  cp.rounds = 1u << 30;  // never finishes; the bench controls duration
+  cp.seed = 99;
+  dynamics::RandomChurnWorkload wl(cp);
+  for (auto _ : state) {
+    net::WorkloadObservation obs{sim.graph(), sim.round() + 1,
+                                 sim.all_consistent()};
+    const auto events = wl.next_round(obs);
+    sim.step(events);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["changes"] =
+      static_cast<double>(sim.metrics().changes());
+}
+
+void BM_Round_Robust2Hop(benchmark::State& state) {
+  run_rounds<core::Robust2HopNode>(state);
+}
+void BM_Round_Triangle(benchmark::State& state) {
+  run_rounds<core::TriangleNode>(state);
+}
+void BM_Round_Robust3Hop(benchmark::State& state) {
+  run_rounds<core::Robust3HopNode>(state);
+}
+BENCHMARK(BM_Round_Robust2Hop)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_Round_Triangle)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_Round_Robust3Hop)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_EdgeKnowledge_InsertRetract(benchmark::State& state) {
+  const NodeId self = 0;
+  net::LocalView view(self);
+  std::vector<EdgeEvent> links;
+  for (NodeId u = 1; u <= 32; ++u) links.push_back(EdgeEvent::insert(0, u));
+  view.apply(links, 1);
+  core::EdgeKnowledge knowledge;
+  Timestamp t = 2;
+  for (auto _ : state) {
+    for (NodeId u = 1; u <= 8; ++u) {
+      for (NodeId w = 33; w < 41; ++w) {
+        knowledge.accept_insert(Edge(u, w), u, 1);
+      }
+    }
+    for (NodeId u = 1; u <= 8; ++u) knowledge.retract_neighbor(u, view);
+    knowledge.prune_dead();
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EdgeKnowledge_InsertRetract);
+
+oracle::TimestampedGraph random_graph(std::size_t n, double p,
+                                      std::uint64_t seed) {
+  oracle::TimestampedGraph g(n);
+  Rng rng(seed);
+  Round r = 1;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (rng.next_bool(p)) g.apply(EdgeEvent::insert(a, b), r++);
+    }
+  }
+  return g;
+}
+
+void BM_Oracle_TrianglesThrough(benchmark::State& state) {
+  const auto g = random_graph(static_cast<std::size_t>(state.range(0)), 0.1,
+                              7);
+  for (auto _ : state) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      benchmark::DoNotOptimize(oracle::triangles_through(g, v));
+    }
+  }
+}
+BENCHMARK(BM_Oracle_TrianglesThrough)->Arg(64)->Arg(128);
+
+void BM_Oracle_All4Cycles(benchmark::State& state) {
+  const auto g = random_graph(static_cast<std::size_t>(state.range(0)), 0.1,
+                              8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle::all_4_cycles(g));
+  }
+}
+BENCHMARK(BM_Oracle_All4Cycles)->Arg(64)->Arg(128);
+
+void BM_Oracle_Robust3Hop(benchmark::State& state) {
+  const auto g = random_graph(static_cast<std::size_t>(state.range(0)), 0.08,
+                              9);
+  for (auto _ : state) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      benchmark::DoNotOptimize(oracle::robust_3hop(g, v));
+    }
+  }
+}
+BENCHMARK(BM_Oracle_Robust3Hop)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace dynsub
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Shared plumbing for the experiment benches.
+//
+// Every bench regenerates one artifact of the paper (a theorem's complexity
+// curve, a figure's construction, or an ablation) and prints a standard
+// block: the claim, a results table, an ASCII chart of the series, and the
+// log-log slope of each curve so the growth shape is a number.  Sweep
+// points are independent simulations and run on a thread pool.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "net/simulator.hpp"
+#include "net/workload.hpp"
+
+namespace dynsub::bench {
+
+inline void print_block_header(const std::string& exp_id,
+                               const std::string& artifact,
+                               const std::string& claim) {
+  std::printf("\n");
+  std::printf("======================================================================\n");
+  std::printf("%s | %s\n", exp_id.c_str(), artifact.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("======================================================================\n");
+}
+
+inline void print_results(const std::string& x_name,
+                          const std::vector<harness::Series>& series) {
+  std::printf("%s", harness::render_results_table(x_name, series).c_str());
+  std::printf("%s", harness::ascii_chart(series).c_str());
+  for (const auto& s : series) {
+    const double slope = harness::log_log_slope(s);
+    const char* shape = slope < 0.25   ? "flat: O(1)-like"
+                        : slope < 0.75 ? "~sqrt growth"
+                        : slope < 1.35 ? "~linear growth"
+                                       : "superlinear growth";
+    std::printf("log-log slope [%s] = %+.3f  (%s)\n", s.name.c_str(), slope,
+                shape);
+  }
+}
+
+/// Runs `workload` to completion (plus drain) over an algorithm built by
+/// `factory`; returns the run summary.
+inline harness::RunSummary run_experiment(std::size_t n,
+                                          const net::NodeFactory& factory,
+                                          net::Workload& workload,
+                                          std::size_t max_rounds = 10000000) {
+  net::Simulator sim(n, factory, {.enforce_bandwidth = true,
+                                  .track_prev_graph = false});
+  net::run_workload(sim, workload, max_rounds);
+  return harness::summarize(sim);
+}
+
+template <typename NodeT, typename... Extra>
+net::NodeFactory factory_of(Extra... extra) {
+  return [extra...](NodeId v, std::size_t n) {
+    return std::make_unique<NodeT>(v, n, extra...);
+  };
+}
+
+}  // namespace dynsub::bench

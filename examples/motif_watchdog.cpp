@@ -1,0 +1,100 @@
+// Motif watchdog: 4-/5-cycle listing on a drifting network (Theorem 5).
+//
+// Short cycles are classic anomaly motifs (feedback loops in routing
+// overlays, collusion rings in transaction graphs).  This example drifts a
+// network with planted cycles plus noise and runs a watchdog that, at each
+// checkpoint, collects the 4- and 5-cycles reported by consistent nodes
+// through the robust 3-hop structure -- demonstrating the listing
+// guarantee: every cycle of the (previous round's) graph is reported by at
+// least one of its own nodes, and nothing nonexistent is ever reported.
+//
+//   $ ./motif_watchdog [nodes] [rounds]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/robust3hop.hpp"
+#include "dynamics/planted.hpp"
+#include "net/simulator.hpp"
+#include "oracle/subgraphs.hpp"
+
+using namespace dynsub;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 48;
+  const std::size_t rounds =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 500;
+
+  net::Simulator sim(
+      n,
+      [](NodeId v, std::size_t nn) {
+        return std::make_unique<core::Robust3HopNode>(v, nn);
+      },
+      {.enforce_bandwidth = true, .track_prev_graph = true});
+
+  dynamics::PlantedParams pp;
+  pp.n = n;
+  pp.k = 5;
+  pp.plants = 2;
+  pp.noise_per_round = 1;
+  pp.rebuild_period = 25;
+  pp.rounds = rounds;
+  pp.seed = 7;
+  dynamics::PlantedCycleWorkload drift(pp);
+
+  std::printf("motif watchdog on %zu nodes (planted 5-cycles + noise)\n", n);
+  std::printf("%-8s %-7s %-14s %-14s %-10s\n", "round", "edges",
+              "4-cycles(seen)", "5-cycles(seen)", "coverage");
+
+  std::size_t executed = 0;
+  while (executed < rounds || !sim.all_consistent()) {
+    // The watchdog reads during short calm windows: pause the drift a few
+    // rounds before each checkpoint so queues drain.
+    const bool censusing = executed > 0 && executed % 100 < 14;
+    net::WorkloadObservation obs{sim.graph(), sim.round() + 1,
+                                 sim.all_consistent()};
+    auto events = (drift.finished() || censusing)
+                      ? std::vector<EdgeEvent>{}
+                      : drift.next_round(obs);
+    sim.step(events);
+    ++executed;
+    if (executed > rounds + 2000) break;
+    if (executed % 100 != 13) continue;
+
+    // Collect the watchdog's view: union of cycles listed by consistent
+    // nodes (each cycle canonicalized, so duplicates collapse).
+    std::vector<oracle::Cycle4> seen4;
+    std::vector<oracle::Cycle5> seen5;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!sim.consistency()[v]) continue;
+      const auto& node =
+          dynamic_cast<const core::Robust3HopNode&>(sim.node(v));
+      for (const auto& c : node.list_4cycles()) seen4.push_back(c);
+      for (const auto& c : node.list_5cycles()) seen5.push_back(c);
+    }
+    std::sort(seen4.begin(), seen4.end());
+    seen4.erase(std::unique(seen4.begin(), seen4.end()), seen4.end());
+    std::sort(seen5.begin(), seen5.end());
+    seen5.erase(std::unique(seen5.begin(), seen5.end()), seen5.end());
+
+    // Coverage check against the oracle on G_{i-1} (the guarantee's
+    // reference graph): cycles whose nodes are all consistent must appear.
+    const auto truth5 = oracle::all_5_cycles(sim.prev_graph());
+    std::size_t covered = 0, required = 0;
+    for (const auto& c : truth5) {
+      bool all_ok = true;
+      for (NodeId x : c.v) all_ok &= sim.consistency()[x];
+      if (!all_ok) continue;
+      ++required;
+      covered += std::binary_search(seen5.begin(), seen5.end(), c);
+    }
+    std::printf("%-8lld %-7zu %-14zu %-14zu %zu/%zu\n",
+                static_cast<long long>(sim.round()), sim.graph().edge_count(),
+                seen4.size(), seen5.size(), covered, required);
+  }
+
+  std::printf("\namortized rounds/change: %.2f (Theorem 5 says O(1))\n",
+              sim.metrics().amortized());
+  return 0;
+}

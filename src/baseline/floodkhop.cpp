@@ -1,0 +1,127 @@
+#include "baseline/floodkhop.hpp"
+
+#include "common/check.hpp"
+
+namespace dynsub::baseline {
+
+void FloodKHopNode::react_and_send(const net::NodeContext& ctx,
+                                   std::span<const EdgeEvent> events,
+                                   net::Outbox& out) {
+  const NodeId v = ctx.self;
+  view_.apply(events, ctx.round);
+
+  const auto ttl0 = static_cast<std::uint8_t>(radius_ - 1);
+  for (const auto& ev : events) {
+    const NodeId u = ev.edge.other(v);
+    if (ev.kind == EventKind::kDelete) {
+      known_.erase(ev.edge);
+      out_queues_.erase(u);
+      for (auto& [w, q] : out_queues_) {
+        (void)w;
+        auto m = net::WireMessage::edge_delete(ev.edge);
+        m.ttl = ttl0;
+        q.push_back(std::move(m));
+      }
+    } else {
+      known_[ev.edge] = 0;
+      auto& fresh = out_queues_[u];
+      // Change notice to everyone else.
+      for (auto& [w, q] : out_queues_) {
+        if (w == u) continue;
+        auto m = net::WireMessage::edge_insert(ev.edge);
+        m.ttl = ttl0;
+        q.push_back(std::move(m));
+      }
+      // Knowledge dump toward the fresh neighbor: every known edge within
+      // radius-1 hops, with the remaining TTL it has from u's perspective.
+      for (const auto& [e, hop] : known_) {
+        if (hop > radius_ - 1) continue;
+        auto m = net::WireMessage::edge_insert(e);
+        m.ttl = static_cast<std::uint8_t>(radius_ - 1 - hop);
+        fresh.push_back(std::move(m));
+      }
+    }
+  }
+
+  busy_at_send_ = false;
+  for (auto& [u, q] : out_queues_) {
+    if (q.empty()) continue;
+    busy_at_send_ = true;
+    out.send(u, q.front());
+    q.pop_front();
+  }
+  if (busy_at_send_) out.declare_busy();
+}
+
+void FloodKHopNode::receive_and_update(const net::NodeContext& ctx,
+                                       const net::Inbox& in) {
+  const NodeId v = ctx.self;
+  for (const auto& [from, msg] : in.payloads) {
+    using Kind = net::WireMessage::Kind;
+    const Edge e(msg.nodes[0], msg.nodes[1]);
+    if (msg.kind == Kind::kEdgeInsert) {
+      if (e.touches(v)) continue;  // tracked locally
+      const auto hop = static_cast<std::uint8_t>(radius_ - msg.ttl);
+      auto [it, fresh] = known_.try_emplace(e, hop);
+      const bool improved = !fresh && hop < it->second;
+      if (improved) it->second = hop;
+      // Re-flood while TTL remains; forward with one fewer hop.
+      if ((fresh || improved) && msg.ttl > 0) {
+        for (auto& [w, q] : out_queues_) {
+          if (w == from) continue;
+          auto fwd = net::WireMessage::edge_insert(e);
+          fwd.ttl = static_cast<std::uint8_t>(msg.ttl - 1);
+          q.push_back(std::move(fwd));
+        }
+      }
+    } else {
+      DYNSUB_CHECK(msg.kind == Kind::kEdgeDelete);
+      if (e.touches(v)) continue;
+      const bool knew = known_.erase(e);
+      if (knew && msg.ttl > 0) {
+        for (auto& [w, q] : out_queues_) {
+          if (w == from) continue;
+          auto fwd = net::WireMessage::edge_delete(e);
+          fwd.ttl = static_cast<std::uint8_t>(msg.ttl - 1);
+          q.push_back(std::move(fwd));
+        }
+      }
+    }
+  }
+  bool queues_empty = true;
+  for (const auto& [u, q] : out_queues_) {
+    (void)u;
+    queues_empty &= q.empty();
+  }
+  consistent_ = !busy_at_send_ && queues_empty && in.busy_neighbors.empty();
+}
+
+std::size_t FloodKHopNode::queue_length() const {
+  std::size_t total = 0;
+  for (const auto& [u, q] : out_queues_) {
+    (void)u;
+    total += q.size();
+  }
+  return total;
+}
+
+net::Answer FloodKHopNode::query_edge(Edge e) const {
+  if (!consistent_) return net::Answer::kInconsistent;
+  return known_.contains(e) ? net::Answer::kTrue : net::Answer::kFalse;
+}
+
+net::Answer FloodKHopNode::query_cycle(std::span<const NodeId> cycle) const {
+  if (!consistent_) return net::Answer::kInconsistent;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    for (std::size_t j = i + 1; j < cycle.size(); ++j) {
+      if (cycle[i] == cycle[j]) return net::Answer::kFalse;
+    }
+  }
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const Edge e(cycle[i], cycle[(i + 1) % cycle.size()]);
+    if (!known_.contains(e)) return net::Answer::kFalse;
+  }
+  return net::Answer::kTrue;
+}
+
+}  // namespace dynsub::baseline

@@ -1,0 +1,37 @@
+#include "common/bitset.hpp"
+
+#include <bit>
+
+namespace dynsub {
+
+std::size_t DenseBitset::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::vector<std::uint8_t> DenseBitset::extract_bits(std::size_t from,
+                                                    std::size_t nbits) const {
+  DYNSUB_CHECK(from + nbits <= bits_);
+  std::vector<std::uint8_t> out((nbits + 7) / 8, 0);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (test(from + i)) out[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+  }
+  return out;
+}
+
+void DenseBitset::deposit_bits(std::size_t from, std::size_t nbits,
+                               const std::vector<std::uint8_t>& chunk) {
+  DYNSUB_CHECK(from + nbits <= bits_);
+  DYNSUB_CHECK(chunk.size() >= (nbits + 7) / 8);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    const bool bit = (chunk[i >> 3] >> (i & 7)) & 1u;
+    if (bit) {
+      set(from + i);
+    } else {
+      reset(from + i);
+    }
+  }
+}
+
+}  // namespace dynsub

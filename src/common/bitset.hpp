@@ -1,0 +1,60 @@
+// Dense dynamic bitset.
+//
+// Used by the Lemma 1 baseline, where an edge insertion ships an entire
+// neighborhood as an n-bit snapshot split into O(log n)-bit message chunks,
+// and by the oracle for fast r-hop ball computation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dynsub {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+
+  void set(std::size_t i) {
+    DYNSUB_DCHECK(i < bits_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+  void reset(std::size_t i) {
+    DYNSUB_DCHECK(i < bits_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+  [[nodiscard]] bool test(std::size_t i) const {
+    DYNSUB_DCHECK(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void clear() { words_.assign(words_.size(), 0); }
+
+  [[nodiscard]] std::size_t count() const;
+
+  /// Copies `nbits` bits starting at bit `from` into a byte vector (LSB
+  /// first); the Lemma 1 baseline uses this to cut snapshots into
+  /// bandwidth-sized chunks.
+  [[nodiscard]] std::vector<std::uint8_t> extract_bits(std::size_t from,
+                                                       std::size_t nbits) const;
+
+  /// Writes the chunk produced by extract_bits back at bit offset `from`.
+  void deposit_bits(std::size_t from, std::size_t nbits,
+                    const std::vector<std::uint8_t>& chunk);
+
+  friend bool operator==(const DenseBitset&, const DenseBitset&) = default;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace dynsub

@@ -1,0 +1,16 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dynsub::detail {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  std::fprintf(stderr, "[dynsub] CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " -- ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dynsub::detail

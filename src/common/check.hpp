@@ -1,0 +1,42 @@
+// Internal invariant checking.
+//
+// DYNSUB_CHECK is used for programmer-error invariants inside the library;
+// it aborts with a readable message.  It is always on (the simulator is a
+// research instrument: a silently-corrupt run is worse than a crash), but the
+// hot-path variant DYNSUB_DCHECK compiles out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dynsub::detail {
+
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+}  // namespace dynsub::detail
+
+#define DYNSUB_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::dynsub::detail::check_failed(__FILE__, __LINE__, #cond, "");        \
+    }                                                                       \
+  } while (false)
+
+#define DYNSUB_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::std::ostringstream dynsub_check_oss_;                               \
+      dynsub_check_oss_ << msg; /* NOLINT */                                \
+      ::dynsub::detail::check_failed(__FILE__, __LINE__, #cond,             \
+                                     dynsub_check_oss_.str());              \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define DYNSUB_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define DYNSUB_DCHECK(cond) DYNSUB_CHECK(cond)
+#endif

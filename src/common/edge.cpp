@@ -1,0 +1,16 @@
+#include "common/edge.hpp"
+
+#include <ostream>
+
+namespace dynsub {
+
+std::ostream& operator<<(std::ostream& os, const Edge& e) {
+  return os << '{' << e.lo() << ',' << e.hi() << '}';
+}
+
+std::ostream& operator<<(std::ostream& os, const EdgeEvent& ev) {
+  return os << (ev.kind == EventKind::kInsert ? "+{" : "-{") << ev.edge.lo()
+            << ',' << ev.edge.hi() << '}';
+}
+
+}  // namespace dynsub

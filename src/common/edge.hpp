@@ -1,0 +1,95 @@
+// Undirected edges and topology events.
+//
+// An Edge is a normalized unordered pair {u, v} with u < v, so that an edge
+// has exactly one representation and can be used directly as a hash / flat
+// map key.  EdgeEvent is the unit of topology change handed to the simulator
+// by workloads, and to nodes (restricted to their incident events) by the
+// simulator.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dynsub {
+
+/// A normalized undirected edge: lo() < hi() always holds.
+class Edge {
+ public:
+  /// Constructs the edge {a, b}.  a and b must be distinct (the model has no
+  /// self loops).
+  constexpr Edge(NodeId a, NodeId b)
+      : lo_(a < b ? a : b), hi_(a < b ? b : a) {
+    DYNSUB_DCHECK(a != b);
+  }
+
+  [[nodiscard]] constexpr NodeId lo() const { return lo_; }
+  [[nodiscard]] constexpr NodeId hi() const { return hi_; }
+
+  /// True when v is one of the endpoints.
+  [[nodiscard]] constexpr bool touches(NodeId v) const {
+    return v == lo_ || v == hi_;
+  }
+
+  /// Returns the endpoint that is not v.  v must be an endpoint.
+  [[nodiscard]] constexpr NodeId other(NodeId v) const {
+    DYNSUB_DCHECK(touches(v));
+    return v == lo_ ? hi_ : lo_;
+  }
+
+  /// True when the two edges share at least one endpoint.
+  [[nodiscard]] constexpr bool intersects(const Edge& o) const {
+    return touches(o.lo_) || touches(o.hi_);
+  }
+
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+
+  /// 64-bit key usable for hashing and dense ordering.
+  [[nodiscard]] constexpr std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(lo_) << 32) | hi_;
+  }
+
+ private:
+  NodeId lo_;
+  NodeId hi_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Edge& e);
+
+/// Kind of a topology change.
+enum class EventKind : std::uint8_t { kInsert, kDelete };
+
+/// One topology change, applied at the beginning of a round.
+struct EdgeEvent {
+  Edge edge;
+  EventKind kind;
+
+  [[nodiscard]] static EdgeEvent insert(NodeId a, NodeId b) {
+    return {Edge(a, b), EventKind::kInsert};
+  }
+  [[nodiscard]] static EdgeEvent remove(NodeId a, NodeId b) {
+    return {Edge(a, b), EventKind::kDelete};
+  }
+
+  friend constexpr bool operator==(const EdgeEvent&, const EdgeEvent&) =
+      default;
+};
+
+std::ostream& operator<<(std::ostream& os, const EdgeEvent& ev);
+
+struct EdgeHash {
+  [[nodiscard]] std::size_t operator()(const Edge& e) const noexcept {
+    // splitmix64 finalizer over the packed key: cheap and well distributed.
+    std::uint64_t x = e.key() + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace dynsub

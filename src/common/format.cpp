@@ -1,0 +1,63 @@
+#include "common/format.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace dynsub {
+
+std::string with_thousands(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int since_sep = static_cast<int>(digits.size() % 3);
+  if (since_sep == 0) since_sep = 3;
+  for (char c : digits) {
+    if (since_sep == 0) {
+      out.push_back(',');
+      since_sep = 3;
+    }
+    out.push_back(c);
+    --since_sep;
+  }
+  return out;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  std::size_t cols = 0;
+  for (const auto& r : rows) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (const auto& r : rows) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      os << ' ' << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+    if (i == 0) {
+      os << '|';
+      for (std::size_t c = 0; c < cols; ++c) {
+        os << std::string(width[c] + 2, '-') << '|';
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dynsub

@@ -1,0 +1,19 @@
+// Small formatting helpers shared by the harness and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dynsub {
+
+/// "1234567" -> "1,234,567".
+[[nodiscard]] std::string with_thousands(std::uint64_t v);
+
+/// Fixed-precision double, e.g. format_double(3.14159, 2) == "3.14".
+[[nodiscard]] std::string format_double(double v, int precision);
+
+/// Renders rows as a fixed-width ASCII table; the first row is the header.
+[[nodiscard]] std::string render_table(
+    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace dynsub

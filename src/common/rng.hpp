@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// Every stochastic workload in dynsub is seeded explicitly; two runs with the
+// same seed produce bit-identical event streams, which is what makes the
+// amortized-round measurements and the oracle audits reproducible.  Rng wraps
+// a splitmix64-seeded xoshiro256** generator with the handful of sampling
+// helpers the workloads need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dynsub {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound).  bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true);
+
+  /// Pareto(x_min, alpha) sample, used by the heavy-tailed session-length
+  /// churn workload (the paper's P2P motivation cites session lengths that
+  /// are "short on average but heavy tailed").
+  double next_pareto(double x_min, double alpha);
+
+  /// k distinct values from [0, n), in random order.  k <= n.
+  std::vector<std::uint32_t> sample_distinct(std::uint32_t n, std::uint32_t k);
+
+  /// Derives an independent child generator; used to give each sweep point
+  /// its own stream so parallel benches stay deterministic.
+  [[nodiscard]] Rng split();
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace dynsub

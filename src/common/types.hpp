@@ -1,0 +1,35 @@
+// Core scalar types shared by every dynsub module.
+//
+// The simulator models the synchronous dynamic network of
+// Censor-Hillel, Kolobov, Schwartzman, "Finding Subgraphs in Highly Dynamic
+// Networks" (SPAA 2021).  Nodes are dense integer ids in [0, n); rounds and
+// insertion timestamps are signed 64-bit so that the sentinel "never" value
+// of -1 used by the paper (t_e = -1 initially) is representable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dynsub {
+
+/// Identifier of a network node.  Nodes are dense: a simulation over n nodes
+/// uses ids 0..n-1.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (used in fixed-size path encodings).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Round counter.  Round 0 is "before the simulation starts"; the first
+/// communication round is round 1, matching the paper's convention that the
+/// network "starts as an empty graph" and evolves into G_i at the beginning
+/// of round i.
+using Round = std::int64_t;
+
+/// Insertion timestamp of an edge: the latest round in which it was inserted.
+/// The paper initializes t_e = -1; we use the same sentinel.
+using Timestamp = std::int64_t;
+
+/// Timestamp value meaning "was never inserted".
+inline constexpr Timestamp kNeverInserted = -1;
+
+}  // namespace dynsub

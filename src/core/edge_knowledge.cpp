@@ -1,0 +1,112 @@
+#include "core/edge_knowledge.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dynsub::core {
+
+Vouch& EdgeKnowledge::state_of(Entry& entry, Edge e, NodeId endpoint) {
+  DYNSUB_DCHECK(e.touches(endpoint));
+  return endpoint == e.lo() ? entry.lo : entry.hi;
+}
+
+void EdgeKnowledge::reevaluate(Edge e, Entry& entry,
+                               const net::LocalView& view) {
+  if (entry.pattern_b) {
+    // An "older than both" entry needs both witness links and no retract.
+    entry.alive = view.has_neighbor(e.lo()) && view.has_neighbor(e.hi()) &&
+                  entry.lo != Vouch::kRetracted &&
+                  entry.hi != Vouch::kRetracted;
+    return;
+  }
+  auto supported = [&](NodeId x, Vouch s) {
+    if (!view.has_neighbor(x)) return false;
+    if (s == Vouch::kActive) return true;
+    // Witness obligation: t' <= t_e (invariant ii), so t' >= t_{v,x}
+    // proves the edge is robust through x and x's relay is coming.
+    return s == Vouch::kNever && entry.t_prime >= view.t(x);
+  };
+  entry.alive = supported(e.lo(), entry.lo) || supported(e.hi(), entry.hi);
+}
+
+Timestamp EdgeKnowledge::accept_insert(Edge e, NodeId from,
+                                       Timestamp t_link) {
+  Entry& entry = map_[e];
+  if (!entry.alive || entry.pattern_b) {
+    // Fresh learn or revival: old t' belonged to a dead (or pattern-b)
+    // incarnation; only this contribution counts.
+    entry.t_prime = t_link;
+  } else {
+    entry.t_prime = std::max(entry.t_prime, t_link);
+  }
+  entry.pattern_b = false;
+  entry.alive = true;
+  state_of(entry, e, from) = Vouch::kActive;
+  return entry.t_prime;
+}
+
+void EdgeKnowledge::accept_delete(Edge e, NodeId from, bool superseded,
+                                  const net::LocalView& view) {
+  auto it = map_.find(e);
+  if (it == map_.end()) {
+    // Tombstone: remember the retraction so a stale re-learn from the
+    // other endpoint cannot resurrect the edge before the next quiet round.
+    if (!superseded) {
+      Entry entry;
+      entry.alive = false;
+      state_of(entry, e, from) = Vouch::kRetracted;
+      map_.try_emplace(e, entry);
+    }
+    return;
+  }
+  Entry& entry = it->second;
+  if (entry.pattern_b && superseded) {
+    // The sender has already re-inserted the edge; for a pattern-(b) entry
+    // the matching insert relay may be legitimately filtered away, so the
+    // retraction must not win.
+    return;
+  }
+  state_of(entry, e, from) = Vouch::kRetracted;
+  reevaluate(e, entry, view);
+}
+
+void EdgeKnowledge::accept_hint(Edge e, NodeId from, Timestamp t_stamp) {
+  Entry& entry = map_[e];
+  entry.t_prime = t_stamp;
+  entry.pattern_b = true;
+  entry.alive = true;
+  state_of(entry, e, from) = Vouch::kActive;
+  // A hint is fresh first-hand evidence that the edge exists; it overrides
+  // a stale retraction remembered from the other endpoint.
+  Vouch& other = state_of(entry, e, e.other(from));
+  if (other == Vouch::kRetracted) other = Vouch::kNever;
+}
+
+void EdgeKnowledge::retract_neighbor(NodeId z, const net::LocalView& view) {
+  for (auto& [e, entry] : map_) {
+    if (!e.touches(z)) continue;
+    state_of(entry, e, z) = Vouch::kRetracted;
+    if (entry.alive) reevaluate(e, entry, view);
+  }
+}
+
+void EdgeKnowledge::prune_dead() {
+  map_.erase_if(
+      [](const std::pair<Edge, Entry>& kv) { return !kv.second.alive; });
+}
+
+bool EdgeKnowledge::contains(Edge e) const {
+  auto it = map_.find(e);
+  return it != map_.end() && it->second.alive;
+}
+
+FlatMap<Edge, Timestamp> EdgeKnowledge::alive_edges() const {
+  FlatMap<Edge, Timestamp> out;
+  for (const auto& [e, entry] : map_) {
+    if (entry.alive) out[e] = entry.t_prime;
+  }
+  return out;
+}
+
+}  // namespace dynsub::core

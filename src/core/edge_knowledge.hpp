@@ -1,0 +1,98 @@
+// EdgeKnowledge: the audited 2-hop edge store shared by the Theorem 7 and
+// Theorem 1 structures -- with the stale-relay repair (DESIGN.md, D5).
+//
+// Why this exists.  The paper's step-4 rule "upon receiving a deletion,
+// remove e from S_v" has a race its proofs gloss over: an endpoint's
+// *backlogged* deletion relay (for an old incarnation of e) can arrive
+// after the receiver already learned a fresh re-insertion through the
+// other endpoint, and the sender's FIFO repair (its own re-insertion
+// relay) can be severed by a link deletion in between.  The receiver then
+// sits at a quiet, formally consistent state missing an edge of T^{v,2}
+// (found by the randomized property sweeps; see DESIGN.md for the trace).
+//
+// The repair keeps the paper's O(log n) messages and O(1) state per known
+// edge, and leans on the two invariants the paper itself establishes:
+//   (i)  per-sender causal order: a node relays items about its own edges
+//        in FIFO order, so the *last word heard from an endpoint* is that
+//        endpoint's current claim;
+//   (ii) the imaginary-timestamp lower bound: every accepted insertion
+//        contribution is the timestamp of the link it crossed, and senders
+//        only relay insertions over links no newer than the edge, so
+//        t' <= t_e always holds for pattern-(a) entries.
+//
+// Each entry tracks a per-endpoint vouch state (Never / Active /
+// Retracted).  An entry stays alive while some endpoint vouches for it:
+// either actively (its last word was an insertion and its link survives)
+// or by *witness obligation* (it never spoke, but t' >= t_{v,x} together
+// with invariant (ii) proves t_e >= t_{v,x}, i.e. the paper's robustness
+// filter guarantees x has the relay in flight).  Deletion relays merely
+// retract the sender's vouch.  Dead entries are kept as tombstones --
+// remembering retractions so a stale re-learn cannot resurrect them -- and
+// are pruned at quiet rounds, when no stale item can be in flight.
+//
+// Pattern-(b) entries (the triangle structure's "older than both" far
+// edges, learned through hints) are vouched by hint senders, require both
+// witness links, and honor a deletion relay's 1-bit "superseded" flag: a
+// deletion dequeued by an endpoint that has already re-inserted the edge
+// cannot retract a (b) entry, because the matching re-insert relay may be
+// legitimately filtered away (t_e smaller than every link timestamp).
+#pragma once
+
+#include <cstdint>
+
+#include "common/edge.hpp"
+#include "common/flat_set.hpp"
+#include "net/local_view.hpp"
+
+namespace dynsub::core {
+
+enum class Vouch : std::uint8_t { kNever, kActive, kRetracted };
+
+class EdgeKnowledge {
+ public:
+  struct Entry {
+    Timestamp t_prime = kNeverInserted;
+    Vouch lo = Vouch::kNever;
+    Vouch hi = Vouch::kNever;
+    bool pattern_b = false;
+    bool alive = false;
+  };
+
+  /// Insertion relay from endpoint `from` over a link with timestamp
+  /// t_link.  Returns the entry's t' after merging (used by the triangle
+  /// structure's hint trigger).
+  Timestamp accept_insert(Edge e, NodeId from, Timestamp t_link);
+
+  /// Deletion relay from endpoint `from`.  `superseded` is the sender's
+  /// 1-bit indication that the edge was already re-inserted when the
+  /// relay was sent.
+  void accept_delete(Edge e, NodeId from, bool superseded,
+                     const net::LocalView& view);
+
+  /// Pattern-(b) hint from endpoint `from`: both witness links must exist
+  /// (checked by the caller); stamps the edge older than both.
+  void accept_hint(Edge e, NodeId from, Timestamp t_stamp);
+
+  /// The local link {v,z} was deleted: retract z's vouch on every entry
+  /// it touches and re-evaluate retention through the surviving witness.
+  void retract_neighbor(NodeId z, const net::LocalView& view);
+
+  /// Drop dead tombstones.  Safe exactly at quiet rounds (no in-flight
+  /// items exist whose late arrival a tombstone would have to absorb).
+  void prune_dead();
+
+  [[nodiscard]] bool contains(Edge e) const;
+
+  /// Alive edges with their imaginary timestamps (audits, listings).
+  [[nodiscard]] FlatMap<Edge, Timestamp> alive_edges() const;
+
+  [[nodiscard]] std::size_t entry_count() const { return map_.size(); }
+
+ private:
+  static Vouch& state_of(Entry& entry, Edge e, NodeId endpoint);
+  void reevaluate(Edge e, Entry& entry, const net::LocalView& view);
+
+  FlatMap<Edge, Entry> map_;
+};
+
+}  // namespace dynsub::core

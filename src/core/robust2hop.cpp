@@ -1,0 +1,96 @@
+#include "core/robust2hop.hpp"
+
+#include "common/check.hpp"
+
+namespace dynsub::core {
+
+void Robust2HopNode::react_and_send(const net::NodeContext& ctx,
+                                    std::span<const EdgeEvent> events,
+                                    net::Outbox& out) {
+  const NodeId v = ctx.self;
+
+  // --- Paper step 2: topology changes. ------------------------------------
+  std::vector<Pending> to_enqueue;
+  for (const auto& ev : events) {
+    if (ev.kind != EventKind::kDelete) continue;
+    // Record the deleted edge's insertion time before LocalView forgets it.
+    to_enqueue.push_back(
+        {ev.edge, EventKind::kDelete, view_.t(ev.edge.other(v))});
+  }
+  view_.apply(events, ctx.round);
+  for (const auto& ev : events) {
+    if (ev.kind != EventKind::kDelete) continue;
+    // Purge rule: the link is gone, so everything vouched only through it
+    // (and not old enough to be robust through the other witness) dies.
+    knowledge_.retract_neighbor(ev.edge.other(v), view_);
+  }
+  for (const auto& ev : events) {
+    if (ev.kind != EventKind::kInsert) continue;
+    to_enqueue.push_back({ev.edge, EventKind::kInsert, ctx.round});
+  }
+  for (auto& p : to_enqueue) queue_.push_back(p);
+
+  // --- Paper step 3: communication. ---------------------------------------
+  busy_at_send_ = !queue_.empty();
+  if (busy_at_send_) {
+    out.declare_busy();
+    const Pending item = queue_.front();
+    queue_.pop_front();
+    if (item.kind == EventKind::kInsert) {
+      // Robustness filter: only neighbors whose connecting edge is at most
+      // as recent as the item can treat it as robust.
+      for (const auto& [u, t_vu] : view_.incident()) {
+        if (item.t_event >= t_vu) {
+          out.send(u, net::WireMessage::edge_insert(item.edge));
+        }
+      }
+    } else {
+      // Deletions retract this endpoint's vouch everywhere (D1); the
+      // superseded bit says "the edge is already back" (D5).
+      auto msg = net::WireMessage::edge_delete(item.edge);
+      msg.ttl = view_.has_neighbor(item.edge.other(v)) ? 1 : 0;
+      for (const auto& [u, t_vu] : view_.incident()) {
+        (void)t_vu;
+        out.send(u, msg);
+      }
+    }
+  }
+}
+
+void Robust2HopNode::receive_and_update(const net::NodeContext& ctx,
+                                        const net::Inbox& in) {
+  const NodeId v = ctx.self;
+  for (const auto& [from, msg] : in.payloads) {
+    using Kind = net::WireMessage::Kind;
+    const Edge e(msg.nodes[0], msg.nodes[1]);
+    DYNSUB_CHECK(e.touches(from));  // senders announce their own edges
+    if (e.touches(v)) continue;     // own incident edges are tracked locally
+    if (msg.kind == Kind::kEdgeInsert) {
+      (void)knowledge_.accept_insert(e, from, view_.t(from));
+    } else {
+      DYNSUB_CHECK(msg.kind == Kind::kEdgeDelete);
+      knowledge_.accept_delete(e, from, msg.ttl != 0, view_);
+    }
+  }
+  consistent_ =
+      !busy_at_send_ && queue_.empty() && in.busy_neighbors.empty();
+  if (consistent_) knowledge_.prune_dead();
+}
+
+net::Answer Robust2HopNode::query_edge(Edge e) const {
+  if (!consistent_) return net::Answer::kInconsistent;
+  const NodeId v = view_.self();
+  const bool known = e.touches(v) ? view_.has_neighbor(e.other(v))
+                                  : knowledge_.contains(e);
+  return known ? net::Answer::kTrue : net::Answer::kFalse;
+}
+
+FlatMap<Edge, Timestamp> Robust2HopNode::known_edges() const {
+  FlatMap<Edge, Timestamp> out = knowledge_.alive_edges();
+  for (const auto& [u, t] : view_.incident()) {
+    out[Edge(view_.self(), u)] = t;
+  }
+  return out;
+}
+
+}  // namespace dynsub::core

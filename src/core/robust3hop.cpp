@@ -1,0 +1,352 @@
+#include "core/robust3hop.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dynsub::core {
+
+namespace {
+
+/// True when the two pending items involve a common edge (in which case
+/// their relative order is semantically meaningful).
+bool conflicts(const NodeId self, const Robust3HopNode::PendingView& a,
+               const Robust3HopNode::PendingView& b) {
+  Edge ea[2] = {Edge(0, 1), Edge(0, 1)};
+  Edge eb[2] = {Edge(0, 1), Edge(0, 1)};
+  const int na = a.edges(self, ea);
+  const int nb = b.edges(self, eb);
+  for (int i = 0; i < na; ++i) {
+    for (int j = 0; j < nb; ++j) {
+      if (ea[i] == eb[j]) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int Robust3HopNode::PendingView::edges(NodeId self, Edge out[2]) const {
+  if (item->type == Pending::Type::kDeleteEdge) {
+    out[0] = Edge(item->a[0], item->a[1]);
+    return 1;
+  }
+  out[0] = Edge(self, item->a[0]);
+  if (item->len_or_ell == 2) {
+    out[1] = Edge(item->a[0], item->a[1]);
+    return 2;
+  }
+  return 1;
+}
+
+void Robust3HopNode::enqueue_unique(const Pending& p) {
+  if (!options_.queue_dedup) {
+    queue_.push_back(p);
+    return;
+  }
+  // Duplicate suppression (deviation D4), made order-aware: a new item is
+  // redundant only if an identical copy is already pending *and* nothing
+  // enqueued after that copy touches the same edges -- the queue is a
+  // causal event log, and an intervening conflicting item (e.g. a deletion
+  // between two identical re-insertions) makes the repeat load-bearing.
+  if (!queued_keys_.contains(key_of(p))) {
+    queued_keys_.insert(key_of(p));
+    queue_.push_back(p);
+    return;
+  }
+  std::size_t last_equal = queue_.size();
+  for (std::size_t i = queue_.size(); i-- > 0;) {
+    if (queue_[i] == p) {
+      last_equal = i;
+      break;
+    }
+  }
+  DYNSUB_CHECK(last_equal < queue_.size());
+  const PendingView pv{&p};
+  for (std::size_t i = last_equal + 1; i < queue_.size(); ++i) {
+    if (conflicts(view_.self(), PendingView{&queue_[i]}, pv)) {
+      queue_.push_back(p);  // keep queued_keys_ entry; duplicates allowed
+      return;
+    }
+  }
+  // Identical copy pending with no conflicting item after it: redundant.
+}
+
+void Robust3HopNode::add_path(std::span<const NodeId> hops) {
+  DYNSUB_CHECK(!hops.empty() && hops.size() <= 3);
+  PathKey pk;
+  NodeId prev = view_.self();
+  for (std::size_t j = 0; j < hops.size(); ++j) {
+    pk.hops[j] = hops[j];
+    pk.len = static_cast<std::uint8_t>(j + 1);
+    paths_[Edge(prev, hops[j])].insert(pk);
+    prev = hops[j];
+  }
+}
+
+void Robust3HopNode::remove_paths_via(Edge e, NodeId chain, NodeId via) {
+  // Relay-chain-scoped removal: a deletion relayed by neighbor `chain`
+  // kills only the discovery paths learned along the same relay chain --
+  // first hop `chain` and (for forwarded relays) second hop `via`.  Each
+  // such chain's paths are mutated exclusively by that relay path's FIFO
+  // streams (plus local link-loss purges), so last-write-wins is causally
+  // correct per chain, and a stale backlogged deletion relay from one
+  // chain can no longer destroy fresh knowledge learned through another
+  // (DESIGN.md, D5; the paper's global removal has this race).
+  const NodeId root = view_.self();
+  for (auto it = paths_.begin(); it != paths_.end();) {
+    it->second.erase_if([&](const PathKey& pk) {
+      if (pk.hops[0] != chain) return false;
+      if (via != kNoNode && pk.len >= 2 && pk.hops[1] != via) return false;
+      return pk.contains(root, e);
+    });
+    if (it->second.empty()) {
+      it = paths_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Robust3HopNode::react_and_send(const net::NodeContext& ctx,
+                                    std::span<const EdgeEvent> events,
+                                    net::Outbox& out) {
+  const NodeId v = ctx.self;
+  view_.apply(events, ctx.round);
+
+  // --- Paper step 2: own topology changes take effect on S immediately
+  // (react time); only the broadcast is queued.  Applying the local purge
+  // lazily at dequeue -- the paper's literal reading -- lets a backlogged
+  // own-deletion execute long after the link flickered back, destroying
+  // fresh chain knowledge that arrived in between (DESIGN.md, D5).
+  for (const auto& ev : events) {
+    const NodeId u = ev.edge.other(v);
+    if (ev.kind == EventKind::kInsert) {
+      const std::array<NodeId, 1> own{u};
+      add_path(own);
+      enqueue_unique({Pending::Type::kInsertPath, {u, kNoNode}, 1});
+    } else {
+      // The link is gone: every discovery path learned through it dies.
+      remove_paths_via(ev.edge, u, kNoNode);
+      enqueue_unique({Pending::Type::kDeleteEdge,
+                      {ev.edge.lo(), ev.edge.hi()},
+                      0});
+    }
+  }
+
+  // --- Paper step 3: communication. ----------------------------------------
+  busy_at_send_ = !queue_.empty();
+  if (busy_at_send_) out.declare_busy();
+  if (neighbors_busy_prev_) out.declare_neighbors_busy();
+  if (busy_at_send_) {
+    const Pending item = queue_.front();
+    queue_.pop_front();
+    queued_keys_.erase(key_of(item));
+    // Dequeue is broadcast-only: local effects already happened at react
+    // (own events) or at receipt (relayed items).
+    if (item.type == Pending::Type::kInsertPath) {
+      std::array<NodeId, 3> wire{v, item.a[0], item.a[1]};
+      const std::size_t verts = 1 + item.len_or_ell;
+      for (NodeId u : view_.neighbors()) {
+        out.send(u, net::WireMessage::path_insert(
+                        std::span<const NodeId>(wire.data(), verts)));
+      }
+    } else {
+      const Edge e(item.a[0], item.a[1]);
+      for (NodeId u : view_.neighbors()) {
+        out.send(u,
+                 net::WireMessage::path_delete(e, item.len_or_ell, item.via));
+      }
+    }
+  }
+}
+
+void Robust3HopNode::receive_and_update(const net::NodeContext& ctx,
+                                        const net::Inbox& in) {
+  const NodeId v = ctx.self;
+  for (const auto& [from, msg] : in.payloads) {
+    using Kind = net::WireMessage::Kind;
+    if (msg.kind == Kind::kPathInsert) {
+      DYNSUB_CHECK(msg.nodes[0] == from);
+      const std::size_t verts = static_cast<std::size_t>(msg.path_len) + 1;
+      DYNSUB_CHECK(verts >= 2 && verts <= 3);
+      if (verts == 2 && msg.nodes[1] == v) {
+        // Own-edge form {v, from}: record, never re-forward (D3).
+        const std::array<NodeId, 1> own{from};
+        add_path(own);
+        continue;
+      }
+      // Skip degenerate extensions that would revisit v (a required edge
+      // whose only witness revisits v is already covered by a shorter
+      // pattern; see DESIGN.md 4.4).
+      bool contains_self = false;
+      for (std::size_t j = 0; j < verts; ++j) {
+        contains_self |= (msg.nodes[j] == v);
+      }
+      if (contains_self) continue;
+      // Prepend v: hops after v are the received vertices.
+      add_path(std::span<const NodeId>(msg.nodes.data(), verts));
+      if (verts == 2) {
+        // The extension v-from-x has 2 edges: keep flooding one more hop.
+        enqueue_unique(
+            {Pending::Type::kInsertPath, {msg.nodes[0], msg.nodes[1]}, 2});
+      }
+    } else if (msg.kind == Kind::kPathDelete) {
+      const Edge e(msg.nodes[0], msg.nodes[1]);
+      // Relays about our own incident edges carry no information we do not
+      // already manage locally (and a stale one could wrongly erase the
+      // incident-edge path after a re-insertion): ignore them.
+      if (e.touches(v)) continue;
+      remove_paths_via(e, from, msg.ttl == 0 ? kNoNode : msg.nodes[2]);
+      const bool forward =
+          msg.ttl == 0 ||
+          (options_.paper_literal_l2_forward && msg.ttl <= 1);
+      if (forward) {
+        enqueue_unique({Pending::Type::kDeleteEdge,
+                        {e.lo(), e.hi()},
+                        static_cast<std::uint8_t>(msg.ttl + 1),
+                        from});
+      }
+    } else {
+      DYNSUB_CHECK_MSG(false, "Robust3HopNode: unexpected message kind");
+    }
+  }
+  const bool quiet = !busy_at_send_ && queue_.empty() &&
+                     in.busy_neighbors.empty() && in.busy_two_hop.empty();
+  consistent_ = quiet && quiet_prev_;
+  quiet_prev_ = quiet;
+  neighbors_busy_prev_ = !in.busy_neighbors.empty();
+}
+
+net::Answer Robust3HopNode::query_edge(Edge e) const {
+  if (!consistent_) return net::Answer::kInconsistent;
+  auto it = paths_.find(e);
+  const bool present = it != paths_.end() && !it->second.empty();
+  return present ? net::Answer::kTrue : net::Answer::kFalse;
+}
+
+net::Answer Robust3HopNode::query_cycle(
+    std::span<const NodeId> cycle) const {
+  if (!consistent_) return net::Answer::kInconsistent;
+  DYNSUB_CHECK(cycle.size() == 4 || cycle.size() == 5);
+  bool self_in_cycle = false;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (cycle[i] == view_.self()) self_in_cycle = true;
+    for (std::size_t j = i + 1; j < cycle.size(); ++j) {
+      if (cycle[i] == cycle[j]) return net::Answer::kFalse;
+    }
+  }
+  DYNSUB_CHECK_MSG(self_in_cycle, "query_cycle: self not on candidate cycle");
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const Edge e(cycle[i], cycle[(i + 1) % cycle.size()]);
+    auto it = paths_.find(e);
+    if (it == paths_.end() || it->second.empty()) return net::Answer::kFalse;
+  }
+  return net::Answer::kTrue;
+}
+
+FlatSet<Edge> Robust3HopNode::known_edges() const {
+  FlatSet<Edge> out;
+  for (const auto& [e, pset] : paths_) {
+    if (!pset.empty()) out.insert(e);
+  }
+  return out;
+}
+
+namespace {
+
+/// Adjacency over a set of edges, used for local cycle enumeration.
+FlatMap<NodeId, FlatSet<NodeId>> adjacency_of(const FlatSet<Edge>& edges) {
+  FlatMap<NodeId, FlatSet<NodeId>> adj;
+  for (const Edge& e : edges) {
+    adj[e.lo()].insert(e.hi());
+    adj[e.hi()].insert(e.lo());
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::vector<oracle::Cycle4> Robust3HopNode::list_4cycles() const {
+  const FlatSet<Edge> edges = known_edges();
+  const auto adj = adjacency_of(edges);
+  const NodeId v = view_.self();
+  std::vector<oracle::Cycle4> out;
+  auto vit = adj.find(v);
+  if (vit == adj.end()) return out;
+  for (NodeId a : vit->second) {
+    auto ait = adj.find(a);
+    if (ait == adj.end()) continue;
+    for (NodeId b : ait->second) {
+      if (b == v) continue;
+      auto bit = adj.find(b);
+      if (bit == adj.end()) continue;
+      for (NodeId c : bit->second) {
+        if (c == a || c == v) continue;
+        if (!edges.contains(Edge(c, v))) continue;
+        // Canonicalize v-a-b-c like oracle::all_4_cycles: rotate so the
+        // minimum is first, direction so second < fourth.
+        std::array<NodeId, 4> cyc{v, a, b, c};
+        std::size_t mi = 0;
+        for (std::size_t i = 1; i < 4; ++i) {
+          if (cyc[i] < cyc[mi]) mi = i;
+        }
+        std::array<NodeId, 4> rot{};
+        for (std::size_t i = 0; i < 4; ++i) rot[i] = cyc[(mi + i) % 4];
+        if (rot[3] < rot[1]) std::swap(rot[1], rot[3]);
+        oracle::Cycle4 c4{rot};
+        if (std::find(out.begin(), out.end(), c4) == out.end()) {
+          out.push_back(c4);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<oracle::Cycle5> Robust3HopNode::list_5cycles() const {
+  const FlatSet<Edge> edges = known_edges();
+  const auto adj = adjacency_of(edges);
+  const NodeId v = view_.self();
+  std::vector<oracle::Cycle5> out;
+  auto vit = adj.find(v);
+  if (vit == adj.end()) return out;
+  for (NodeId a : vit->second) {
+    auto ait = adj.find(a);
+    if (ait == adj.end()) continue;
+    for (NodeId b : ait->second) {
+      if (b == v) continue;
+      auto bit = adj.find(b);
+      if (bit == adj.end()) continue;
+      for (NodeId c : bit->second) {
+        if (c == a || c == v) continue;
+        auto cit = adj.find(c);
+        if (cit == adj.end()) continue;
+        for (NodeId d : cit->second) {
+          if (d == b || d == a || d == v) continue;
+          if (!edges.contains(Edge(d, v))) continue;
+          std::array<NodeId, 5> cyc{v, a, b, c, d};
+          std::size_t mi = 0;
+          for (std::size_t i = 1; i < 5; ++i) {
+            if (cyc[i] < cyc[mi]) mi = i;
+          }
+          std::array<NodeId, 5> rot{};
+          for (std::size_t i = 0; i < 5; ++i) rot[i] = cyc[(mi + i) % 5];
+          if (rot[4] < rot[1]) {
+            std::swap(rot[1], rot[4]);
+            std::swap(rot[2], rot[3]);
+          }
+          oracle::Cycle5 c5{rot};
+          if (std::find(out.begin(), out.end(), c5) == out.end()) {
+            out.push_back(c5);
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dynsub::core

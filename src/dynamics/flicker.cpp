@@ -1,0 +1,111 @@
+#include "dynamics/flicker.hpp"
+
+#include "common/check.hpp"
+
+namespace dynsub::dynamics {
+
+namespace {
+
+/// Appends one attack cycle to `script`, starting at the next free round.
+/// Nodes: v=0 victim, u=1, w=2, junk spares a1=3, a2=4, b1=5, b2=6, b3=7.
+/// Round offsets within a cycle (r = base + offset):
+///   1: insert {v,u}, {v,w}
+///   2: insert {u,w}            (far edge, newest -> v learns it directly)
+///   3-4: quiet drain
+///   5: junk {u,a1}, {u,a2}; junk {w,b1}, {w,b2}, {w,b3}
+///   6: delete {u,w}            (u will broadcast it at 7+? ...)
+///
+/// Queue arithmetic (one dequeue per round): after round 5, u's queue holds
+/// [a1,a2] and dequeues a1 in round 5; at round 6 it holds [a2, del] and
+/// broadcasts the deletion in round 7 (= i_u).  w's queue holds [b1,b2,b3],
+/// dequeues b1 in round 5, so its deletion goes out in round 8 (= i_w).
+/// The adversary deletes {v,u} in round 7 and {v,w} in round 8, restoring
+/// each a round later, then removes the junk so the next cycle starts clean.
+void append_cycle(std::vector<std::vector<EdgeEvent>>& script) {
+  const NodeId v = 0, u = 1, w = 2;
+  const NodeId a1 = 3, a2 = 4, b1 = 5, b2 = 6, b3 = 7;
+  auto at = [&script](std::size_t offset) -> std::vector<EdgeEvent>& {
+    const std::size_t base = script.size();
+    script.resize(base + 1);
+    (void)offset;
+    return script.back();
+  };
+  // Rounds are appended sequentially; `at` just extends the script.
+  {
+    auto& r1 = at(1);
+    r1.push_back(EdgeEvent::insert(v, u));
+    r1.push_back(EdgeEvent::insert(v, w));
+  }
+  at(2).push_back(EdgeEvent::insert(u, w));
+  at(3);
+  at(4);
+  {
+    auto& r5 = at(5);
+    r5.push_back(EdgeEvent::insert(u, a1));
+    r5.push_back(EdgeEvent::insert(u, a2));
+    r5.push_back(EdgeEvent::insert(w, b1));
+    r5.push_back(EdgeEvent::insert(w, b2));
+    r5.push_back(EdgeEvent::insert(w, b3));
+  }
+  at(6).push_back(EdgeEvent::remove(u, w));
+  {
+    auto& r7 = at(7);  // i_u: u broadcasts del{u,w}; v must not hear it
+    r7.push_back(EdgeEvent::remove(v, u));
+  }
+  {
+    auto& r8 = at(8);  // i_w: w broadcasts del{u,w}; v must not hear it
+    r8.push_back(EdgeEvent::remove(v, w));
+    r8.push_back(EdgeEvent::insert(v, u));
+  }
+  at(9).push_back(EdgeEvent::insert(v, w));
+  // Cleanup for the next cycle: junk off, victim triangle edges off.
+  {
+    auto& r10 = at(10);
+    r10.push_back(EdgeEvent::remove(u, a1));
+    r10.push_back(EdgeEvent::remove(u, a2));
+    r10.push_back(EdgeEvent::remove(w, b1));
+    r10.push_back(EdgeEvent::remove(w, b2));
+    r10.push_back(EdgeEvent::remove(w, b3));
+  }
+  // Let everything drain before the next cycle re-arms.
+  for (int q = 0; q < 12; ++q) at(0);
+}
+
+}  // namespace
+
+FlickerScenario make_flicker_scenario(std::size_t n) {
+  DYNSUB_CHECK(n >= 8);
+  FlickerScenario s;
+  s.victim = 0;
+  s.u = 1;
+  s.w = 2;
+  s.ghost = Edge(1, 2);
+  append_cycle(s.script);
+  return s;
+}
+
+FlickerScenario make_repeated_flicker_scenario(std::size_t n,
+                                               std::size_t repeats) {
+  DYNSUB_CHECK(n >= 8);
+  DYNSUB_CHECK(repeats >= 1);
+  FlickerScenario s;
+  s.victim = 0;
+  s.u = 1;
+  s.w = 2;
+  s.ghost = Edge(1, 2);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    append_cycle(s.script);
+    if (r + 1 < repeats) {
+      // Tear the remaining triangle edges down so the next cycle's inserts
+      // are valid, and give the network room to settle.
+      std::vector<EdgeEvent> teardown;
+      teardown.push_back(EdgeEvent::remove(0, 1));
+      teardown.push_back(EdgeEvent::remove(0, 2));
+      s.script.push_back(std::move(teardown));
+      for (int q = 0; q < 8; ++q) s.script.emplace_back();
+    }
+  }
+  return s;
+}
+
+}  // namespace dynsub::dynamics

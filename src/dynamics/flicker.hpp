@@ -1,0 +1,44 @@
+// The Section 1.3 flickering adversary.
+//
+// Builds the exact bad schedule from the paper's motivating counterexample:
+// a triangle {victim, u, w} is established; junk insertions congest the
+// queues of u and w by different amounts, so their broadcasts of the far
+// edge's deletion fall in different rounds i_u != i_w; the adversary then
+// deletes {victim,u} exactly at i_u and {victim,w} exactly at i_w
+// (re-inserting each one round later).  The victim never hears that {u,w}
+// died, yet one of its witness edges exists in every round -- so the naive,
+// timestamp-free algorithm keeps the ghost edge forever, while the
+// Theorem 7 timestamp rule purges it.
+//
+// The schedule assumes the standard one-dequeue-per-round FIFO behaviour
+// shared by NaiveTwoHopNode / Robust2HopNode / TriangleNode, which is what
+// lets a *scripted* (non-adaptive) adversary hit the exact rounds.
+#pragma once
+
+#include <vector>
+
+#include "common/edge.hpp"
+#include "net/workload.hpp"
+
+namespace dynsub::dynamics {
+
+struct FlickerScenario {
+  /// Per-round event script (round r uses script[r-1]).
+  std::vector<std::vector<EdgeEvent>> script;
+  NodeId victim = 0;  // the node left holding the ghost
+  NodeId u = 0;       // triangle corner with the shorter queue
+  NodeId w = 0;       // triangle corner with the longer queue
+  Edge ghost{0, 1};   // the deleted far edge {u, w}
+};
+
+/// Builds the scenario on >= 8 nodes (extras carry the junk edges used for
+/// queue congestion).
+[[nodiscard]] FlickerScenario make_flicker_scenario(std::size_t n);
+
+/// The same attack repeated `repeats` times against the same victim
+/// triangle, each cycle separated by enough quiet rounds to re-stabilize.
+/// Used by the EXP-ABL1 bench to measure wrong-answer rounds over time.
+[[nodiscard]] FlickerScenario make_repeated_flicker_scenario(
+    std::size_t n, std::size_t repeats);
+
+}  // namespace dynsub::dynamics

@@ -1,0 +1,73 @@
+#include "dynamics/lb_cycle.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dynsub::dynamics {
+
+CycleLbAdversary::CycleLbAdversary(const CycleLbParams& params)
+    : d_(params.d), t_(params.d + 2), rng_(params.seed) {
+  DYNSUB_CHECK(d_ >= 3);
+  // Random 2D/3-subsets: the configuration entropy the proof counts.
+  const auto subset_size = static_cast<std::uint32_t>((2 * d_) / 3);
+  subsets_.reserve(t_);
+  for (std::size_t l = 0; l < t_; ++l) {
+    auto picks = rng_.sample_distinct(static_cast<std::uint32_t>(d_),
+                                      subset_size);
+    std::sort(picks.begin(), picks.end());
+    subsets_.push_back(std::move(picks));
+  }
+}
+
+std::vector<EdgeEvent> CycleLbAdversary::next_round(
+    const net::WorkloadObservation& obs) {
+  std::vector<EdgeEvent> batch;
+  switch (phase_) {
+    case Phase::kPhase1: {
+      // One column per round: u1_l to its subset, u2_l to the full row.
+      const std::size_t l = setup_l_;
+      for (std::uint32_t j : subsets_[l]) {
+        batch.push_back(EdgeEvent::insert(u1(l), v(l, j)));
+      }
+      for (std::size_t j = 0; j < d_; ++j) {
+        batch.push_back(EdgeEvent::insert(u2(l), v(l, j)));
+      }
+      if (++setup_l_ >= t_) {
+        phase_ = Phase::kBridge;
+        ell_ = 1;
+        m_ = 0;
+      }
+      break;
+    }
+    case Phase::kBridge: {
+      batch.push_back(EdgeEvent::insert(u1(ell_), u1(m_)));
+      batch.push_back(EdgeEvent::insert(u2(ell_), u2(m_)));
+      phase_ = Phase::kWait;
+      waited_ = 0;
+      break;
+    }
+    case Phase::kWait: {
+      ++waited_;
+      if (obs.all_consistent || waited_ >= 100000) {
+        phase_ = Phase::kUnbridge;
+      }
+      break;
+    }
+    case Phase::kUnbridge: {
+      batch.push_back(EdgeEvent::remove(u1(ell_), u1(m_)));
+      batch.push_back(EdgeEvent::remove(u2(ell_), u2(m_)));
+      if (++m_ >= ell_) {
+        ++ell_;
+        m_ = 0;
+      }
+      phase_ = (ell_ >= t_) ? Phase::kDone : Phase::kBridge;
+      break;
+    }
+    case Phase::kDone:
+      break;
+  }
+  return batch;
+}
+
+}  // namespace dynsub::dynamics

@@ -1,0 +1,84 @@
+// The Theorem 4 / Figure 4 adversary: k-cycle listing is hard for k >= 6.
+//
+// Specialized to k = 6 (gamma = ceil(k/2) - 1 = 2), the construction uses
+// t column gadgets C_l = {u1_l, u2_l} + {v^j_l}_{j in [D]}:
+//
+//   Phase I  (per l): u1_l is connected to an arbitrary 2D/3-subset of the
+//            v-row, u2_l to the entire row.
+//   Phase II (per l, per m < l): connect {u1_l,u1_m} and {u2_l,u2_m}, wait
+//            for the algorithm to stabilize, disconnect.
+//
+// Each such bridge creates ~D/3 six-cycles v^j_l - u1_l - u1_m - v^j_m -
+// u2_m - u2_l - v^j_l, one per index j where both u1's happen to include
+// v^j; correctness forces one side to learn Omega(D) bits about the other
+// side's subset through the two bridge edges, and with t = D + 2 ~ sqrt(n)
+// that pumps the amortized cost to Omega(sqrt(n) / log n).
+//
+// The adversary randomizes the 2D/3-subsets (they are the information
+// content!) and is adaptive in the stabilization waits.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/workload.hpp"
+
+namespace dynsub::dynamics {
+
+struct CycleLbParams {
+  /// Row width D (the construction has t = D + 2 columns and
+  /// n = t * (D + 2) nodes).
+  std::size_t d = 9;
+  std::uint64_t seed = 1;
+  std::size_t max_wait = 100000;
+};
+
+class CycleLbAdversary final : public net::Workload {
+ public:
+  explicit CycleLbAdversary(const CycleLbParams& params);
+
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const net::WorkloadObservation& obs) override;
+  [[nodiscard]] bool finished() const override {
+    return phase_ == Phase::kDone;
+  }
+
+  [[nodiscard]] std::size_t t() const { return t_; }
+  [[nodiscard]] std::size_t nodes_required() const { return t_ * (2 + d_); }
+
+  /// Gadget coordinates (exposed for tests and the bench's cycle queries).
+  [[nodiscard]] NodeId u1(std::size_t l) const {
+    return static_cast<NodeId>(l * (2 + d_));
+  }
+  [[nodiscard]] NodeId u2(std::size_t l) const {
+    return static_cast<NodeId>(l * (2 + d_) + 1);
+  }
+  [[nodiscard]] NodeId v(std::size_t l, std::size_t j) const {
+    return static_cast<NodeId>(l * (2 + d_) + 2 + j);
+  }
+  /// The j-indices of the 2D/3-subset wired to u1_l in phase I.
+  [[nodiscard]] const std::vector<std::uint32_t>& subset(std::size_t l) const {
+    return subsets_[l];
+  }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kPhase1,
+    kBridge,
+    kWait,
+    kUnbridge,
+    kDone,
+  };
+
+  std::size_t d_;
+  std::size_t t_;
+  Rng rng_;
+  std::vector<std::vector<std::uint32_t>> subsets_;
+  Phase phase_ = Phase::kPhase1;
+  std::size_t setup_l_ = 0;  // phase I column cursor
+  std::size_t ell_ = 1;      // phase II outer index
+  std::size_t m_ = 0;        // phase II inner index
+  std::size_t waited_ = 0;
+};
+
+}  // namespace dynsub::dynamics

@@ -1,0 +1,107 @@
+#include "dynamics/lb_membership.hpp"
+
+#include "common/check.hpp"
+
+namespace dynsub::dynamics {
+
+std::vector<std::size_t> PatternGraph::core_neighbors_of(
+    std::size_t vertex) const {
+  std::vector<std::size_t> out;
+  for (const auto& [x, y] : edges) {
+    if (x == vertex && y >= 2) out.push_back(y);
+    if (y == vertex && x >= 2) out.push_back(x);
+  }
+  return out;
+}
+
+PatternGraph pattern_p3() {
+  // a=0, b=1, core c=2;  a-c, c-b.
+  return {"P3", 3, {{0, 2}, {1, 2}}};
+}
+
+PatternGraph pattern_diamond() {
+  // a=0, b=1, core {2,3}; all edges except {a,b}.
+  return {"diamond", 4, {{0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}};
+}
+
+PatternGraph pattern_c4() {
+  // 4-cycle a-2-b-3-a; a,b opposite (non-adjacent).
+  return {"C4", 4, {{0, 2}, {2, 1}, {1, 3}, {3, 0}}};
+}
+
+MembershipLbAdversary::MembershipLbAdversary(
+    const MembershipLbParams& params)
+    : params_(params) {
+  DYNSUB_CHECK(params_.pattern.k >= 3);
+  DYNSUB_CHECK(params_.t >= 1);
+  // The designated pair must be non-adjacent (H is not a clique there).
+  for (const auto& [x, y] : params_.pattern.edges) {
+    DYNSUB_CHECK_MSG(!((x == 0 && y == 1) || (x == 1 && y == 0)),
+                     "pattern has edge {a,b}");
+  }
+}
+
+std::vector<EdgeEvent> MembershipLbAdversary::next_round(
+    const net::WorkloadObservation& obs) {
+  std::vector<EdgeEvent> batch;
+  switch (phase_) {
+    case Phase::kSetupCore: {
+      // Wire the core according to H restricted to vertices 2..k-1.
+      for (const auto& [x, y] : params_.pattern.edges) {
+        if (x >= 2 && y >= 2) {
+          batch.push_back(EdgeEvent::insert(core_id(x), core_id(y)));
+        }
+      }
+      phase_ = Phase::kConnectNa;
+      break;
+    }
+    case Phase::kConnectNa: {
+      for (std::size_t c : params_.pattern.core_neighbors_of(0)) {
+        batch.push_back(EdgeEvent::insert(u_id(ell_), core_id(c)));
+      }
+      phase_ = Phase::kWaitNa;
+      waited_ = 0;
+      break;
+    }
+    case Phase::kWaitNa: {
+      // "Wait for the algorithm to stabilize."
+      ++waited_;
+      if (obs.all_consistent || waited_ >= params_.max_wait) {
+        phase_ = Phase::kDisconnect;
+      }
+      break;
+    }
+    case Phase::kDisconnect: {
+      // Disconnect u_l from all nodes (the paper performs the full
+      // disconnect even when N_a and N_b coincide -- every change charges
+      // the adversary's denominator, and the reconnect is a fresh edge
+      // with a fresh timestamp).
+      for (NodeId w : obs.graph.neighbors(u_id(ell_))) {
+        batch.push_back(EdgeEvent::remove(u_id(ell_), w));
+      }
+      phase_ = Phase::kConnectNb;
+      break;
+    }
+    case Phase::kConnectNb: {
+      for (std::size_t c : params_.pattern.core_neighbors_of(1)) {
+        batch.push_back(EdgeEvent::insert(u_id(ell_), core_id(c)));
+      }
+      phase_ = Phase::kWaitNb;
+      waited_ = 0;
+      break;
+    }
+    case Phase::kWaitNb: {
+      ++waited_;
+      if (obs.all_consistent || waited_ >= params_.max_wait) {
+        ++ell_;
+        phase_ = (ell_ >= params_.t) ? Phase::kDone : Phase::kConnectNa;
+      }
+      break;
+    }
+    case Phase::kDone:
+      break;
+  }
+  return batch;
+}
+
+}  // namespace dynsub::dynamics

@@ -1,0 +1,94 @@
+// The Theorem 2 adversary: membership listing of a non-clique H is hard.
+//
+// H is a k-vertex graph with two non-adjacent vertices a and b.  The static
+// core v_1..v_{k-2} is wired according to H restricted to the non-{a,b}
+// vertices.  Then, for l = 1..t, the adversary:
+//   1. picks a fresh node u_l and connects it to the core according to N_a,
+//   2. waits for the algorithm to stabilize,
+//   3. disconnects u_l and reconnects it according to N_b.
+// Every stabilization forces the data structures around the core to absorb
+// an amount of information that grows with the number of already-placed
+// nodes, which is where the Omega(n / log n) amortized bound comes from.
+//
+// The adversary is adaptive: it watches the all-consistent bit exactly as
+// the proof's "wait for the algorithm to stabilize" step does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/workload.hpp"
+
+namespace dynsub::dynamics {
+
+/// A k-vertex pattern graph with two designated non-adjacent vertices.
+/// Vertex 0 is `a`, vertex 1 is `b`, vertices 2..k-1 are the core.
+struct PatternGraph {
+  std::string name;
+  std::size_t k = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+
+  /// Core neighbors of a (indices into 2..k-1).
+  [[nodiscard]] std::vector<std::size_t> core_neighbors_of(
+      std::size_t vertex) const;
+};
+
+/// P3: the 3-vertex path a - c - b (membership listing of P3 is exactly
+/// 2-hop neighborhood listing, Corollary 2).
+[[nodiscard]] PatternGraph pattern_p3();
+
+/// Diamond: K4 minus the edge {a,b} (4 vertices, 5 edges).
+[[nodiscard]] PatternGraph pattern_diamond();
+
+/// C4 as a membership pattern: a - c - b - d - a (4-cycle; non-clique).
+[[nodiscard]] PatternGraph pattern_c4();
+
+struct MembershipLbParams {
+  PatternGraph pattern;
+  /// Number of churned nodes t (the construction uses k-2 + t node ids).
+  std::size_t t = 16;
+  /// Safety valve on each stabilization wait.
+  std::size_t max_wait = 100000;
+};
+
+class MembershipLbAdversary final : public net::Workload {
+ public:
+  explicit MembershipLbAdversary(const MembershipLbParams& params);
+
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const net::WorkloadObservation& obs) override;
+  [[nodiscard]] bool finished() const override {
+    return phase_ == Phase::kDone;
+  }
+
+  /// Node ids required for parameters (t churned nodes + k-2 core).
+  [[nodiscard]] std::size_t nodes_required() const {
+    return params_.pattern.k - 2 + params_.t;
+  }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kSetupCore,
+    kConnectNa,
+    kWaitNa,
+    kDisconnect,
+    kConnectNb,
+    kWaitNb,
+    kDone,
+  };
+
+  [[nodiscard]] NodeId core_id(std::size_t core_index) const {
+    // Core vertices occupy ids 0..k-3; churned nodes come after.
+    return static_cast<NodeId>(core_index - 2);
+  }
+  [[nodiscard]] NodeId u_id(std::size_t ell) const {
+    return static_cast<NodeId>(params_.pattern.k - 2 + ell);
+  }
+
+  MembershipLbParams params_;
+  Phase phase_ = Phase::kSetupCore;
+  std::size_t ell_ = 0;  // current churned node index
+  std::size_t waited_ = 0;
+};
+
+}  // namespace dynsub::dynamics

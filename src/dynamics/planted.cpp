@@ -1,0 +1,187 @@
+#include "dynamics/planted.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/flat_set.hpp"
+
+namespace dynsub::dynamics {
+
+namespace {
+
+/// Adds a noise toggle (inserting an absent or deleting a present random
+/// edge) avoiding edges already used in this batch.  Above ~2n edges the
+/// noise turns deletion-biased so the background density stays bounded
+/// (random pairs are almost always absent in a sparse graph, so an
+/// unbiased toggle drifts dense).
+void add_noise(Rng& rng, const net::WorkloadObservation& obs, std::size_t n,
+               FlatSet<Edge>& used, std::vector<EdgeEvent>& batch) {
+  if (obs.graph.edge_count() > 2 * n && rng.next_bool(0.75)) {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto idx = rng.next_below(obs.graph.edge_count());
+      const Edge e =
+          (obs.graph.edges().begin() + static_cast<std::ptrdiff_t>(idx))
+              ->first;
+      if (used.contains(e)) continue;
+      used.insert(e);
+      batch.push_back({e, EventKind::kDelete});
+      return;
+    }
+  }
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const auto a = static_cast<NodeId>(rng.next_below(n));
+    const auto b = static_cast<NodeId>(rng.next_below(n));
+    if (a == b) continue;
+    const Edge e(a, b);
+    if (used.contains(e)) continue;
+    used.insert(e);
+    batch.push_back(
+        {e, obs.graph.has_edge(e) ? EventKind::kDelete : EventKind::kInsert});
+    return;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PlantedCliqueWorkload
+// ---------------------------------------------------------------------------
+
+PlantedCliqueWorkload::PlantedCliqueWorkload(const PlantedParams& params)
+    : params_(params), rng_(params.seed), plants_(params.plants) {
+  DYNSUB_CHECK(params.k >= 3);
+  DYNSUB_CHECK(params.n >= params.k * params.plants);
+}
+
+void PlantedCliqueWorkload::reroll(Plant& plant,
+                                   const net::WorkloadObservation& obs,
+                                   std::vector<EdgeEvent>& batch) {
+  // Tear down whatever remains of the old plant.
+  FlatSet<Edge> in_batch;
+  for (const auto& ev : batch) in_batch.insert(ev.edge);
+  for (std::size_t i = 0; i < plant.members.size(); ++i) {
+    for (std::size_t j = i + 1; j < plant.members.size(); ++j) {
+      const Edge e(plant.members[i], plant.members[j]);
+      if (obs.graph.has_edge(e) && !in_batch.contains(e)) {
+        batch.push_back({e, EventKind::kDelete});
+        in_batch.insert(e);
+      }
+    }
+  }
+  // Fresh member set (uniform k-subset).
+  const auto picks =
+      rng_.sample_distinct(static_cast<std::uint32_t>(params_.n),
+                           static_cast<std::uint32_t>(params_.k));
+  plant.members.assign(picks.begin(), picks.end());
+  plant.next_edge = 0;
+  plant.rebuild_at =
+      obs.next_round + static_cast<Round>(params_.rebuild_period);
+}
+
+std::vector<EdgeEvent> PlantedCliqueWorkload::next_round(
+    const net::WorkloadObservation& obs) {
+  ++emitted_rounds_;
+  std::vector<EdgeEvent> batch;
+  FlatSet<Edge> used;
+  for (auto& plant : plants_) {
+    if (plant.members.empty() || obs.next_round >= plant.rebuild_at) {
+      reroll(plant, obs, batch);
+      continue;
+    }
+    // Insert the next missing clique edge (one per plant per round, so all
+    // insertion orders and partial cliques occur).
+    const std::size_t k = plant.members.size();
+    const std::size_t total = k * (k - 1) / 2;
+    while (plant.next_edge < total) {
+      // Decode pair index -> (i, j).
+      std::size_t idx = plant.next_edge++;
+      std::size_t i = 0;
+      while (idx >= k - 1 - i) {
+        idx -= k - 1 - i;
+        ++i;
+      }
+      const std::size_t j = i + 1 + idx;
+      const Edge e(plant.members[i], plant.members[j]);
+      if (!obs.graph.has_edge(e) && !used.contains(e)) {
+        used.insert(e);
+        batch.push_back({e, EventKind::kInsert});
+        break;
+      }
+    }
+  }
+  for (const auto& ev : batch) used.insert(ev.edge);
+  for (std::size_t i = 0; i < params_.noise_per_round; ++i) {
+    add_noise(rng_, obs, params_.n, used, batch);
+  }
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// PlantedCycleWorkload
+// ---------------------------------------------------------------------------
+
+PlantedCycleWorkload::PlantedCycleWorkload(const PlantedParams& params)
+    : params_(params), rng_(params.seed), plants_(params.plants) {
+  DYNSUB_CHECK(params.k >= 3);
+  DYNSUB_CHECK(params.n >= params.k * params.plants);
+}
+
+void PlantedCycleWorkload::reroll(Plant& plant,
+                                  const net::WorkloadObservation& obs,
+                                  std::vector<EdgeEvent>& batch) {
+  FlatSet<Edge> in_batch;
+  for (const auto& ev : batch) in_batch.insert(ev.edge);
+  for (std::size_t i = 0; i < plant.members.size(); ++i) {
+    const Edge e(plant.members[i],
+                 plant.members[(i + 1) % plant.members.size()]);
+    if (obs.graph.has_edge(e) && !in_batch.contains(e)) {
+      batch.push_back({e, EventKind::kDelete});
+      in_batch.insert(e);
+    }
+  }
+  const auto picks =
+      rng_.sample_distinct(static_cast<std::uint32_t>(params_.n),
+                           static_cast<std::uint32_t>(params_.k));
+  plant.members.assign(picks.begin(), picks.end());
+  // Random edge insertion order: exercises every temporal pattern,
+  // including the ones outside every robust 2-hop neighborhood.
+  plant.edge_order.resize(params_.k);
+  for (std::size_t i = 0; i < params_.k; ++i) plant.edge_order[i] = i;
+  for (std::size_t i = params_.k; i > 1; --i) {
+    std::swap(plant.edge_order[i - 1],
+              plant.edge_order[rng_.next_below(i)]);
+  }
+  plant.next_edge = 0;
+  plant.rebuild_at =
+      obs.next_round + static_cast<Round>(params_.rebuild_period);
+}
+
+std::vector<EdgeEvent> PlantedCycleWorkload::next_round(
+    const net::WorkloadObservation& obs) {
+  ++emitted_rounds_;
+  std::vector<EdgeEvent> batch;
+  FlatSet<Edge> used;
+  for (auto& plant : plants_) {
+    if (plant.members.empty() || obs.next_round >= plant.rebuild_at) {
+      reroll(plant, obs, batch);
+      continue;
+    }
+    while (plant.next_edge < plant.edge_order.size()) {
+      const std::size_t idx = plant.edge_order[plant.next_edge++];
+      const Edge e(plant.members[idx],
+                   plant.members[(idx + 1) % plant.members.size()]);
+      if (!obs.graph.has_edge(e) && !used.contains(e)) {
+        used.insert(e);
+        batch.push_back({e, EventKind::kInsert});
+        break;
+      }
+    }
+  }
+  for (const auto& ev : batch) used.insert(ev.edge);
+  for (std::size_t i = 0; i < params_.noise_per_round; ++i) {
+    add_noise(rng_, obs, params_.n, used, batch);
+  }
+  return batch;
+}
+
+}  // namespace dynsub::dynamics

@@ -1,0 +1,90 @@
+// Planted-structure churn: workloads that guarantee interesting subgraphs.
+//
+// Uniform churn on a sparse graph rarely creates 5-cliques or 5-cycles, so
+// the clique / cycle experiments plant structures explicitly and churn
+// their edges (plus background noise), including the adversarial insertion
+// orders the paper calls out (e.g. the 4-cycle order {v,u}, {w,x}, {v,x},
+// {u,w} that defeats 2-hop knowledge and forces the 3-hop machinery).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/workload.hpp"
+
+namespace dynsub::dynamics {
+
+struct PlantedParams {
+  std::size_t n = 0;
+  /// Size of each planted structure (clique size k, or cycle length).
+  std::size_t k = 4;
+  /// Number of simultaneously planted structures.
+  std::size_t plants = 3;
+  /// Background noise edges toggled per round.
+  std::size_t noise_per_round = 1;
+  /// Rounds between re-rolling a plant (tear down + rebuild elsewhere).
+  std::size_t rebuild_period = 12;
+  std::size_t rounds = 200;
+  std::uint64_t seed = 1;
+};
+
+/// Plants k-cliques: repeatedly builds complete graphs on random disjoint
+/// k-sets, one edge per round (so every insertion order arises), tears them
+/// down and rebuilds elsewhere.
+class PlantedCliqueWorkload final : public net::Workload {
+ public:
+  explicit PlantedCliqueWorkload(const PlantedParams& params);
+
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const net::WorkloadObservation& obs) override;
+  [[nodiscard]] bool finished() const override {
+    return emitted_rounds_ >= params_.rounds;
+  }
+
+ private:
+  struct Plant {
+    std::vector<NodeId> members;
+    std::size_t next_edge = 0;  // enumeration cursor over member pairs
+    Round rebuild_at = 0;
+  };
+
+  void reroll(Plant& plant, const net::WorkloadObservation& obs,
+              std::vector<EdgeEvent>& batch);
+
+  PlantedParams params_;
+  Rng rng_;
+  std::vector<Plant> plants_;
+  std::size_t emitted_rounds_ = 0;
+};
+
+/// Plants k-cycles (k in {4,5,6,...}) with randomized edge insertion order,
+/// including the adversarial orders where the cycle's newest edge closes it
+/// far from every node's 2-hop view.
+class PlantedCycleWorkload final : public net::Workload {
+ public:
+  explicit PlantedCycleWorkload(const PlantedParams& params);
+
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const net::WorkloadObservation& obs) override;
+  [[nodiscard]] bool finished() const override {
+    return emitted_rounds_ >= params_.rounds;
+  }
+
+ private:
+  struct Plant {
+    std::vector<NodeId> members;          // cycle order
+    std::vector<std::size_t> edge_order;  // permutation of cycle edges
+    std::size_t next_edge = 0;
+    Round rebuild_at = 0;
+  };
+
+  void reroll(Plant& plant, const net::WorkloadObservation& obs,
+              std::vector<EdgeEvent>& batch);
+
+  PlantedParams params_;
+  Rng rng_;
+  std::vector<Plant> plants_;
+  std::size_t emitted_rounds_ = 0;
+};
+
+}  // namespace dynsub::dynamics

@@ -1,0 +1,96 @@
+#include "dynamics/random_churn.hpp"
+
+#include <algorithm>
+
+#include "common/flat_set.hpp"
+
+namespace dynsub::dynamics {
+
+std::vector<EdgeEvent> RandomChurnWorkload::next_round(
+    const net::WorkloadObservation& obs) {
+  ++emitted_rounds_;
+  const auto& g = obs.graph;
+  std::vector<EdgeEvent> batch;
+  FlatSet<Edge> used;
+
+  const std::size_t budget = static_cast<std::size_t>(rng_.next_in(
+      static_cast<std::int64_t>(params_.min_changes),
+      static_cast<std::int64_t>(params_.max_changes)));
+
+  for (std::size_t c = 0; c < budget; ++c) {
+    const bool can_delete = g.edge_count() > used.size();
+    // Proportional control around the target density: below it mostly
+    // insert, above it increasingly delete (an unbiased walk at the target
+    // drifts far above it over long runs).
+    double p_delete = 0.15;
+    if (g.edge_count() >= params_.target_edges) {
+      const double excess =
+          static_cast<double>(g.edge_count() - params_.target_edges) /
+          std::max<double>(1.0, static_cast<double>(params_.target_edges));
+      p_delete = std::min(0.9, params_.delete_fraction + excess);
+    }
+    const bool do_delete = can_delete && rng_.next_bool(p_delete);
+    if (do_delete) {
+      // Uniform present edge not yet used this round (bounded retries).
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const auto idx = rng_.next_below(g.edge_count());
+        const Edge e = (g.edges().begin() + static_cast<std::ptrdiff_t>(idx))
+                           ->first;
+        if (used.insert(e)) {
+          batch.push_back({e, EventKind::kDelete});
+          break;
+        }
+      }
+    } else {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const auto a = static_cast<NodeId>(rng_.next_below(params_.n));
+        const auto b = static_cast<NodeId>(rng_.next_below(params_.n));
+        if (a == b) continue;
+        const Edge e(a, b);
+        if (g.has_edge(e) || used.contains(e)) continue;
+        used.insert(e);
+        batch.push_back({e, EventKind::kInsert});
+        break;
+      }
+    }
+  }
+  return batch;
+}
+
+std::vector<EdgeEvent> SerializedChurnWorkload::next_round(
+    const net::WorkloadObservation& obs) {
+  if (waiting_) {
+    ++waited_;
+    if (!obs.all_consistent && waited_ < max_wait_) return {};
+    waiting_ = false;
+  }
+  if (done_ >= toggles_) return {};
+  const auto& g = obs.graph;
+  std::vector<EdgeEvent> batch;
+  const bool do_delete =
+      g.edge_count() > 0 &&
+      (g.edge_count() >= target_edges_ ? rng_.next_bool(0.6)
+                                       : rng_.next_bool(0.1));
+  if (do_delete) {
+    const auto idx = rng_.next_below(g.edge_count());
+    batch.push_back(
+        {(g.edges().begin() + static_cast<std::ptrdiff_t>(idx))->first,
+         EventKind::kDelete});
+  } else {
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      const auto a = static_cast<NodeId>(rng_.next_below(n_));
+      const auto b = static_cast<NodeId>(rng_.next_below(n_));
+      if (a == b || g.has_edge(Edge(a, b))) continue;
+      batch.push_back(EdgeEvent::insert(a, b));
+      break;
+    }
+  }
+  if (!batch.empty()) {
+    ++done_;
+    waiting_ = true;
+    waited_ = 0;
+  }
+  return batch;
+}
+
+}  // namespace dynsub::dynamics

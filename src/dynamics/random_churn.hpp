@@ -1,0 +1,83 @@
+// Uniform random churn: the bread-and-butter stress workload.
+//
+// Every round deletes a random batch of present edges and inserts a random
+// batch of absent ones, holding the edge count near a target density.  This
+// exercises the "arbitrary number of changes per round" regime the model
+// allows, with none of the structure the adversaries add.
+#pragma once
+
+#include "common/rng.hpp"
+#include "net/workload.hpp"
+
+namespace dynsub::dynamics {
+
+struct RandomChurnParams {
+  std::size_t n = 0;
+  /// Edge-count target; insertions are suppressed above it.
+  std::size_t target_edges = 0;
+  /// Per-round batch sizes are uniform in [min, max].
+  std::size_t min_changes = 0;
+  std::size_t max_changes = 4;
+  /// Fraction of a batch that are deletions once the target is reached.
+  double delete_fraction = 0.5;
+  /// Number of change-emitting rounds.
+  std::size_t rounds = 100;
+  std::uint64_t seed = 1;
+};
+
+class RandomChurnWorkload final : public net::Workload {
+ public:
+  explicit RandomChurnWorkload(const RandomChurnParams& params)
+      : params_(params), rng_(params.seed) {
+    DYNSUB_CHECK(params.n >= 2);
+  }
+
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const net::WorkloadObservation& obs) override;
+
+  [[nodiscard]] bool finished() const override {
+    return emitted_rounds_ >= params_.rounds;
+  }
+
+ private:
+  RandomChurnParams params_;
+  Rng rng_;
+  std::size_t emitted_rounds_ = 0;
+};
+
+/// One random edge toggle at a time, each followed by a wait for global
+/// stabilization -- the serialized regime the paper's amortization
+/// arguments charge (concurrent changes overlap their inconsistency
+/// windows and hide per-change cost from the global metric).
+class SerializedChurnWorkload final : public net::Workload {
+ public:
+  /// Performs `toggles` single-edge changes on an n-node graph held near
+  /// `target_edges`.
+  SerializedChurnWorkload(std::size_t n, std::size_t target_edges,
+                          std::size_t toggles, std::uint64_t seed,
+                          std::size_t max_wait = 1000000)
+      : n_(n),
+        target_edges_(target_edges),
+        toggles_(toggles),
+        max_wait_(max_wait),
+        rng_(seed) {
+    DYNSUB_CHECK(n >= 2);
+  }
+
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const net::WorkloadObservation& obs) override;
+
+  [[nodiscard]] bool finished() const override { return done_ >= toggles_; }
+
+ private:
+  std::size_t n_;
+  std::size_t target_edges_;
+  std::size_t toggles_;
+  std::size_t max_wait_;
+  Rng rng_;
+  std::size_t done_ = 0;
+  std::size_t waited_ = 0;
+  bool waiting_ = false;
+};
+
+}  // namespace dynsub::dynamics

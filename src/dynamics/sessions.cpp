@@ -1,0 +1,120 @@
+#include "dynamics/sessions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/flat_set.hpp"
+
+namespace dynsub::dynamics {
+
+SessionChurnWorkload::SessionChurnWorkload(const SessionChurnParams& params)
+    : params_(params), rng_(params.seed), peers_(params.n) {
+  DYNSUB_CHECK(params.n >= 2);
+  // Stagger initial joins over the early rounds.
+  for (auto& p : peers_) {
+    p.online = false;
+    p.toggle_at = 1 + static_cast<Round>(rng_.next_below(8));
+  }
+}
+
+Round SessionChurnWorkload::sample_session(Round now) {
+  const double len =
+      rng_.next_pareto(params_.session_min, params_.session_alpha);
+  return now + std::max<Round>(1, static_cast<Round>(std::llround(len)));
+}
+
+Round SessionChurnWorkload::sample_offline(Round now) {
+  // Geometric with the configured mean.
+  const double p = 1.0 / std::max(1.0, params_.mean_offline);
+  Round gap = 1;
+  while (!rng_.next_bool(p) && gap < 1000) ++gap;
+  return now + gap;
+}
+
+std::size_t SessionChurnWorkload::online_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(peers_.begin(), peers_.end(),
+                    [](const Peer& p) { return p.online; }));
+}
+
+std::vector<EdgeEvent> SessionChurnWorkload::next_round(
+    const net::WorkloadObservation& obs) {
+  ++emitted_rounds_;
+  const Round now = obs.next_round;
+  const auto& g = obs.graph;
+  std::vector<EdgeEvent> batch;
+  FlatSet<Edge> used;
+
+  // 1. Departures: tear down every link of leaving peers.
+  std::vector<NodeId> joining;
+  for (NodeId v = 0; v < peers_.size(); ++v) {
+    Peer& p = peers_[v];
+    // <= rather than ==: a deadline that passed while the workload was not
+    // consulted (e.g. a monitoring pause) still fires, just late.
+    if (p.toggle_at > now) continue;
+    if (p.online) {
+      p.online = false;
+      p.toggle_at = sample_offline(now);
+      for (NodeId u : g.neighbors(v)) {
+        const Edge e(v, u);
+        if (used.insert(e)) batch.push_back({e, EventKind::kDelete});
+      }
+    } else {
+      p.online = true;
+      p.toggle_at = sample_session(now);
+      joining.push_back(v);
+    }
+  }
+
+  // 2. Arrivals: connect each joiner to random online peers.
+  std::vector<NodeId> online;
+  for (NodeId v = 0; v < peers_.size(); ++v) {
+    if (peers_[v].online) online.push_back(v);
+  }
+  for (NodeId v : joining) {
+    std::size_t made = 0;
+    NodeId last_contact = kNoNode;
+    for (int attempt = 0;
+         attempt < 64 && made < params_.join_degree && online.size() > 1;
+         ++attempt) {
+      NodeId u = kNoNode;
+      // Triadic closure: after the first contact, prefer a neighbor of an
+      // existing contact (creates the clustering real overlays exhibit).
+      if (last_contact != kNoNode &&
+          rng_.next_bool(params_.triadic_closure)) {
+        const auto nbrs = g.neighbors(last_contact);
+        if (!nbrs.empty()) u = nbrs[rng_.next_below(nbrs.size())];
+      }
+      if (u == kNoNode) u = online[rng_.next_below(online.size())];
+      if (u == v || !peers_[u].online) continue;
+      const Edge e(v, u);
+      if (g.has_edge(e) || used.contains(e)) continue;
+      used.insert(e);
+      batch.push_back({e, EventKind::kInsert});
+      last_contact = u;
+      ++made;
+    }
+  }
+
+  // 3. Occasional rewiring by online peers.
+  for (NodeId v : online) {
+    if (!rng_.next_bool(params_.rewire_prob)) continue;
+    const auto nbrs = g.neighbors(v);
+    if (nbrs.empty() || online.size() < 3) continue;
+    const Edge drop(v, nbrs[rng_.next_below(nbrs.size())]);
+    const NodeId u = online[rng_.next_below(online.size())];
+    const Edge add = (u != v) ? Edge(v, u) : drop;
+    if (used.contains(drop) || peers_[drop.other(v)].toggle_at == now) {
+      continue;
+    }
+    if (used.insert(drop)) batch.push_back({drop, EventKind::kDelete});
+    if (add != drop && u != v && !g.has_edge(add) && !used.contains(add) &&
+        peers_[u].online) {
+      used.insert(add);
+      batch.push_back({add, EventKind::kInsert});
+    }
+  }
+  return batch;
+}
+
+}  // namespace dynsub::dynamics

@@ -1,0 +1,69 @@
+// Heavy-tailed peer-session churn: the paper's motivating P2P workload.
+//
+// The introduction cites measurement studies of large peer-to-peer systems
+// whose "peer session lengths [range] from minutes to days, with sessions
+// being short on average but having a heavy tailed distribution".  This
+// workload reproduces that regime: every node alternates between online
+// sessions with Pareto-distributed lengths and (geometric) offline gaps; a
+// node joining connects to a handful of random online peers, a node leaving
+// tears down all of its links at once -- the bursty, correlated churn that
+// makes the highly-dynamic model harsh.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/workload.hpp"
+
+namespace dynsub::dynamics {
+
+struct SessionChurnParams {
+  std::size_t n = 0;
+  /// Links a joining peer opens toward random online peers.
+  std::size_t join_degree = 3;
+  /// Pareto session length: minimum and tail exponent (alpha <= 2 gives the
+  /// measured heavy tail; alpha ~ 1.5 is typical in the cited studies).
+  double session_min = 4.0;
+  double session_alpha = 1.5;
+  /// Mean offline gap (geometric).
+  double mean_offline = 6.0;
+  /// Probability that an online peer rewires one link in a round.
+  double rewire_prob = 0.02;
+  /// Probability that a joining peer's extra links use triadic closure
+  /// (connect to a neighbor of an existing contact instead of a uniform
+  /// peer) -- the overlay behaviour that produces real clustering, and
+  /// with it triangles.
+  double triadic_closure = 0.0;
+  std::size_t rounds = 200;
+  std::uint64_t seed = 1;
+};
+
+class SessionChurnWorkload final : public net::Workload {
+ public:
+  explicit SessionChurnWorkload(const SessionChurnParams& params);
+
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const net::WorkloadObservation& obs) override;
+
+  [[nodiscard]] bool finished() const override {
+    return emitted_rounds_ >= params_.rounds;
+  }
+
+  [[nodiscard]] std::size_t online_count() const;
+
+ private:
+  struct Peer {
+    bool online = false;
+    Round toggle_at = 0;  // round at which the state flips
+  };
+
+  [[nodiscard]] Round sample_session(Round now);
+  [[nodiscard]] Round sample_offline(Round now);
+
+  SessionChurnParams params_;
+  Rng rng_;
+  std::vector<Peer> peers_;
+  std::size_t emitted_rounds_ = 0;
+};
+
+}  // namespace dynsub::dynamics

@@ -1,0 +1,41 @@
+#include "net/local_view.hpp"
+
+#include "common/check.hpp"
+
+namespace dynsub::net {
+
+void LocalView::apply(std::span<const EdgeEvent> events, Round round) {
+  for (const auto& ev : events) {
+    DYNSUB_CHECK_MSG(ev.edge.touches(self_),
+                     "node " << self_ << " notified of non-incident event "
+                             << ev);
+    const NodeId u = ev.edge.other(self_);
+    if (ev.kind == EventKind::kInsert) {
+      const bool fresh = incident_.try_emplace(u, round).second;
+      DYNSUB_CHECK_MSG(fresh, "node " << self_ << ": duplicate insert " << ev);
+    } else {
+      const bool present = incident_.erase(u);
+      DYNSUB_CHECK_MSG(present,
+                       "node " << self_ << ": delete of absent " << ev);
+    }
+  }
+}
+
+Timestamp LocalView::t(NodeId u) const {
+  auto it = incident_.find(u);
+  DYNSUB_CHECK_MSG(it != incident_.end(),
+                   "node " << self_ << ": timestamp of absent neighbor " << u);
+  return it->second;
+}
+
+std::vector<NodeId> LocalView::neighbors() const {
+  std::vector<NodeId> out;
+  out.reserve(incident_.size());
+  for (const auto& [u, ts] : incident_) {
+    (void)ts;
+    out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace dynsub::net

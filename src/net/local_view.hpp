@@ -1,0 +1,50 @@
+// LocalView: a node's knowledge of its own incident edges.
+//
+// Every algorithm in the paper needs the true insertion timestamps t_{v,u}
+// of the node's *own* edges ("for every e adjacent to v, the node v knows
+// the value t_e").  A node learns these legitimately from its topology
+// change indications; LocalView encapsulates that bookkeeping so concrete
+// node programs share one audited implementation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/edge.hpp"
+#include "common/flat_set.hpp"
+#include "common/types.hpp"
+
+namespace dynsub::net {
+
+class LocalView {
+ public:
+  explicit LocalView(NodeId self) : self_(self) {}
+
+  /// Feed this round's incident events (called from react_and_send).
+  void apply(std::span<const EdgeEvent> events, Round round);
+
+  [[nodiscard]] NodeId self() const { return self_; }
+
+  [[nodiscard]] bool has_neighbor(NodeId u) const {
+    return incident_.contains(u);
+  }
+
+  /// True insertion time of the incident edge {self, u}; the edge must be
+  /// present.
+  [[nodiscard]] Timestamp t(NodeId u) const;
+
+  /// Sorted current neighbors.
+  [[nodiscard]] std::vector<NodeId> neighbors() const;
+
+  [[nodiscard]] std::size_t degree() const { return incident_.size(); }
+
+  [[nodiscard]] const FlatMap<NodeId, Timestamp>& incident() const {
+    return incident_;
+  }
+
+ private:
+  NodeId self_;
+  FlatMap<NodeId, Timestamp> incident_;
+};
+
+}  // namespace dynsub::net

@@ -1,0 +1,114 @@
+#include "net/message.hpp"
+
+#include <bit>
+#include <ostream>
+#include <span>
+
+#include "common/check.hpp"
+
+namespace dynsub::net {
+
+std::size_t node_id_bits(std::size_t n) {
+  if (n <= 2) return 1;
+  return static_cast<std::size_t>(std::bit_width(n - 1));
+}
+
+std::size_t bandwidth_bits(std::size_t n) { return 4 * node_id_bits(n) + 16; }
+
+std::size_t WireMessage::payload_bits(std::size_t n) const {
+  const std::size_t id = node_id_bits(n);
+  constexpr std::size_t kTag = 3;  // 7 kinds
+  switch (kind) {
+    case Kind::kEdgeInsert:
+    case Kind::kEdgeDelete:
+    case Kind::kTriangleHint:
+      return kTag + 2 * id;
+    case Kind::kPathInsert:
+      return kTag + 2 + (static_cast<std::size_t>(path_len) + 1) * id;
+    case Kind::kPathDelete:
+      return kTag + 2 + 3 * id;  // edge + 2-bit ttl + via hop
+    case Kind::kSnapshotChunk:
+      // originating node + chunk index (< ceil(n / chunk) <= n) + bits.
+      return kTag + 2 * id + aux2;
+    case Kind::kNotice:
+      return kTag + 2 + 3 * id;
+  }
+  DYNSUB_CHECK(false);
+  return 0;
+}
+
+WireMessage WireMessage::edge_insert(Edge e) {
+  WireMessage m;
+  m.kind = Kind::kEdgeInsert;
+  m.nodes[0] = e.lo();
+  m.nodes[1] = e.hi();
+  return m;
+}
+
+WireMessage WireMessage::edge_delete(Edge e) {
+  WireMessage m;
+  m.kind = Kind::kEdgeDelete;
+  m.nodes[0] = e.lo();
+  m.nodes[1] = e.hi();
+  return m;
+}
+
+WireMessage WireMessage::triangle_hint(Edge e) {
+  WireMessage m;
+  m.kind = Kind::kTriangleHint;
+  m.nodes[0] = e.lo();
+  m.nodes[1] = e.hi();
+  return m;
+}
+
+WireMessage WireMessage::path_insert(std::span<const NodeId> vertices) {
+  DYNSUB_CHECK(vertices.size() >= 2 && vertices.size() <= 3);
+  WireMessage m;
+  m.kind = Kind::kPathInsert;
+  m.path_len = static_cast<std::uint8_t>(vertices.size() - 1);
+  for (std::size_t i = 0; i < vertices.size(); ++i) m.nodes[i] = vertices[i];
+  return m;
+}
+
+WireMessage WireMessage::path_delete(Edge e, std::uint8_t ttl, NodeId via) {
+  WireMessage m;
+  m.kind = Kind::kPathDelete;
+  m.nodes[0] = e.lo();
+  m.nodes[1] = e.hi();
+  m.nodes[2] = via;
+  m.ttl = ttl;
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const WireMessage& m) {
+  switch (m.kind) {
+    case WireMessage::Kind::kEdgeInsert:
+      return os << "ins{" << m.nodes[0] << ',' << m.nodes[1] << '}';
+    case WireMessage::Kind::kEdgeDelete:
+      return os << "del{" << m.nodes[0] << ',' << m.nodes[1] << '}';
+    case WireMessage::Kind::kTriangleHint:
+      return os << "hint{" << m.nodes[0] << ',' << m.nodes[1] << '}';
+    case WireMessage::Kind::kPathInsert: {
+      os << "path[";
+      for (int i = 0; i <= m.path_len; ++i) {
+        if (i) os << '-';
+        os << m.nodes[i];
+      }
+      return os << ']';
+    }
+    case WireMessage::Kind::kPathDelete:
+      os << "pathdel{" << m.nodes[0] << ',' << m.nodes[1]
+         << "}l=" << static_cast<int>(m.ttl);
+      if (m.nodes[2] != kNoNode) os << "via" << m.nodes[2];
+      return os;
+    case WireMessage::Kind::kSnapshotChunk:
+      return os << "chunk(node=" << m.nodes[0] << ",idx=" << m.aux
+                << ",bits=" << m.aux2 << ')';
+    case WireMessage::Kind::kNotice:
+      return os << "notice(" << m.nodes[0] << ',' << m.nodes[1] << ','
+                << m.nodes[2] << ",ttl=" << static_cast<int>(m.ttl) << ')';
+  }
+  return os;
+}
+
+}  // namespace dynsub::net

@@ -1,0 +1,74 @@
+// Amortized round-complexity metering (paper Section 1.1).
+//
+// "The amortized round complexity of an algorithm is k if for every i, until
+//  round i, the number of rounds in which there exists at least one node v
+//  with an inconsistent DS_v, divided by the number of topology changes which
+//  occurred, is bounded by k."
+//
+// The meter tracks exactly that ratio (and its running maximum over i, which
+// is the quantity the bound constrains), plus the per-node variant the paper
+// notes the results also hold for, plus traffic statistics used by the
+// bandwidth-shape benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dynsub::net {
+
+class Metrics {
+ public:
+  explicit Metrics(std::size_t n) : node_inconsistent_(n), node_changes_(n) {}
+
+  void record_round(Round round, std::uint64_t changes_this_round,
+                    const std::vector<bool>& node_consistent,
+                    std::uint64_t messages_this_round,
+                    std::uint64_t bits_this_round);
+
+  void record_node_change(NodeId v) { ++node_changes_[v]; }
+
+  [[nodiscard]] Round rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t changes() const { return changes_; }
+  [[nodiscard]] std::uint64_t inconsistent_rounds() const {
+    return inconsistent_rounds_;
+  }
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+  [[nodiscard]] std::uint64_t payload_bits() const { return payload_bits_; }
+  [[nodiscard]] std::uint64_t sum_inconsistent_nodes() const {
+    return sum_inconsistent_nodes_;
+  }
+
+  /// Current global amortized complexity: inconsistent rounds / changes.
+  [[nodiscard]] double amortized() const;
+
+  /// max_i (inconsistent rounds up to i) / (changes up to i) — the running
+  /// maximum the definition quantifies over.  Rounds before the first change
+  /// are excluded (no change has been charged yet and the paper's structures
+  /// start consistent on the empty graph).
+  [[nodiscard]] double amortized_sup() const { return amortized_sup_; }
+
+  /// Worst per-node ratio: max_v inconsistent_v / max(1, changes_v).
+  [[nodiscard]] double per_node_amortized_sup() const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& node_inconsistent() const {
+    return node_inconsistent_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& node_changes() const {
+    return node_changes_;
+  }
+
+ private:
+  Round rounds_ = 0;
+  std::uint64_t changes_ = 0;
+  std::uint64_t inconsistent_rounds_ = 0;
+  std::uint64_t sum_inconsistent_nodes_ = 0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t payload_bits_ = 0;
+  double amortized_sup_ = 0.0;
+  std::vector<std::uint64_t> node_inconsistent_;
+  std::vector<std::uint64_t> node_changes_;
+};
+
+}  // namespace dynsub::net

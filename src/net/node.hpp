@@ -1,0 +1,111 @@
+// The node-program interface: what a distributed algorithm implements.
+//
+// A round has the anatomy of the paper's Figure 1:
+//
+//   topology change indications --> react & send --> receive & update --> query
+//
+// react_and_send() corresponds to the first half of the communication round
+// (manipulate the local data structure, dequeue and transmit at most one
+// payload per link); receive_and_update() to the second half (read messages,
+// update, recompute the consistency flag).  Queries happen at the end of the
+// round with *no* communication -- they are const member functions on the
+// concrete node types.
+//
+// Nodes know only: their id, n, the round number, their incident topology
+// events, and what arrives on their links.  The simulator enforces the
+// bandwidth budget and that messages travel only over edges of G_i.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/edge.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace dynsub::net {
+
+/// Immutable per-round facts a node may legitimately use.
+struct NodeContext {
+  NodeId self = 0;
+  std::size_t n = 0;
+  Round round = 0;
+};
+
+/// Answers a distributed dynamic data structure may give (paper Section 1.1).
+enum class Answer : std::uint8_t { kFalse = 0, kTrue = 1, kInconsistent = 2 };
+
+/// Collects a node's outgoing traffic for one round.  At most one payload
+/// message per destination link per round (asserted by the simulator); the
+/// two control bits ride along for free, matching the paper's convention
+/// that IsEmpty / AreNeighborsEmpty indications are piggybacked single bits.
+class Outbox {
+ public:
+  struct Directed {
+    NodeId dst;
+    WireMessage msg;
+  };
+
+  /// Queues a payload for one neighbor.
+  void send(NodeId dst, WireMessage msg) {
+    directed_.push_back({dst, std::move(msg)});
+  }
+
+  /// Declares "my queue was non-empty this round" (IsEmpty = false).
+  void declare_busy() { is_empty_ = false; }
+
+  /// Declares "some neighbor reported a non-empty queue last round"
+  /// (AreNeighborsEmpty = false).
+  void declare_neighbors_busy() { are_neighbors_empty_ = false; }
+
+  [[nodiscard]] const std::vector<Directed>& directed() const {
+    return directed_;
+  }
+  [[nodiscard]] bool is_empty_flag() const { return is_empty_; }
+  [[nodiscard]] bool are_neighbors_empty_flag() const {
+    return are_neighbors_empty_;
+  }
+
+ private:
+  std::vector<Directed> directed_;
+  bool is_empty_ = true;
+  bool are_neighbors_empty_ = true;
+};
+
+/// One round's incoming traffic.
+struct Inbox {
+  struct Item {
+    NodeId from;
+    WireMessage msg;
+  };
+  /// Payloads, sorted by sender id (deterministic processing order).
+  std::vector<Item> payloads;
+  /// Senders that declared IsEmpty = false this round.
+  std::vector<NodeId> busy_neighbors;
+  /// Senders that declared AreNeighborsEmpty = false this round.
+  std::vector<NodeId> busy_two_hop;
+};
+
+/// A distributed algorithm, instantiated once per node.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// First half of the round: process incident topology events (already
+  /// applied to G_i), update local state, emit messages.
+  virtual void react_and_send(const NodeContext& ctx,
+                              std::span<const EdgeEvent> events,
+                              Outbox& out) = 0;
+
+  /// Second half: consume received messages, recompute the consistency flag.
+  virtual void receive_and_update(const NodeContext& ctx, const Inbox& in) = 0;
+
+  /// The consistency flag C_v at the end of the last completed round.
+  [[nodiscard]] virtual bool consistent() const = 0;
+
+  /// Current local queue length (for congestion metrics); 0 if the
+  /// algorithm has no queue.
+  [[nodiscard]] virtual std::size_t queue_length() const { return 0; }
+};
+
+}  // namespace dynsub::net

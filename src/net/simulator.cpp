@@ -1,0 +1,149 @@
+#include "net/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "net/message.hpp"
+
+namespace dynsub::net {
+
+Simulator::Simulator(std::size_t n, NodeFactory factory,
+                     SimulatorConfig config)
+    : config_(config),
+      g_(n),
+      prev_g_(n),
+      consistent_(n, true),
+      metrics_(n),
+      local_events_(n),
+      inboxes_(n) {
+  DYNSUB_CHECK(n >= 1);
+  nodes_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    nodes_.push_back(factory(v, n));
+    DYNSUB_CHECK(nodes_.back() != nullptr);
+  }
+}
+
+const oracle::TimestampedGraph& Simulator::prev_graph() const {
+  DYNSUB_CHECK_MSG(config_.track_prev_graph,
+                   "prev_graph() requires track_prev_graph");
+  return prev_g_;
+}
+
+RoundResult Simulator::step(std::span<const EdgeEvent> events) {
+  const std::size_t n = nodes_.size();
+  ++round_;
+
+  // --- Phase 0: bring G_{i-1} up to date and apply this round's events. ---
+  if (config_.track_prev_graph) {
+    for (const auto& ev : pending_prev_) prev_g_.apply(ev, round_ - 1);
+    pending_prev_.assign(events.begin(), events.end());
+  }
+  DYNSUB_CHECK_MSG(g_.batch_applicable(events),
+                   "round " << round_ << ": workload batch not applicable");
+  for (auto& le : local_events_) le.clear();
+  for (const auto& ev : events) {
+    g_.apply(ev, round_);
+    local_events_[ev.edge.lo()].push_back(ev);
+    local_events_[ev.edge.hi()].push_back(ev);
+    metrics_.record_node_change(ev.edge.lo());
+    metrics_.record_node_change(ev.edge.hi());
+  }
+
+  // --- Phase 1: react & send (first half of the communication round). ---
+  // Control flags are collected per sender and expanded over current links.
+  std::vector<Outbox> outboxes(n);
+  for (NodeId v = 0; v < n; ++v) {
+    NodeContext ctx{v, n, round_};
+    nodes_[v]->react_and_send(ctx, local_events_[v], outboxes[v]);
+  }
+
+  // --- Phase 2: routing. ---
+  std::size_t messages = 0;
+  std::uint64_t bits = 0;
+  const std::size_t budget = bandwidth_bits(n);
+  for (auto& inbox : inboxes_) {
+    inbox.payloads.clear();
+    inbox.busy_neighbors.clear();
+    inbox.busy_two_hop.clear();
+  }
+  std::vector<NodeId> sent_to;  // per-sender destination scratch
+  for (NodeId v = 0; v < n; ++v) {
+    const Outbox& out = outboxes[v];
+    sent_to.clear();
+    for (const auto& dm : out.directed()) {
+      DYNSUB_CHECK_MSG(dm.dst < n, "node " << v << " sent to bad id");
+      DYNSUB_CHECK_MSG(g_.has_edge(Edge(v, dm.dst)),
+                       "round " << round_ << ": node " << v
+                                << " sent over absent link to " << dm.dst);
+      if (config_.enforce_bandwidth) {
+        DYNSUB_CHECK_MSG(
+            std::find(sent_to.begin(), sent_to.end(), dm.dst) ==
+                sent_to.end(),
+            "round " << round_ << ": node " << v
+                     << " sent two payloads to " << dm.dst);
+        const std::size_t sz = dm.msg.payload_bits(n);
+        DYNSUB_CHECK_MSG(sz <= budget, "round "
+                                           << round_ << ": node " << v
+                                           << " payload of " << sz
+                                           << " bits exceeds budget "
+                                           << budget);
+        bits += sz;
+      }
+      sent_to.push_back(dm.dst);
+      inboxes_[dm.dst].payloads.push_back({v, dm.msg});
+      ++messages;
+    }
+    // Control bits are broadcast to all current neighbors.
+    if (!out.is_empty_flag() || !out.are_neighbors_empty_flag()) {
+      for (NodeId u : g_.neighbors(v)) {
+        if (!out.is_empty_flag()) inboxes_[u].busy_neighbors.push_back(v);
+        if (!out.are_neighbors_empty_flag()) {
+          inboxes_[u].busy_two_hop.push_back(v);
+        }
+      }
+    }
+  }
+  for (auto& inbox : inboxes_) {
+    std::sort(inbox.payloads.begin(), inbox.payloads.end(),
+              [](const Inbox::Item& a, const Inbox::Item& b) {
+                return a.from < b.from;
+              });
+    std::sort(inbox.busy_neighbors.begin(), inbox.busy_neighbors.end());
+    std::sort(inbox.busy_two_hop.begin(), inbox.busy_two_hop.end());
+  }
+
+  // --- Phase 3: receive & update (second half of the round). ---
+  for (NodeId v = 0; v < n; ++v) {
+    NodeContext ctx{v, n, round_};
+    nodes_[v]->receive_and_update(ctx, inboxes_[v]);
+    consistent_[v] = nodes_[v]->consistent();
+  }
+
+  // --- Metering. ---
+  metrics_.record_round(round_, events.size(), consistent_, messages, bits);
+
+  RoundResult result;
+  result.round = round_;
+  result.changes = events.size();
+  result.messages = messages;
+  result.inconsistent_nodes = static_cast<std::size_t>(
+      std::count(consistent_.begin(), consistent_.end(), false));
+  return result;
+}
+
+std::size_t Simulator::run_until_stable(std::size_t max_rounds) {
+  std::size_t rounds = 0;
+  while (rounds < max_rounds && !all_consistent()) {
+    step({});
+    ++rounds;
+  }
+  return rounds;
+}
+
+bool Simulator::all_consistent() const {
+  return std::find(consistent_.begin(), consistent_.end(), false) ==
+         consistent_.end();
+}
+
+}  // namespace dynsub::net

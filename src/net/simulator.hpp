@@ -1,0 +1,101 @@
+// The round engine: a faithful executable version of the paper's model.
+//
+// The network starts as an empty graph on n nodes and evolves into
+// G_i = (V, E_i) at the beginning of round i.  One step() call executes one
+// full round:
+//
+//   1. validate + apply the workload's topology events (true timestamps are
+//      stamped here and visible only to the oracle / audits),
+//   2. notify every affected node of exactly its incident events and run
+//      react_and_send for all nodes,
+//   3. route messages -- asserting the O(log n) per-link budget, at most one
+//      payload per directed link, and delivery only over edges of G_i --
+//   4. run receive_and_update for all nodes and meter consistency.
+//
+// The engine also maintains G_{i-1} (needed because the paper's 3-hop and
+// cycle-listing guarantees are stated against the previous round's graph).
+// Determinism: nodes execute in id order and see inboxes sorted by sender.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/edge.hpp"
+#include "common/types.hpp"
+#include "net/metrics.hpp"
+#include "net/node.hpp"
+#include "oracle/timestamped_graph.hpp"
+
+namespace dynsub::net {
+
+/// Creates the node program for node v in an n-node network.
+using NodeFactory =
+    std::function<std::unique_ptr<NodeProgram>(NodeId v, std::size_t n)>;
+
+struct SimulatorConfig {
+  /// Assert per-link bandwidth and single-payload budget (disable only for
+  /// baselines intentionally exceeding it -- none currently do).
+  bool enforce_bandwidth = true;
+  /// Maintain G_{i-1}; costs O(changes) per round.
+  bool track_prev_graph = true;
+};
+
+struct RoundResult {
+  Round round = 0;
+  std::size_t changes = 0;
+  std::size_t inconsistent_nodes = 0;
+  std::size_t messages = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(std::size_t n, NodeFactory factory, SimulatorConfig config = {});
+
+  /// Executes one round with the given topology events.  Events must be
+  /// applicable as a batch (each edge at most once per round; inserts of
+  /// absent, deletes of present edges) -- a workload handing the simulator
+  /// an inapplicable batch is a bug and aborts.
+  RoundResult step(std::span<const EdgeEvent> events);
+
+  /// Convenience: runs rounds with no topology changes until every node is
+  /// consistent (or `max_rounds` pass); returns the number of rounds run.
+  /// This is the adversaries' "wait for the algorithm to stabilize".
+  std::size_t run_until_stable(std::size_t max_rounds);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] Round round() const { return round_; }
+
+  /// G_i: the graph after the last step's changes.
+  [[nodiscard]] const oracle::TimestampedGraph& graph() const { return g_; }
+  /// G_{i-1} (requires track_prev_graph).
+  [[nodiscard]] const oracle::TimestampedGraph& prev_graph() const;
+
+  [[nodiscard]] NodeProgram& node(NodeId v) { return *nodes_[v]; }
+  [[nodiscard]] const NodeProgram& node(NodeId v) const { return *nodes_[v]; }
+
+  /// Per-node consistency flags at the end of the last round.
+  [[nodiscard]] const std::vector<bool>& consistency() const {
+    return consistent_;
+  }
+  [[nodiscard]] bool all_consistent() const;
+
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+
+ private:
+  SimulatorConfig config_;
+  oracle::TimestampedGraph g_;
+  oracle::TimestampedGraph prev_g_;
+  std::vector<EdgeEvent> pending_prev_;  // last round's events, not yet in prev_g_
+  std::vector<std::unique_ptr<NodeProgram>> nodes_;
+  std::vector<bool> consistent_;
+  Metrics metrics_;
+  Round round_ = 0;
+
+  // Reused per-round scratch (avoids per-round allocation churn).
+  std::vector<std::vector<EdgeEvent>> local_events_;
+  std::vector<Inbox> inboxes_;
+};
+
+}  // namespace dynsub::net

@@ -1,0 +1,75 @@
+#include "net/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace dynsub::net {
+
+void write_trace(std::ostream& os,
+                 std::span<const std::vector<EdgeEvent>> rounds) {
+  for (const auto& batch : rounds) {
+    bool first = true;
+    for (const auto& ev : batch) {
+      if (!first) os << ' ';
+      os << (ev.kind == EventKind::kInsert ? '+' : '-') << ev.edge.lo()
+         << ':' << ev.edge.hi();
+      first = false;
+    }
+    os << '\n';
+  }
+}
+
+std::optional<std::vector<std::vector<EdgeEvent>>> read_trace(
+    std::istream& is, std::string* error) {
+  auto fail = [&](std::size_t line_no,
+                  const std::string& what)
+      -> std::optional<std::vector<std::vector<EdgeEvent>>> {
+    if (error) {
+      std::ostringstream os;
+      os << "trace line " << line_no << ": " << what;
+      *error = os.str();
+    }
+    return std::nullopt;
+  };
+
+  std::vector<std::vector<EdgeEvent>> rounds;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '#') continue;
+    std::vector<EdgeEvent> batch;
+    std::istringstream tokens(line);
+    std::string tok;
+    while (tokens >> tok) {
+      if (tok.size() < 4 || (tok[0] != '+' && tok[0] != '-')) {
+        return fail(line_no, "bad event token '" + tok + "'");
+      }
+      const auto colon = tok.find(':');
+      if (colon == std::string::npos || colon == 1 ||
+          colon + 1 >= tok.size()) {
+        return fail(line_no, "bad event token '" + tok + "'");
+      }
+      unsigned long a = 0, b = 0;
+      try {
+        std::size_t used_a = 0, used_b = 0;
+        a = std::stoul(tok.substr(1, colon - 1), &used_a);
+        b = std::stoul(tok.substr(colon + 1), &used_b);
+        if (used_a != colon - 1 || used_b != tok.size() - colon - 1) {
+          return fail(line_no, "trailing junk in '" + tok + "'");
+        }
+      } catch (const std::exception&) {
+        return fail(line_no, "bad node id in '" + tok + "'");
+      }
+      if (a == b) return fail(line_no, "self loop in '" + tok + "'");
+      const Edge e(static_cast<NodeId>(a), static_cast<NodeId>(b));
+      batch.push_back(
+          {e, tok[0] == '+' ? EventKind::kInsert : EventKind::kDelete});
+    }
+    rounds.push_back(std::move(batch));
+  }
+  return rounds;
+}
+
+}  // namespace dynsub::net

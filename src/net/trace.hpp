@@ -1,0 +1,64 @@
+// Event-trace recording and replay.
+//
+// Every simulation is driven by a per-round stream of edge events; traces
+// make that stream a first-class artifact: record any workload (including
+// the adaptive adversaries, whose behaviour depends on the algorithm under
+// test) and replay it bit-for-bit later -- against a different algorithm,
+// in a regression test, or attached to a bug report.  The stale-relay
+// races documented in DESIGN.md were minimized exactly this way.
+//
+// Format: plain text, one line per round; each event is `+a:b` (insert) or
+// `-a:b` (delete), space separated; an empty line is a quiet round; lines
+// starting with '#' are comments.  Example:
+//
+//     # three rounds
+//     +0:1 +0:2
+//
+//     -0:1
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/edge.hpp"
+#include "net/workload.hpp"
+
+namespace dynsub::net {
+
+/// Serializes per-round batches to the text format above.
+void write_trace(std::ostream& os,
+                 std::span<const std::vector<EdgeEvent>> rounds);
+
+/// Parses a trace; returns std::nullopt (and sets `error` when given) on
+/// malformed input.
+[[nodiscard]] std::optional<std::vector<std::vector<EdgeEvent>>> read_trace(
+    std::istream& is, std::string* error = nullptr);
+
+/// Wraps a workload, recording every batch it emits; `rounds()` is a
+/// complete trace of the run afterwards.
+class RecordingWorkload final : public Workload {
+ public:
+  explicit RecordingWorkload(Workload& inner) : inner_(inner) {}
+
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const WorkloadObservation& obs) override {
+    auto batch = inner_.next_round(obs);
+    rounds_.push_back(batch);
+    return batch;
+  }
+
+  [[nodiscard]] bool finished() const override { return inner_.finished(); }
+
+  [[nodiscard]] const std::vector<std::vector<EdgeEvent>>& rounds() const {
+    return rounds_;
+  }
+
+ private:
+  Workload& inner_;
+  std::vector<std::vector<EdgeEvent>> rounds_;
+};
+
+}  // namespace dynsub::net

@@ -1,0 +1,29 @@
+#include "net/workload.hpp"
+
+#include "net/simulator.hpp"
+
+namespace dynsub::net {
+
+std::size_t run_workload(Simulator& sim, Workload& workload,
+                         std::size_t max_rounds, std::size_t drain_cap) {
+  std::size_t rounds = 0;
+  while (rounds < max_rounds) {
+    if (workload.finished()) break;
+    WorkloadObservation obs{sim.graph(), sim.round() + 1,
+                            sim.all_consistent()};
+    const std::vector<EdgeEvent> events = workload.next_round(obs);
+    sim.step(events);
+    ++rounds;
+  }
+  // Drain: let queues empty so the final metrics describe a settled network.
+  std::size_t drained = 0;
+  while (rounds < max_rounds && drained < drain_cap &&
+         !sim.all_consistent()) {
+    sim.step({});
+    ++rounds;
+    ++drained;
+  }
+  return rounds;
+}
+
+}  // namespace dynsub::net

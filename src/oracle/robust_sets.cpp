@@ -1,0 +1,71 @@
+#include "oracle/robust_sets.hpp"
+
+namespace dynsub::oracle {
+
+namespace {
+
+/// Adds all edges incident to v.
+void add_incident(const TimestampedGraph& g, NodeId v, FlatSet<Edge>& out) {
+  for (NodeId u : g.neighbors(v)) out.insert(Edge(v, u));
+}
+
+}  // namespace
+
+FlatSet<Edge> robust_2hop(const TimestampedGraph& g, NodeId v) {
+  FlatSet<Edge> out;
+  add_incident(g, v, out);
+  for (NodeId u : g.neighbors(v)) {
+    const Timestamp t_vu = g.timestamp(Edge(v, u));
+    for (NodeId w : g.neighbors(u)) {
+      if (w == v) continue;
+      const Edge uw(u, w);
+      if (g.timestamp(uw) >= t_vu) out.insert(uw);
+    }
+  }
+  return out;
+}
+
+FlatSet<Edge> triangle_pattern_set(const TimestampedGraph& g, NodeId v) {
+  FlatSet<Edge> out = robust_2hop(g, v);
+  // Pattern (b): {u,w} older than both {v,u} and {v,w}, all three present.
+  // (Together with pattern (a) this covers *every* edge between two
+  // neighbors of v: it is either >= one of the incident timestamps or
+  // strictly below both.)
+  for (NodeId u : g.neighbors(v)) {
+    for (NodeId w : g.neighbors(u)) {
+      if (w == v) continue;
+      if (!g.has_edge(Edge(v, w))) continue;
+      const Edge uw(u, w);
+      const Timestamp t = g.timestamp(uw);
+      if (t < g.timestamp(Edge(v, u)) && t < g.timestamp(Edge(v, w))) {
+        out.insert(uw);
+      }
+    }
+  }
+  return out;
+}
+
+FlatSet<Edge> robust_3hop(const TimestampedGraph& g, NodeId v) {
+  FlatSet<Edge> out;
+  add_incident(g, v, out);
+  for (NodeId u : g.neighbors(v)) {
+    const Timestamp t_vu = g.timestamp(Edge(v, u));
+    for (NodeId w : g.neighbors(u)) {
+      if (w == v) continue;
+      const Edge uw(u, w);
+      const Timestamp t_uw = g.timestamp(uw);
+      // Pattern (a): v-u-w with t_{u,w} >= t_{v,u}.
+      if (t_uw >= t_vu) out.insert(uw);
+      // Pattern (b): v-u-w-x with t_{w,x} >= t_{u,w} and >= t_{v,u}.
+      for (NodeId x : g.neighbors(w)) {
+        if (x == u || x == v) continue;
+        const Edge wx(w, x);
+        const Timestamp t_wx = g.timestamp(wx);
+        if (t_wx >= t_uw && t_wx >= t_vu) out.insert(wx);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dynsub::oracle

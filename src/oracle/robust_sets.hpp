@@ -1,0 +1,39 @@
+// The paper's temporal edge-pattern sets, computed from true timestamps.
+//
+// These are the exact sets the distributed data structures promise to
+// maintain when consistent:
+//
+//   R^{v,2}_i  (Appendix A, "robust 2-hop neighborhood"): incident edges of v
+//              plus every {u,w} that is (v,i)-robust: t_{u,w} >= t_{v,u} with
+//              {v,u} present, or symmetrically through w.
+//
+//   T^{v,2}_i  (Theorem 1): R^{v,2}_i plus pattern (b): {u,w} with both
+//              {v,u}, {v,w} present and t_{u,w} < t_{v,u}, t_{v,w}.  (For a
+//              triangle's far edge the two patterns are exhaustive, which is
+//              what makes triangle membership listing possible.)
+//
+//   R^{v,3}_i  (Section 3, "robust 3-hop neighborhood"): incident edges, plus
+//              pattern (a): v-u-w with t_{u,w} >= t_{v,u}, plus pattern (b):
+//              v-u-w-x with t_{w,x} >= t_{u,w} and t_{w,x} >= t_{v,u}.
+//
+// All sets are monotone in the sense used by the audits: the distributed
+// structures must equal (2-hop cases) or sandwich (3-hop case) these.
+#pragma once
+
+#include "common/flat_set.hpp"
+#include "oracle/timestamped_graph.hpp"
+
+namespace dynsub::oracle {
+
+/// R^{v,2}: the robust 2-hop neighborhood of v.
+[[nodiscard]] FlatSet<Edge> robust_2hop(const TimestampedGraph& g, NodeId v);
+
+/// T^{v,2}: the Theorem 1 temporal pattern set (robust 2-hop plus the
+/// "older-than-both" pattern (b)).
+[[nodiscard]] FlatSet<Edge> triangle_pattern_set(const TimestampedGraph& g,
+                                                 NodeId v);
+
+/// R^{v,3}: the robust 3-hop neighborhood of v.
+[[nodiscard]] FlatSet<Edge> robust_3hop(const TimestampedGraph& g, NodeId v);
+
+}  // namespace dynsub::oracle

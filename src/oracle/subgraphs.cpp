@@ -1,0 +1,132 @@
+#include "oracle/subgraphs.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dynsub::oracle {
+
+std::vector<TrianglePartners> triangles_through(const TimestampedGraph& g,
+                                                NodeId v) {
+  std::vector<TrianglePartners> out;
+  const auto nv = g.neighbors(v);
+  for (std::size_t i = 0; i < nv.size(); ++i) {
+    for (std::size_t j = i + 1; j < nv.size(); ++j) {
+      if (g.has_edge(Edge(nv[i], nv[j]))) {
+        out.push_back({nv[i], nv[j]});
+      }
+    }
+  }
+  return out;  // nv is sorted, so out is sorted lexicographically.
+}
+
+namespace {
+
+void extend_clique(const TimestampedGraph& g, std::vector<NodeId>& current,
+                   const std::vector<NodeId>& candidates, std::size_t need,
+                   std::vector<std::vector<NodeId>>& out) {
+  if (need == 0) {
+    out.push_back(current);
+    return;
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const NodeId c = candidates[i];
+    // Keep only later candidates adjacent to c (maintains sortedness and
+    // the clique property incrementally).
+    std::vector<NodeId> next;
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      if (g.has_edge(Edge(c, candidates[j]))) next.push_back(candidates[j]);
+    }
+    if (next.size() + 1 < need) {
+      if (candidates.size() - i <= need) break;  // not enough left anyway
+      continue;
+    }
+    current.push_back(c);
+    extend_clique(g, current, next, need - 1, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> cliques_through(const TimestampedGraph& g,
+                                                 NodeId v, int k) {
+  DYNSUB_CHECK(k >= 3);
+  std::vector<std::vector<NodeId>> out;
+  const auto nv = g.neighbors(v);
+  std::vector<NodeId> candidates(nv.begin(), nv.end());
+  std::vector<NodeId> current;
+  extend_clique(g, current, candidates, static_cast<std::size_t>(k - 1), out);
+  return out;
+}
+
+std::vector<Cycle4> all_4_cycles(const TimestampedGraph& g) {
+  // A 4-cycle a-b-c-d-a with a the minimum corner: choose b,d from N(a) with
+  // b < d, then every common neighbor c of b and d with c != a and c > a.
+  std::vector<Cycle4> out;
+  const auto n = static_cast<NodeId>(g.node_count());
+  for (NodeId a = 0; a < n; ++a) {
+    const auto na = g.neighbors(a);
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      for (std::size_t j = i + 1; j < na.size(); ++j) {
+        const NodeId b = na[i], d = na[j];
+        if (b < a || d < a) continue;
+        // common neighbors of b and d
+        for (NodeId c : g.neighbors(b)) {
+          if (c == a || c <= a) continue;
+          if (c == d) continue;
+          if (g.has_edge(Edge(c, d))) {
+            out.push_back(Cycle4{{a, b, c, d}});
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Cycle5> all_5_cycles(const TimestampedGraph& g) {
+  // A 5-cycle a-b-c-d-e-a with a minimal and b < e.
+  std::vector<Cycle5> out;
+  const auto n = static_cast<NodeId>(g.node_count());
+  for (NodeId a = 0; a < n; ++a) {
+    const auto na = g.neighbors(a);
+    for (NodeId b : na) {
+      if (b <= a) continue;
+      for (NodeId e : na) {
+        if (e <= b || e == b) continue;  // b < e, both > a
+        for (NodeId c : g.neighbors(b)) {
+          if (c == a || c == e || c <= a) continue;
+          for (NodeId d : g.neighbors(e)) {
+            if (d == a || d == b || d == c || d <= a) continue;
+            if (g.has_edge(Edge(c, d))) {
+              out.push_back(Cycle5{{a, b, c, d, e}});
+            }
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+FlatSet<Edge> hop_edges(const TimestampedGraph& g, NodeId v, int r) {
+  DYNSUB_CHECK(r >= 1);
+  const auto dist = g.distances_from(v);
+  FlatSet<Edge> out;
+  for (const auto& [edge, ts] : g.edges()) {
+    (void)ts;
+    const auto dlo = dist[edge.lo()];
+    const auto dhi = dist[edge.hi()];
+    const auto dmin = std::min(dlo, dhi);
+    if (dmin != TimestampedGraph::kUnreachable &&
+        dmin <= static_cast<std::uint32_t>(r - 1)) {
+      out.insert(edge);
+    }
+  }
+  return out;
+}
+
+}  // namespace dynsub::oracle

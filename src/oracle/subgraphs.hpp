@@ -1,0 +1,65 @@
+// Exact centralized subgraph enumeration.
+//
+// These routines are the ground truth the distributed data structures are
+// audited against:
+//   - triangles / k-cliques *through a node* (membership listing, Thm 1 /
+//     Cor 1 require each node to know exactly these),
+//   - all 4-cycles and 5-cycles (listing, Thm 5 requires at least one cycle
+//     node to report each), and
+//   - the r-hop edge sets E^{v,r} of the paper (Section 2: E^{v,2} is the
+//     set of edges that touch v or any of its neighbors; generally the edges
+//     with an endpoint within distance r-1 of v).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/flat_set.hpp"
+#include "oracle/timestamped_graph.hpp"
+
+namespace dynsub::oracle {
+
+/// A triangle through a reference node v, storing the two other corners in
+/// sorted order.  (The reference node is implicit in the query context.)
+struct TrianglePartners {
+  NodeId u;
+  NodeId w;  // u < w
+  friend auto operator<=>(const TrianglePartners&, const TrianglePartners&) =
+      default;
+};
+
+/// All triangles containing v, as sorted partner pairs.
+[[nodiscard]] std::vector<TrianglePartners> triangles_through(
+    const TimestampedGraph& g, NodeId v);
+
+/// All k-cliques containing v; each clique is the sorted list of the k-1
+/// other members.  k >= 3.
+[[nodiscard]] std::vector<std::vector<NodeId>> cliques_through(
+    const TimestampedGraph& g, NodeId v, int k);
+
+/// A 4-cycle a-b-c-d-a in canonical form: a is the smallest corner and
+/// b < d (fixing the traversal direction).
+struct Cycle4 {
+  std::array<NodeId, 4> v;
+  friend auto operator<=>(const Cycle4&, const Cycle4&) = default;
+};
+
+/// A 5-cycle a-b-c-d-e-a in canonical form: a smallest, b < e.
+struct Cycle5 {
+  std::array<NodeId, 5> v;
+  friend auto operator<=>(const Cycle5&, const Cycle5&) = default;
+};
+
+/// All distinct 4-cycles of g, canonical, sorted.
+[[nodiscard]] std::vector<Cycle4> all_4_cycles(const TimestampedGraph& g);
+
+/// All distinct 5-cycles of g, canonical, sorted.
+[[nodiscard]] std::vector<Cycle5> all_5_cycles(const TimestampedGraph& g);
+
+/// The paper's E^{v,r}: every edge with at least one endpoint within
+/// distance r-1 of v (for r=2 this is "edges touching v or a neighbor of
+/// v"; for r=3 it additionally includes edges touching 2-hop nodes).
+[[nodiscard]] FlatSet<Edge> hop_edges(const TimestampedGraph& g, NodeId v,
+                                      int r);
+
+}  // namespace dynsub::oracle

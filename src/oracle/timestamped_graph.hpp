@@ -1,0 +1,64 @@
+// Centralized ground-truth graph with true insertion timestamps.
+//
+// The paper's analysis associates every edge e with its *insertion time* t_e
+// (the latest round in which e was inserted, -1 if never).  The distributed
+// algorithms cannot afford to ship these timestamps around -- that is the
+// whole point of the imaginary-timestamp and path-set machinery -- but the
+// oracle keeps them exactly, which is what lets the test suite audit the
+// distributed state against the paper's set definitions (R^{v,2}, T^{v,2},
+// R^{v,3}).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/edge.hpp"
+#include "common/flat_set.hpp"
+#include "common/types.hpp"
+
+namespace dynsub::oracle {
+
+class TimestampedGraph {
+ public:
+  explicit TimestampedGraph(std::size_t n);
+
+  [[nodiscard]] std::size_t node_count() const { return adj_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] bool has_edge(Edge e) const { return edges_.contains(e); }
+
+  /// True insertion timestamp of a *present* edge.
+  [[nodiscard]] Timestamp timestamp(Edge e) const;
+
+  /// Sorted neighbor list of v.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    return adj_[v].values();
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId v) const { return adj_[v].size(); }
+
+  /// All present edges, sorted.
+  [[nodiscard]] const FlatMap<Edge, Timestamp>& edges() const {
+    return edges_;
+  }
+
+  /// Applies one topology event at round `round`.  Inserting a present edge
+  /// or deleting an absent one is a workload bug and aborts.
+  void apply(const EdgeEvent& ev, Round round);
+
+  /// Validates that a batch is applicable to the current graph *as a batch*
+  /// (no duplicate edge within the batch; inserts absent edges; deletes
+  /// present ones).  Returns false instead of aborting, for workload tests.
+  [[nodiscard]] bool batch_applicable(std::span<const EdgeEvent> batch) const;
+
+  /// Hop distances from v (kUnreachable where disconnected), BFS.
+  [[nodiscard]] std::vector<std::uint32_t> distances_from(NodeId v) const;
+
+  static constexpr std::uint32_t kUnreachable = 0xffffffffu;
+
+ private:
+  std::vector<FlatSet<NodeId>> adj_;
+  FlatMap<Edge, Timestamp> edges_;
+};
+
+}  // namespace dynsub::oracle

@@ -1,0 +1,257 @@
+// Unit tests for EdgeKnowledge: the per-endpoint vouch state machine that
+// hardens the paper's 2-hop stores against stale backlogged relays
+// (DESIGN.md, deviation D5).  These tests drive the state machine directly
+// -- the races it exists for are replayed as explicit call sequences, so a
+// regression pinpoints the exact transition that broke.
+#include <gtest/gtest.h>
+
+#include "core/edge_knowledge.hpp"
+
+namespace dynsub::core {
+namespace {
+
+/// A view for node v=0 with the given neighbors inserted at given times.
+net::LocalView make_view(
+    std::initializer_list<std::pair<NodeId, Timestamp>> links) {
+  net::LocalView view(0);
+  for (const auto& [u, t] : links) {
+    const EdgeEvent ev[] = {EdgeEvent::insert(0, u)};
+    view.apply(ev, t);
+  }
+  return view;
+}
+
+TEST(EdgeKnowledgeTest, InsertMakesAlive) {
+  EdgeKnowledge k;
+  k.accept_insert(Edge(1, 2), 1, /*t_link=*/5);
+  EXPECT_TRUE(k.contains(Edge(1, 2)));
+  EXPECT_FALSE(k.contains(Edge(1, 3)));
+}
+
+TEST(EdgeKnowledgeTest, TimestampsMaxMergeAcrossEndpoints) {
+  EdgeKnowledge k;
+  EXPECT_EQ(k.accept_insert(Edge(1, 2), 1, 5), 5);
+  EXPECT_EQ(k.accept_insert(Edge(1, 2), 2, 9), 9);
+  EXPECT_EQ(k.accept_insert(Edge(1, 2), 1, 3), 9);  // merge keeps the max
+}
+
+TEST(EdgeKnowledgeTest, DeleteFromSoleVoucherKills) {
+  // Link to endpoint 2 is newer than t', so 2 carries no witness
+  // obligation: retracting the only voucher kills the entry outright.
+  auto view = make_view({{1, 5}, {2, 8}});
+  EdgeKnowledge k;
+  k.accept_insert(Edge(1, 2), 1, 5);
+  k.accept_delete(Edge(1, 2), 1, /*superseded=*/false, view);
+  EXPECT_FALSE(k.contains(Edge(1, 2)));
+}
+
+TEST(EdgeKnowledgeTest, DeleteWaitsForObligatedWitness) {
+  // With t' >= t_{0,2}, endpoint 2 is obligated to have its own relays in
+  // flight (the robustness filter passed), so one endpoint's deletion
+  // leaves the entry alive until 2's word arrives -- in a real run the
+  // consistency flags keep the node inconsistent exactly that long.
+  auto view = make_view({{1, 5}, {2, 5}});
+  EdgeKnowledge k;
+  k.accept_insert(Edge(1, 2), 1, 5);
+  k.accept_delete(Edge(1, 2), 1, /*superseded=*/false, view);
+  EXPECT_TRUE(k.contains(Edge(1, 2)));
+  k.accept_delete(Edge(1, 2), 2, /*superseded=*/false, view);
+  EXPECT_FALSE(k.contains(Edge(1, 2)));
+}
+
+TEST(EdgeKnowledgeTest, StaleDeleteFromOtherEndpointIsSurvived) {
+  // The race from the paper's proof gap: v learned the fresh incarnation
+  // through endpoint 2; endpoint 1's backlogged deletion (of the previous
+  // incarnation) arrives afterwards.  Endpoint 2 still vouches.
+  auto view = make_view({{1, 5}, {2, 9}});
+  EdgeKnowledge k;
+  k.accept_insert(Edge(1, 2), 2, 9);
+  k.accept_delete(Edge(1, 2), 1, /*superseded=*/false, view);
+  EXPECT_TRUE(k.contains(Edge(1, 2)));
+  // A deletion from the voucher itself does kill it.
+  k.accept_delete(Edge(1, 2), 2, /*superseded=*/false, view);
+  EXPECT_FALSE(k.contains(Edge(1, 2)));
+}
+
+TEST(EdgeKnowledgeTest, BothRetractedDies) {
+  auto view = make_view({{1, 5}, {2, 5}});
+  EdgeKnowledge k;
+  k.accept_insert(Edge(1, 2), 1, 5);
+  k.accept_insert(Edge(1, 2), 2, 5);
+  k.accept_delete(Edge(1, 2), 1, false, view);
+  EXPECT_TRUE(k.contains(Edge(1, 2)));  // 2 still vouches
+  k.accept_delete(Edge(1, 2), 2, false, view);
+  EXPECT_FALSE(k.contains(Edge(1, 2)));
+}
+
+TEST(EdgeKnowledgeTest, TombstoneBlocksStaleResurrection) {
+  // A legit deletion arrives before any entry exists; a stale insert from
+  // the other endpoint then tries to resurrect the edge.  The tombstone
+  // keeps endpoint 1 retracted, and when 2's own (FIFO-ordered) deletion
+  // lands, the edge must die rather than survive on 1's stale account.
+  auto view = make_view({{1, 9}, {2, 3}});
+  EdgeKnowledge k;
+  k.accept_delete(Edge(1, 2), 1, false, view);   // no entry yet: tombstone
+  k.accept_insert(Edge(1, 2), 2, 3);             // stale resurrection
+  EXPECT_TRUE(k.contains(Edge(1, 2)));           // transiently fine
+  k.accept_delete(Edge(1, 2), 2, false, view);   // 2's FIFO delete lands
+  EXPECT_FALSE(k.contains(Edge(1, 2)))
+      << "entry survived on the tombstoned endpoint's stale vouch";
+}
+
+TEST(EdgeKnowledgeTest, RetractNeighborPurgesUnlessOtherWitnessJustifies) {
+  // Two far edges through neighbor 1: {1,2} also witnessed by neighbor 2
+  // with t' >= t_{0,2} (kept), {1,3} witnessed by nobody (dropped).
+  auto view = make_view({{1, 5}, {2, 4}});
+  EdgeKnowledge k;
+  k.accept_insert(Edge(1, 2), 1, 5);  // t' = 5 >= t_{0,2} = 4
+  k.accept_insert(Edge(1, 3), 1, 5);  // 3 is not a neighbor of 0
+  {
+    const EdgeEvent ev[] = {EdgeEvent::remove(0, 1)};
+    view.apply(ev, 10);
+  }
+  k.retract_neighbor(1, view);
+  EXPECT_TRUE(k.contains(Edge(1, 2)));   // witness obligation through 2
+  EXPECT_FALSE(k.contains(Edge(1, 3)));  // no witness left
+}
+
+TEST(EdgeKnowledgeTest, WitnessObligationNeedsOldEnoughTimestamp) {
+  // t' < t_{0,2}: the witness filter would never have relayed the edge, so
+  // the entry must die with the link it came through.
+  auto view = make_view({{1, 3}, {2, 8}});
+  EdgeKnowledge k;
+  k.accept_insert(Edge(1, 2), 1, 3);  // t' = 3 < t_{0,2} = 8
+  {
+    const EdgeEvent ev[] = {EdgeEvent::remove(0, 1)};
+    view.apply(ev, 10);
+  }
+  k.retract_neighbor(1, view);
+  EXPECT_FALSE(k.contains(Edge(1, 2)));
+}
+
+TEST(EdgeKnowledgeTest, RetractedWitnessCannotJustifyKeeping) {
+  // Endpoint 2's deletion was heard (guarded out while 1 vouched); when
+  // the link to 1 dies, the entry must not be kept on 2's behalf.
+  auto view = make_view({{1, 9}, {2, 5}});
+  EdgeKnowledge k;
+  k.accept_insert(Edge(1, 2), 1, 9);
+  k.accept_delete(Edge(1, 2), 2, false, view);  // 2 retracts; 1 vouches on
+  EXPECT_TRUE(k.contains(Edge(1, 2)));
+  {
+    const EdgeEvent ev[] = {EdgeEvent::remove(0, 1)};
+    view.apply(ev, 12);
+  }
+  k.retract_neighbor(1, view);
+  EXPECT_FALSE(k.contains(Edge(1, 2)))
+      << "kept through a witness that already retracted";
+}
+
+TEST(EdgeKnowledgeTest, HintsMakePatternBEntries) {
+  auto view = make_view({{1, 5}, {2, 7}});
+  EdgeKnowledge k;
+  k.accept_hint(Edge(1, 2), 1, /*t_stamp=*/4);  // min(5,7)-1
+  EXPECT_TRUE(k.contains(Edge(1, 2)));
+}
+
+TEST(EdgeKnowledgeTest, PatternBDiesOnEitherWitnessLoss) {
+  for (NodeId lost : {1u, 2u}) {
+    auto view = make_view({{1, 5}, {2, 7}});
+    EdgeKnowledge k;
+    k.accept_hint(Edge(1, 2), 1, 4);
+    {
+      const EdgeEvent ev[] = {EdgeEvent::remove(0, lost)};
+      view.apply(ev, 10);
+    }
+    k.retract_neighbor(lost, view);
+    EXPECT_FALSE(k.contains(Edge(1, 2))) << "lost witness " << lost;
+  }
+}
+
+TEST(EdgeKnowledgeTest, SupersededDeleteDoesNotKillPatternB) {
+  // Pattern-(b) edges are older than both witness links, so the matching
+  // re-insert relay is filtered away; a deletion relay flagged as
+  // superseded (the edge is already back at the sender) must not retract.
+  auto view = make_view({{1, 5}, {2, 7}});
+  EdgeKnowledge k;
+  k.accept_hint(Edge(1, 2), 1, 4);
+  k.accept_delete(Edge(1, 2), 2, /*superseded=*/true, view);
+  EXPECT_TRUE(k.contains(Edge(1, 2)));
+  // An ordinary (final) deletion does retract.
+  k.accept_delete(Edge(1, 2), 2, /*superseded=*/false, view);
+  EXPECT_FALSE(k.contains(Edge(1, 2)));
+}
+
+TEST(EdgeKnowledgeTest, HintOverridesStaleRetractOnOtherEndpoint) {
+  auto view = make_view({{1, 5}, {2, 7}});
+  EdgeKnowledge k;
+  k.accept_insert(Edge(1, 2), 1, 5);
+  k.accept_delete(Edge(1, 2), 2, false, view);  // 2 retracted
+  k.accept_hint(Edge(1, 2), 1, 4);              // fresh first-hand evidence
+  EXPECT_TRUE(k.contains(Edge(1, 2)));
+  // ...and the entry is now pattern (b): losing witness 2 kills it.
+  {
+    const EdgeEvent ev[] = {EdgeEvent::remove(0, 2)};
+    view.apply(ev, 10);
+  }
+  k.retract_neighbor(2, view);
+  EXPECT_FALSE(k.contains(Edge(1, 2)));
+}
+
+TEST(EdgeKnowledgeTest, InsertUpgradesPatternBAndResetsTimestamp) {
+  auto view = make_view({{1, 5}, {2, 7}});
+  (void)view;
+  EdgeKnowledge k;
+  k.accept_hint(Edge(1, 2), 1, 4);
+  // A mark-(a) relay supersedes the hint stamp entirely.
+  EXPECT_EQ(k.accept_insert(Edge(1, 2), 2, 7), 7);
+}
+
+TEST(EdgeKnowledgeTest, PruneDropsDeadEntriesOnly) {
+  auto view = make_view({{1, 5}, {2, 5}});
+  EdgeKnowledge k;
+  k.accept_insert(Edge(1, 2), 1, 5);
+  k.accept_insert(Edge(1, 3), 1, 5);
+  k.accept_delete(Edge(1, 3), 1, false, view);
+  EXPECT_EQ(k.entry_count(), 2u);  // dead tombstone retained until quiet
+  k.prune_dead();
+  EXPECT_EQ(k.entry_count(), 1u);
+  EXPECT_TRUE(k.contains(Edge(1, 2)));
+}
+
+TEST(EdgeKnowledgeTest, RevivalResetsTimestampAndKeepsTombstones) {
+  // Link to 2 is newer than any contribution, so 2 has no standing
+  // obligation; 1's retraction kills the entry immediately.
+  auto view = make_view({{1, 5}, {2, 9}});
+  EdgeKnowledge k;
+  k.accept_insert(Edge(1, 2), 1, 5);
+  k.accept_delete(Edge(1, 2), 1, false, view);
+  EXPECT_FALSE(k.contains(Edge(1, 2)));
+  // Revival through 2 must not inherit the dead incarnation's t' = 5 --
+  // only the fresh contribution counts.
+  EXPECT_EQ(k.accept_insert(Edge(1, 2), 2, 9), 9);
+  EXPECT_TRUE(k.contains(Edge(1, 2)));
+  // 1's retraction is remembered across the revival: when link 2 dies the
+  // entry may not be kept on 1's account (despite t' = 9 >= t_{0,1} = 5,
+  // which would otherwise qualify as a witness obligation).
+  {
+    const EdgeEvent ev[] = {EdgeEvent::remove(0, 2)};
+    view.apply(ev, 12);
+  }
+  k.retract_neighbor(2, view);
+  EXPECT_FALSE(k.contains(Edge(1, 2)));
+}
+
+TEST(EdgeKnowledgeTest, AliveEdgesListsOnlyLiving) {
+  auto view = make_view({{1, 5}, {2, 5}});
+  EdgeKnowledge k;
+  k.accept_insert(Edge(1, 2), 1, 5);
+  k.accept_insert(Edge(1, 3), 1, 6);
+  k.accept_delete(Edge(1, 3), 1, false, view);
+  const auto alive = k.alive_edges();
+  EXPECT_EQ(alive.size(), 1u);
+  EXPECT_TRUE(alive.contains(Edge(1, 2)));
+  EXPECT_EQ(alive.find(Edge(1, 2))->second, 5);
+}
+
+}  // namespace
+}  // namespace dynsub::core

@@ -1,0 +1,322 @@
+// Unit tests for the network substrate: message costs, routing rules,
+// round anatomy, LocalView bookkeeping, and the amortized-complexity meter.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/local_view.hpp"
+#include "net/message.hpp"
+#include "net/metrics.hpp"
+#include "net/simulator.hpp"
+#include "net/workload.hpp"
+
+namespace dynsub::net {
+namespace {
+
+// ------------------------------------------------------------ message ----
+
+TEST(MessageTest, NodeIdBits) {
+  EXPECT_EQ(node_id_bits(2), 1u);
+  EXPECT_EQ(node_id_bits(3), 2u);
+  EXPECT_EQ(node_id_bits(16), 4u);
+  EXPECT_EQ(node_id_bits(17), 5u);
+  EXPECT_EQ(node_id_bits(1024), 10u);
+}
+
+TEST(MessageTest, BandwidthBudgetIsLogarithmic) {
+  EXPECT_EQ(bandwidth_bits(1024), 4u * 10u + 16u);
+  EXPECT_LT(bandwidth_bits(1 << 20), 128u);
+}
+
+TEST(MessageTest, EveryAlgorithmMessageFitsTheBudget) {
+  for (std::size_t n : {4u, 64u, 1024u, 65536u}) {
+    const std::size_t budget = bandwidth_bits(n);
+    EXPECT_LE(WireMessage::edge_insert(Edge(0, 1)).payload_bits(n), budget);
+    EXPECT_LE(WireMessage::edge_delete(Edge(0, 1)).payload_bits(n), budget);
+    EXPECT_LE(WireMessage::triangle_hint(Edge(0, 1)).payload_bits(n), budget);
+    const NodeId p2[] = {0, 1, 2};
+    EXPECT_LE(WireMessage::path_insert(p2).payload_bits(n), budget);
+    EXPECT_LE(WireMessage::path_delete(Edge(0, 1), 2, 2).payload_bits(n),
+              budget);
+  }
+}
+
+TEST(MessageTest, PathInsertEncoding) {
+  const NodeId verts[] = {3, 1, 4};
+  const auto m = WireMessage::path_insert(verts);
+  EXPECT_EQ(m.kind, WireMessage::Kind::kPathInsert);
+  EXPECT_EQ(m.path_len, 2);
+  EXPECT_EQ(m.nodes[0], 3u);
+  EXPECT_EQ(m.nodes[2], 4u);
+}
+
+// ---------------------------------------------------------- LocalView ----
+
+TEST(LocalViewTest, TracksIncidentEdgesAndTimestamps) {
+  LocalView view(5);
+  const EdgeEvent evs[] = {EdgeEvent::insert(5, 2), EdgeEvent::insert(5, 9)};
+  view.apply(evs, 7);
+  EXPECT_TRUE(view.has_neighbor(2));
+  EXPECT_EQ(view.t(2), 7);
+  EXPECT_EQ(view.degree(), 2u);
+  const EdgeEvent del[] = {EdgeEvent::remove(5, 2)};
+  view.apply(del, 9);
+  EXPECT_FALSE(view.has_neighbor(2));
+  const EdgeEvent re[] = {EdgeEvent::insert(5, 2)};
+  view.apply(re, 11);
+  EXPECT_EQ(view.t(2), 11);  // re-insertion refreshes the local timestamp
+}
+
+TEST(LocalViewTest, NeighborsSorted) {
+  LocalView view(0);
+  const EdgeEvent evs[] = {EdgeEvent::insert(0, 9), EdgeEvent::insert(0, 3),
+                           EdgeEvent::insert(0, 6)};
+  view.apply(evs, 1);
+  EXPECT_EQ(view.neighbors(), (std::vector<NodeId>{3, 6, 9}));
+}
+
+// ------------------------------------------------- probe node program ----
+
+/// Records everything the simulator feeds it; sends a canned message to
+/// each neighbor the round after an insertion (to exercise routing).
+class ProbeNode final : public NodeProgram {
+ public:
+  ProbeNode(NodeId self, std::size_t n) : view_(self) { (void)n; }
+
+  void react_and_send(const NodeContext& ctx,
+                      std::span<const EdgeEvent> events,
+                      Outbox& out) override {
+    view_.apply(events, ctx.round);
+    events_seen += events.size();
+    if (send_next_round) {
+      for (NodeId u : view_.neighbors()) {
+        out.send(u, WireMessage::edge_insert(Edge(view_.self(), u)));
+      }
+      send_next_round = false;
+    }
+    for (const auto& ev : events) {
+      if (ev.kind == EventKind::kInsert) send_next_round = true;
+    }
+    if (declare_busy_always) out.declare_busy();
+  }
+
+  void receive_and_update(const NodeContext& ctx, const Inbox& in) override {
+    (void)ctx;
+    payloads_seen += in.payloads.size();
+    busy_flags_seen += in.busy_neighbors.size();
+    last_senders.clear();
+    for (const auto& item : in.payloads) last_senders.push_back(item.from);
+  }
+
+  [[nodiscard]] bool consistent() const override { return !declare_busy_always; }
+
+  net::LocalView view_;
+  std::size_t events_seen = 0;
+  std::size_t payloads_seen = 0;
+  std::size_t busy_flags_seen = 0;
+  std::vector<NodeId> last_senders;
+  bool send_next_round = false;
+  bool declare_busy_always = false;
+};
+
+NodeFactory probe_factory() {
+  return [](NodeId v, std::size_t n) {
+    return std::make_unique<ProbeNode>(v, n);
+  };
+}
+
+TEST(SimulatorTest, NotifiesOnlyIncidentNodes) {
+  Simulator sim(4, probe_factory());
+  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1)});
+  auto& n0 = dynamic_cast<ProbeNode&>(sim.node(0));
+  auto& n2 = dynamic_cast<ProbeNode&>(sim.node(2));
+  EXPECT_EQ(n0.events_seen, 1u);
+  EXPECT_EQ(n2.events_seen, 0u);
+}
+
+TEST(SimulatorTest, DeliversMessagesSameRoundOverCurrentEdges) {
+  Simulator sim(3, probe_factory());
+  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1)});
+  // ProbeNode sends one round after the insertion.
+  sim.step({});
+  auto& n1 = dynamic_cast<ProbeNode&>(sim.node(1));
+  EXPECT_EQ(n1.payloads_seen, 1u);
+  EXPECT_EQ(n1.last_senders, (std::vector<NodeId>{0}));
+}
+
+TEST(SimulatorTest, MessageOnDeletedLinkAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A node that sends to a hardcoded destination regardless of topology
+  // must trip the router check once the link is gone.
+  class StaleSender final : public NodeProgram {
+   public:
+    StaleSender(NodeId self, std::size_t) : self_(self) {}
+    void react_and_send(const NodeContext&, std::span<const EdgeEvent>,
+                        Outbox& out) override {
+      if (self_ == 0) out.send(1, WireMessage::edge_insert(Edge(0, 1)));
+    }
+    void receive_and_update(const NodeContext&, const Inbox&) override {}
+    [[nodiscard]] bool consistent() const override { return true; }
+
+   private:
+    NodeId self_;
+  };
+  EXPECT_DEATH(
+      {
+        Simulator sim(2, [](NodeId v, std::size_t n) {
+          return std::make_unique<StaleSender>(v, n);
+        });
+        sim.step({});  // no edge {0,1} yet: sending is a violation
+      },
+      "absent link");
+}
+
+TEST(SimulatorTest, BandwidthOverrunAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  class Blaster final : public NodeProgram {
+   public:
+    Blaster(NodeId self, std::size_t) : self_(self) {}
+    void react_and_send(const NodeContext& ctx,
+                        std::span<const EdgeEvent> events,
+                        Outbox& out) override {
+      (void)ctx;
+      for (const auto& ev : events) {
+        if (ev.kind != EventKind::kInsert) continue;
+        WireMessage m;
+        m.kind = WireMessage::Kind::kSnapshotChunk;
+        m.nodes[0] = self_;
+        m.aux2 = 100000;  // way over budget
+        m.blob.assign(100000 / 8, 0xff);
+        out.send(ev.edge.other(self_), std::move(m));
+      }
+    }
+    void receive_and_update(const NodeContext&, const Inbox&) override {}
+    [[nodiscard]] bool consistent() const override { return true; }
+
+   private:
+    NodeId self_;
+  };
+  EXPECT_DEATH(
+      {
+        Simulator sim(2, [](NodeId v, std::size_t n) {
+          return std::make_unique<Blaster>(v, n);
+        });
+        sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1)});
+      },
+      "exceeds budget");
+}
+
+TEST(SimulatorTest, DoublePayloadOnOneLinkAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  class DoubleSender final : public NodeProgram {
+   public:
+    DoubleSender(NodeId self, std::size_t) : self_(self) {}
+    void react_and_send(const NodeContext&, std::span<const EdgeEvent> events,
+                        Outbox& out) override {
+      for (const auto& ev : events) {
+        if (ev.kind != EventKind::kInsert) continue;
+        const NodeId u = ev.edge.other(self_);
+        out.send(u, WireMessage::edge_insert(ev.edge));
+        out.send(u, WireMessage::edge_insert(ev.edge));
+      }
+    }
+    void receive_and_update(const NodeContext&, const Inbox&) override {}
+    [[nodiscard]] bool consistent() const override { return true; }
+
+   private:
+    NodeId self_;
+  };
+  EXPECT_DEATH(
+      {
+        Simulator sim(2, [](NodeId v, std::size_t n) {
+          return std::make_unique<DoubleSender>(v, n);
+        });
+        sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1)});
+      },
+      "two payloads");
+}
+
+TEST(SimulatorTest, InvalidBatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Simulator sim(3, probe_factory());
+        sim.step(std::vector<EdgeEvent>{EdgeEvent::remove(0, 1)});
+      },
+      "not applicable");
+}
+
+TEST(SimulatorTest, PrevGraphLagsByOneRound) {
+  Simulator sim(3, probe_factory());
+  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1)});
+  EXPECT_TRUE(sim.graph().has_edge(Edge(0, 1)));
+  EXPECT_FALSE(sim.prev_graph().has_edge(Edge(0, 1)));
+  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(1, 2)});
+  EXPECT_TRUE(sim.prev_graph().has_edge(Edge(0, 1)));
+  EXPECT_FALSE(sim.prev_graph().has_edge(Edge(1, 2)));
+}
+
+TEST(SimulatorTest, ControlBitsReachNeighbors) {
+  Simulator sim(3, probe_factory());
+  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1),
+                                  EdgeEvent::insert(1, 2)});
+  auto& n0 = dynamic_cast<ProbeNode&>(sim.node(0));
+  auto& n1 = dynamic_cast<ProbeNode&>(sim.node(1));
+  n1.declare_busy_always = true;
+  sim.step({});
+  EXPECT_GE(n0.busy_flags_seen, 1u);
+  // And the meter saw node 1 inconsistent.
+  EXPECT_FALSE(sim.consistency()[1]);
+  EXPECT_TRUE(sim.consistency()[0]);
+}
+
+// ------------------------------------------------------------ metrics ----
+
+TEST(MetricsTest, AmortizedRatioAndSup) {
+  Metrics m(2);
+  const std::vector<bool> ok{true, true};
+  const std::vector<bool> bad{true, false};
+  m.record_round(1, 2, bad, 0, 0);   // 1 inconsistent round / 2 changes
+  m.record_round(2, 0, bad, 0, 0);   // 2 / 2
+  m.record_round(3, 0, ok, 0, 0);    // 2 / 2
+  m.record_round(4, 2, ok, 0, 0);    // 2 / 4
+  EXPECT_DOUBLE_EQ(m.amortized(), 0.5);
+  EXPECT_DOUBLE_EQ(m.amortized_sup(), 1.0);
+  EXPECT_EQ(m.inconsistent_rounds(), 2u);
+  EXPECT_EQ(m.changes(), 4u);
+}
+
+TEST(MetricsTest, PerNodeAccounting) {
+  Metrics m(3);
+  m.record_node_change(0);
+  m.record_node_change(1);
+  const std::vector<bool> c{false, true, true};
+  m.record_round(1, 1, c, 0, 0);
+  m.record_round(2, 0, c, 0, 0);
+  EXPECT_DOUBLE_EQ(m.per_node_amortized_sup(), 2.0);  // node 0: 2 rounds / 1
+}
+
+// --------------------------------------------------------- workloads ----
+
+TEST(WorkloadTest, ScriptedReplaysInOrder) {
+  ScriptedWorkload wl({{EdgeEvent::insert(0, 1)}, {}, {EdgeEvent::remove(0, 1)}});
+  oracle::TimestampedGraph g(2);
+  WorkloadObservation obs{g, 1, true};
+  EXPECT_EQ(wl.next_round(obs).size(), 1u);
+  EXPECT_FALSE(wl.finished());
+  EXPECT_TRUE(wl.next_round(obs).empty());
+  EXPECT_EQ(wl.next_round(obs).size(), 1u);
+  EXPECT_TRUE(wl.finished());
+}
+
+TEST(WorkloadTest, RunWorkloadDrainsToConsistency) {
+  Simulator sim(4, probe_factory());
+  ScriptedWorkload wl({{EdgeEvent::insert(0, 1), EdgeEvent::insert(2, 3)}});
+  const auto rounds = run_workload(sim, wl, 100);
+  EXPECT_TRUE(sim.all_consistent());
+  EXPECT_GE(rounds, 1u);
+  EXPECT_EQ(sim.metrics().changes(), 2u);
+}
+
+}  // namespace
+}  // namespace dynsub::net

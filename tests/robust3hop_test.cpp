@@ -1,0 +1,179 @@
+// Theorem 6 tests: the robust 3-hop neighborhood.  The maintained set S~_v
+// must satisfy the paper's sandwich at every consistent node:
+//   R^{v,2}_i u (R^{v,3}_{i-1} \ R^{v,2}_{i-1})  subset-of  S~_v
+//   S~_v  subset-of  E^{v,2}_i u (E^{v,3}_{i-1} \ E^{v,2}_{i-1}),
+// across scripted path scenarios and random churn, in O(1) amortized rounds.
+#include <gtest/gtest.h>
+
+#include "core/audit.hpp"
+#include "core/robust3hop.hpp"
+#include "dynamics/random_churn.hpp"
+#include "dynamics/sessions.hpp"
+#include "sim_test_util.hpp"
+
+namespace dynsub {
+namespace {
+
+using core::Robust3HopNode;
+using testing::factory_of;
+using testing::run_audited;
+using testing::run_script_audited;
+
+net::Simulator make_sim(std::size_t n) {
+  return net::Simulator(n, factory_of<Robust3HopNode>());
+}
+
+TEST(Robust3HopTest, LearnsAscendingPath) {
+  // 0-1-2-3 inserted in ascending time order: all three edges robust for 0.
+  auto sim = make_sim(4);
+  run_script_audited(sim,
+                     {{EdgeEvent::insert(0, 1)},
+                      {EdgeEvent::insert(1, 2)},
+                      {EdgeEvent::insert(2, 3)}},
+                     48, core::audit_robust3hop);
+  const auto& node = dynamic_cast<const Robust3HopNode&>(sim.node(0));
+  EXPECT_EQ(node.query_edge(Edge(0, 1)), net::Answer::kTrue);
+  EXPECT_EQ(node.query_edge(Edge(1, 2)), net::Answer::kTrue);
+  EXPECT_EQ(node.query_edge(Edge(2, 3)), net::Answer::kTrue);
+}
+
+TEST(Robust3HopTest, DescendingPathIsNotRobust) {
+  // Inserted far-to-near: nothing beyond the incident edge is promised,
+  // and the implementation indeed does not know the far edges.
+  auto sim = make_sim(4);
+  run_script_audited(sim,
+                     {{EdgeEvent::insert(2, 3)},
+                      {EdgeEvent::insert(1, 2)},
+                      {EdgeEvent::insert(0, 1)}},
+                     48, core::audit_robust3hop);
+  const auto& node = dynamic_cast<const Robust3HopNode&>(sim.node(0));
+  EXPECT_EQ(node.query_edge(Edge(0, 1)), net::Answer::kTrue);
+  EXPECT_EQ(node.query_edge(Edge(1, 2)), net::Answer::kFalse);
+  EXPECT_EQ(node.query_edge(Edge(2, 3)), net::Answer::kFalse);
+}
+
+TEST(Robust3HopTest, DeletionPropagatesThreeHops) {
+  auto sim = make_sim(4);
+  run_script_audited(sim,
+                     {{EdgeEvent::insert(0, 1)},
+                      {EdgeEvent::insert(1, 2)},
+                      {EdgeEvent::insert(2, 3)},
+                      {},
+                      {},
+                      {EdgeEvent::remove(2, 3)}},
+                     48, core::audit_robust3hop);
+  const auto& node = dynamic_cast<const Robust3HopNode&>(sim.node(0));
+  EXPECT_EQ(node.query_edge(Edge(2, 3)), net::Answer::kFalse);
+  EXPECT_EQ(node.query_edge(Edge(1, 2)), net::Answer::kTrue);
+}
+
+TEST(Robust3HopTest, MidPathDeletionSeversKnowledge) {
+  auto sim = make_sim(4);
+  run_script_audited(sim,
+                     {{EdgeEvent::insert(0, 1)},
+                      {EdgeEvent::insert(1, 2)},
+                      {EdgeEvent::insert(2, 3)},
+                      {},
+                      {},
+                      {EdgeEvent::remove(1, 2)}},
+                     48, core::audit_robust3hop);
+  const auto& node = dynamic_cast<const Robust3HopNode&>(sim.node(0));
+  EXPECT_EQ(node.query_edge(Edge(1, 2)), net::Answer::kFalse);
+  // {2,3} left the 3-hop neighborhood entirely -> must be false too.
+  EXPECT_EQ(node.query_edge(Edge(2, 3)), net::Answer::kFalse);
+}
+
+TEST(Robust3HopTest, AlternatePathKeepsEdgeAlive) {
+  // Two discovery paths to {2,3}: 0-1-2-3 and 0-4-2-3; severing one leaves
+  // the other.
+  auto sim = make_sim(5);
+  run_script_audited(sim,
+                     {{EdgeEvent::insert(0, 1), EdgeEvent::insert(0, 4)},
+                      {EdgeEvent::insert(1, 2), EdgeEvent::insert(4, 2)},
+                      {EdgeEvent::insert(2, 3)},
+                      {},
+                      {},
+                      {EdgeEvent::remove(0, 1)}},
+                     64, core::audit_robust3hop);
+  const auto& node = dynamic_cast<const Robust3HopNode&>(sim.node(0));
+  EXPECT_EQ(node.query_edge(Edge(2, 3)), net::Answer::kTrue);
+  EXPECT_EQ(node.query_edge(Edge(4, 2)), net::Answer::kTrue);
+  // {1,2} is still within E^{0,3} via 0-4-2-1, so the structure may keep
+  // it (it does, through the surviving discovery path) -- the sandwich
+  // audit run every round is the binding check here.
+}
+
+TEST(Robust3HopTest, PathTableRecordsPrefixes) {
+  auto sim = make_sim(4);
+  run_script_audited(sim,
+                     {{EdgeEvent::insert(0, 1)},
+                      {EdgeEvent::insert(1, 2)},
+                      {EdgeEvent::insert(2, 3)}},
+                     48, core::audit_robust3hop);
+  const auto& node = dynamic_cast<const Robust3HopNode&>(sim.node(0));
+  const auto& table = node.path_table();
+  auto it = table.find(Edge(2, 3));
+  ASSERT_NE(it, table.end());
+  ASSERT_EQ(it->second.size(), 1u);
+  const core::PathKey& pk = *it->second.begin();
+  EXPECT_EQ(pk.len, 3);
+  EXPECT_EQ(pk.hops[0], 1u);
+  EXPECT_EQ(pk.hops[1], 2u);
+  EXPECT_EQ(pk.hops[2], 3u);
+  EXPECT_TRUE(pk.contains(0, Edge(1, 2)));
+  EXPECT_FALSE(pk.contains(0, Edge(0, 3)));
+}
+
+TEST(Robust3HopTest, InconsistentWhileUpdating) {
+  auto sim = make_sim(3);
+  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1)});
+  const auto& node = dynamic_cast<const Robust3HopNode&>(sim.node(0));
+  EXPECT_EQ(node.query_edge(Edge(0, 1)), net::Answer::kInconsistent);
+  sim.run_until_stable(32);
+  EXPECT_EQ(node.query_edge(Edge(0, 1)), net::Answer::kTrue);
+}
+
+// ----------------------------------------------------- property sweep ----
+
+struct SweepCase {
+  std::size_t n;
+  std::size_t target_edges;
+  std::size_t max_changes;
+  std::uint64_t seed;
+};
+
+class Robust3HopSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(Robust3HopSweep, SandwichHoldsUnderRandomChurn) {
+  const auto& p = GetParam();
+  auto sim = make_sim(p.n);
+  dynamics::RandomChurnParams cp;
+  cp.n = p.n;
+  cp.target_edges = p.target_edges;
+  cp.max_changes = p.max_changes;
+  cp.rounds = 100;
+  cp.seed = p.seed;
+  dynamics::RandomChurnWorkload wl(cp);
+  run_audited(sim, wl, 5000, core::audit_robust3hop);
+  EXPECT_LE(sim.metrics().amortized_sup(), 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Churn, Robust3HopSweep,
+    ::testing::Values(SweepCase{8, 10, 3, 31}, SweepCase{8, 12, 3, 32},
+                      SweepCase{12, 16, 4, 33}, SweepCase{12, 20, 5, 34},
+                      SweepCase{16, 24, 6, 35}, SweepCase{16, 20, 8, 36},
+                      SweepCase{20, 30, 8, 37}, SweepCase{24, 36, 10, 38}));
+
+TEST(Robust3HopTest, HeavyTailedSessionChurn) {
+  dynamics::SessionChurnParams sp;
+  sp.n = 20;
+  sp.rounds = 120;
+  sp.seed = 7;
+  dynamics::SessionChurnWorkload wl(sp);
+  auto sim = make_sim(sp.n);
+  run_audited(sim, wl, 5000, core::audit_robust3hop);
+}
+
+}  // namespace
+}  // namespace dynsub

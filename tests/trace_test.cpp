@@ -1,0 +1,177 @@
+// Tests for trace recording / replay, plus the Remark 2 pattern-membership
+// query layer on the Lemma 1 structure.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baseline/full2hop.hpp"
+#include "core/audit.hpp"
+#include "core/triangle.hpp"
+#include "dynamics/lb_membership.hpp"
+#include "dynamics/random_churn.hpp"
+#include "net/simulator.hpp"
+#include "net/trace.hpp"
+#include "sim_test_util.hpp"
+
+namespace dynsub {
+namespace {
+
+using testing::factory_of;
+
+// ---------------------------------------------------------------- trace ----
+
+TEST(TraceTest, RoundTripPreservesEveryRound) {
+  std::vector<std::vector<EdgeEvent>> rounds{
+      {EdgeEvent::insert(0, 1), EdgeEvent::insert(2, 3)},
+      {},
+      {EdgeEvent::remove(0, 1)},
+      {},
+  };
+  std::ostringstream os;
+  net::write_trace(os, rounds);
+  std::istringstream is(os.str());
+  const auto back = net::read_trace(is);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, rounds);
+}
+
+TEST(TraceTest, ParsesCommentsAndEmptyRounds) {
+  std::istringstream is("# header\n+0:1 +1:2\n\n-0:1\n");
+  const auto rounds = net::read_trace(is);
+  ASSERT_TRUE(rounds.has_value());
+  ASSERT_EQ(rounds->size(), 3u);
+  EXPECT_EQ((*rounds)[0].size(), 2u);
+  EXPECT_TRUE((*rounds)[1].empty());
+  EXPECT_EQ((*rounds)[2][0].kind, EventKind::kDelete);
+}
+
+TEST(TraceTest, RejectsMalformedInput) {
+  std::string error;
+  for (const char* bad :
+       {"*0:1\n", "+01\n", "+0:\n", "+:1\n", "+3:3\n", "+0:1x\n"}) {
+    std::istringstream is(bad);
+    EXPECT_FALSE(net::read_trace(is, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(TraceTest, RecordedAdaptiveAdversaryReplaysIdentically) {
+  // Record the (adaptive) Theorem 2 adversary against the triangle
+  // structure, then replay the trace against a fresh simulator: the
+  // metrics must match exactly.
+  dynamics::MembershipLbParams mp;
+  mp.pattern = dynamics::pattern_diamond();
+  mp.t = 6;
+  dynamics::MembershipLbAdversary adversary(mp);
+  net::RecordingWorkload recorder(adversary);
+
+  net::Simulator live(adversary.nodes_required(),
+                      factory_of<core::TriangleNode>());
+  net::run_workload(live, recorder, 100000);
+
+  // Round-trip the trace through the text format.
+  std::ostringstream os;
+  net::write_trace(os, recorder.rounds());
+  std::istringstream is(os.str());
+  const auto rounds = net::read_trace(is);
+  ASSERT_TRUE(rounds.has_value());
+
+  net::Simulator replayed(adversary.nodes_required(),
+                          factory_of<core::TriangleNode>());
+  net::ScriptedWorkload script(*rounds);
+  net::run_workload(replayed, script, 100000);
+
+  EXPECT_EQ(live.metrics().changes(), replayed.metrics().changes());
+  EXPECT_EQ(live.metrics().inconsistent_rounds(),
+            replayed.metrics().inconsistent_rounds());
+  EXPECT_EQ(live.metrics().messages(), replayed.metrics().messages());
+  EXPECT_EQ(live.graph().edges(), replayed.graph().edges());
+}
+
+TEST(TraceTest, RecorderCapturesRandomChurnExactly) {
+  dynamics::RandomChurnParams cp;
+  cp.n = 10;
+  cp.target_edges = 15;
+  cp.max_changes = 4;
+  cp.rounds = 40;
+  cp.seed = 17;
+  dynamics::RandomChurnWorkload wl(cp);
+  net::RecordingWorkload recorder(wl);
+  net::Simulator sim(cp.n, factory_of<core::TriangleNode>());
+  net::run_workload(sim, recorder, 100000);
+  std::size_t total = 0;
+  for (const auto& r : recorder.rounds()) total += r.size();
+  EXPECT_EQ(total, sim.metrics().changes());
+}
+
+// ----------------------------------------------- Remark 2 pattern query ----
+
+/// Builds a stable graph and returns a simulator of FullTwoHopNodes.
+net::Simulator stable_graph(
+    std::size_t n, std::initializer_list<std::pair<NodeId, NodeId>> edges) {
+  net::Simulator sim(n, factory_of<baseline::FullTwoHopNode>());
+  std::vector<EdgeEvent> batch;
+  for (const auto& [a, b] : edges) batch.push_back(EdgeEvent::insert(a, b));
+  sim.step(batch);
+  sim.run_until_stable(100000);
+  return sim;
+}
+
+TEST(PatternQueryTest, DiamondMembership) {
+  // Diamond on {0,1,2,3}: all edges but {0,1}.
+  auto sim = stable_graph(
+      6, {{0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  const auto& node =
+      dynamic_cast<const baseline::FullTwoHopNode&>(sim.node(0));
+  const auto pat = dynamics::pattern_diamond();
+  const NodeId verts[] = {0, 1, 2, 3};  // a=0, b=1, core 2,3
+  EXPECT_EQ(node.query_pattern(verts, pat.edges), net::Answer::kTrue);
+  // Adding the {a,b} edge breaks *induced* membership.
+  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1)});
+  sim.run_until_stable(100000);
+  EXPECT_EQ(node.query_pattern(verts, pat.edges), net::Answer::kFalse);
+}
+
+TEST(PatternQueryTest, P3MembershipFromEveryVertex) {
+  auto sim = stable_graph(5, {{0, 2}, {2, 1}});
+  const auto pat = dynamics::pattern_p3();  // a=0, b=1, middle=2
+  const NodeId verts[] = {0, 1, 2};
+  for (NodeId v : {0u, 1u, 2u}) {
+    const auto& node =
+        dynamic_cast<const baseline::FullTwoHopNode&>(sim.node(v));
+    EXPECT_EQ(node.query_pattern(verts, pat.edges), net::Answer::kTrue)
+        << "v=" << v;
+  }
+  // A non-member cannot claim membership (vertices must contain self).
+  const auto& node0 =
+      dynamic_cast<const baseline::FullTwoHopNode&>(sim.node(0));
+  const NodeId wrong[] = {0, 1, 3};  // 3 is not the middle
+  EXPECT_EQ(node0.query_pattern(wrong, pat.edges), net::Answer::kFalse);
+}
+
+TEST(PatternQueryTest, C4MembershipAndRotation) {
+  auto sim = stable_graph(6, {{0, 2}, {2, 1}, {1, 3}, {3, 0}});
+  const auto pat = dynamics::pattern_c4();  // 0-2-1-3-0
+  const NodeId verts[] = {0, 1, 2, 3};
+  const auto& node =
+      dynamic_cast<const baseline::FullTwoHopNode&>(sim.node(0));
+  EXPECT_EQ(node.query_pattern(verts, pat.edges), net::Answer::kTrue);
+  // Break one cycle edge: membership gone.
+  sim.step(std::vector<EdgeEvent>{EdgeEvent::remove(1, 3)});
+  sim.run_until_stable(100000);
+  EXPECT_EQ(node.query_pattern(verts, pat.edges), net::Answer::kFalse);
+}
+
+TEST(PatternQueryTest, InconsistentWhileUpdating) {
+  net::Simulator sim(4, factory_of<baseline::FullTwoHopNode>());
+  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 2)});
+  const auto& node =
+      dynamic_cast<const baseline::FullTwoHopNode&>(sim.node(0));
+  const auto pat = dynamics::pattern_p3();
+  const NodeId verts[] = {0, 1, 2};
+  EXPECT_EQ(node.query_pattern(verts, pat.edges),
+            net::Answer::kInconsistent);
+}
+
+}  // namespace
+}  // namespace dynsub

@@ -1,0 +1,186 @@
+// Theorem 1 tests: triangle membership listing.  The structure must hold
+// S_v == T^{v,2}_i exactly at every consistent node, list exactly the
+// oracle's triangles through each node, and do it in O(1) amortized rounds
+// -- across all insertion orders, flicker, and random churn.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/audit.hpp"
+#include "core/triangle.hpp"
+#include "dynamics/flicker.hpp"
+#include "dynamics/planted.hpp"
+#include "dynamics/random_churn.hpp"
+#include "sim_test_util.hpp"
+
+namespace dynsub {
+namespace {
+
+using core::TriangleNode;
+using testing::factory_of;
+using testing::run_audited;
+using testing::run_script_audited;
+
+net::Simulator make_sim(std::size_t n) {
+  return net::Simulator(n, factory_of<TriangleNode>());
+}
+
+// ----------------------------------------------------------- scripted ----
+
+TEST(TriangleTest, AllThreeNodesListTheTriangleRegardlessOfOrder) {
+  // All 6 insertion orders of a triangle's edges: each corner must end up
+  // answering true (this exercises both temporal patterns incl. the
+  // mark-(b) relay).
+  const std::array<EdgeEvent, 3> edges{EdgeEvent::insert(0, 1),
+                                       EdgeEvent::insert(0, 2),
+                                       EdgeEvent::insert(1, 2)};
+  const std::array<std::array<int, 3>, 6> orders{{{0, 1, 2},
+                                                  {0, 2, 1},
+                                                  {1, 0, 2},
+                                                  {1, 2, 0},
+                                                  {2, 0, 1},
+                                                  {2, 1, 0}}};
+  for (const auto& order : orders) {
+    auto sim = make_sim(3);
+    std::vector<std::vector<EdgeEvent>> script;
+    for (int idx : order) script.push_back({edges[idx]});
+    run_script_audited(sim, script, 32, core::audit_triangle);
+    for (NodeId v = 0; v < 3; ++v) {
+      const auto& node = dynamic_cast<const TriangleNode&>(sim.node(v));
+      const NodeId a = (v + 1) % 3, b = (v + 2) % 3;
+      EXPECT_EQ(node.query_triangle(a, b), net::Answer::kTrue)
+          << "v=" << v << " order=" << order[0] << order[1] << order[2];
+      EXPECT_EQ(node.list_triangles().size(), 1u);
+    }
+  }
+}
+
+TEST(TriangleTest, NoFalsePositiveOnPath) {
+  auto sim = make_sim(3);
+  run_script_audited(
+      sim, {{EdgeEvent::insert(0, 1)}, {EdgeEvent::insert(1, 2)}}, 16,
+      core::audit_triangle);
+  const auto& node = dynamic_cast<const TriangleNode&>(sim.node(1));
+  EXPECT_EQ(node.query_triangle(0, 2), net::Answer::kFalse);
+}
+
+TEST(TriangleTest, DeletingAnyEdgeKillsTheTriangleEverywhere) {
+  for (int victim = 0; victim < 3; ++victim) {
+    auto sim = make_sim(3);
+    const std::array<EdgeEvent, 3> dels{EdgeEvent::remove(0, 1),
+                                        EdgeEvent::remove(0, 2),
+                                        EdgeEvent::remove(1, 2)};
+    run_script_audited(sim,
+                       {{EdgeEvent::insert(0, 1)},
+                        {EdgeEvent::insert(0, 2)},
+                        {EdgeEvent::insert(1, 2)},
+                        {},
+                        {dels[victim]}},
+                       32, core::audit_triangle);
+    for (NodeId v = 0; v < 3; ++v) {
+      const auto& node = dynamic_cast<const TriangleNode&>(sim.node(v));
+      const NodeId a = (v + 1) % 3, b = (v + 2) % 3;
+      EXPECT_EQ(node.query_triangle(a, b), net::Answer::kFalse)
+          << "victim=" << victim << " v=" << v;
+      EXPECT_TRUE(node.list_triangles().empty());
+    }
+  }
+}
+
+TEST(TriangleTest, SharedEdgeBetweenTwoTriangles) {
+  // Triangles {0,1,2} and {0,1,3} share edge {0,1}; deleting {1,2} must
+  // only kill the first.
+  auto sim = make_sim(4);
+  run_script_audited(sim,
+                     {{EdgeEvent::insert(0, 1)},
+                      {EdgeEvent::insert(0, 2), EdgeEvent::insert(0, 3)},
+                      {EdgeEvent::insert(1, 2), EdgeEvent::insert(1, 3)},
+                      {},
+                      {EdgeEvent::remove(1, 2)}},
+                     32, core::audit_triangle);
+  const auto& n0 = dynamic_cast<const TriangleNode&>(sim.node(0));
+  EXPECT_EQ(n0.query_triangle(1, 2), net::Answer::kFalse);
+  EXPECT_EQ(n0.query_triangle(1, 3), net::Answer::kTrue);
+  EXPECT_EQ(n0.list_triangles().size(), 1u);
+}
+
+TEST(TriangleTest, FlickerScenarioDoesNotFoolTheStructure) {
+  const auto scenario = dynamics::make_flicker_scenario(8);
+  auto sim = make_sim(8);
+  run_script_audited(sim, scenario.script, 32, core::audit_triangle);
+  const auto& victim =
+      dynamic_cast<const TriangleNode&>(sim.node(scenario.victim));
+  EXPECT_EQ(victim.query_triangle(scenario.u, scenario.w),
+            net::Answer::kFalse);
+}
+
+TEST(TriangleTest, MembershipQueryValidatesConsistencyFirst) {
+  auto sim = make_sim(3);
+  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1)});
+  const auto& node = dynamic_cast<const TriangleNode&>(sim.node(0));
+  EXPECT_EQ(node.query_triangle(1, 2), net::Answer::kInconsistent);
+}
+
+// ----------------------------------------------------- property sweep ----
+
+struct SweepCase {
+  std::size_t n;
+  std::size_t target_edges;
+  std::size_t max_changes;
+  std::uint64_t seed;
+};
+
+class TriangleSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(TriangleSweep, ExactListingUnderRandomChurn) {
+  const auto& p = GetParam();
+  auto sim = make_sim(p.n);
+  dynamics::RandomChurnParams cp;
+  cp.n = p.n;
+  cp.target_edges = p.target_edges;
+  cp.max_changes = p.max_changes;
+  cp.rounds = 120;
+  cp.seed = p.seed;
+  dynamics::RandomChurnWorkload wl(cp);
+  run_audited(sim, wl, 5000, core::audit_triangle);
+  EXPECT_LE(sim.metrics().amortized_sup(), 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Churn, TriangleSweep,
+    ::testing::Values(SweepCase{8, 12, 3, 11}, SweepCase{8, 14, 3, 12},
+                      SweepCase{12, 24, 4, 13}, SweepCase{12, 24, 5, 14},
+                      SweepCase{16, 36, 6, 15}, SweepCase{16, 30, 8, 16},
+                      SweepCase{20, 50, 8, 17}, SweepCase{24, 60, 10, 18},
+                      SweepCase{24, 40, 14, 19}, SweepCase{32, 80, 12, 20}));
+
+TEST(TriangleTest, DenseChurnManyTrianglesStaysExact) {
+  // Dense small graph: lots of simultaneous triangles and pattern-(b)
+  // relays crossing each other.
+  auto sim = make_sim(8);
+  dynamics::RandomChurnParams cp;
+  cp.n = 8;
+  cp.target_edges = 22;  // of 28 possible
+  cp.max_changes = 5;
+  cp.rounds = 200;
+  cp.seed = 77;
+  dynamics::RandomChurnWorkload wl(cp);
+  run_audited(sim, wl, 5000, core::audit_triangle);
+}
+
+TEST(TriangleTest, PlantedCliqueChurnStaysExact) {
+  dynamics::PlantedParams pp;
+  pp.n = 18;
+  pp.k = 4;
+  pp.plants = 2;
+  pp.noise_per_round = 1;
+  pp.rebuild_period = 14;
+  pp.rounds = 150;
+  pp.seed = 5;
+  dynamics::PlantedCliqueWorkload wl(pp);
+  auto sim = make_sim(pp.n);
+  run_audited(sim, wl, 5000, core::audit_triangle);
+}
+
+}  // namespace
+}  // namespace dynsub
