@@ -48,13 +48,13 @@ struct Outcome {
   std::size_t messages = 0;
 };
 
-Outcome run(std::size_t deg, bool paper_literal) {
+Outcome run(std::size_t deg, bool paper_literal, std::size_t flickers) {
   const std::size_t n = 3 + deg;
   core::Robust3HopNode::Options opts;
   opts.paper_literal_l2_forward = paper_literal;
   net::Simulator sim(n, bench::factory_of<core::Robust3HopNode>(opts),
                      {.enforce_bandwidth = true, .track_prev_graph = false});
-  net::ScriptedWorkload wl(star_script(deg, 8));
+  net::ScriptedWorkload wl(star_script(deg, flickers));
   Outcome out;
   while (!(wl.finished() && sim.all_consistent()) && out.rounds < 1000000) {
     net::WorkloadObservation obs{sim.graph(), sim.round() + 1,
@@ -73,24 +73,44 @@ Outcome run(std::size_t deg, bool paper_literal) {
 }  // namespace
 }  // namespace dynsub
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynsub;
-  bench::print_block_header(
-      "EXP-ABL2", "ablation: deletion-relay forwarding rule (Theorem 6)",
-      "the paper's l <= 1 re-forward rule makes one deletion fan in as "
-      "Theta(deg) relays at distance-2 nodes; relay-chain scoping makes "
-      "those relays provably useless, and dropping them flattens the cost");
+  bench::Bench bench(argc, argv, "abl_dedup", "EXP-ABL2",
+                     "ablation: deletion-relay forwarding rule (Theorem 6)",
+                     "the paper's l <= 1 re-forward rule makes one deletion "
+                     "fan in as Theta(deg) relays at distance-2 nodes; "
+                     "relay-chain scoping makes those relays provably "
+                     "useless, and dropping them flattens the cost");
+  const auto degs = bench.sweep<std::size_t>({4, 8, 16, 32, 64}, {4, 8, 16});
+  const std::size_t flickers = bench.quick() ? 4 : 8;
 
+  const std::size_t count = degs.size();
+  harness::Series scoped_q{"scoped peak queue",
+                           std::vector<harness::SeriesPoint>(count)};
+  harness::Series literal_q{"paper-literal peak queue",
+                            std::vector<harness::SeriesPoint>(count)};
+  harness::Series scoped_msgs{"scoped messages",
+                              std::vector<harness::SeriesPoint>(count)};
+  harness::Series literal_msgs{"paper-literal messages",
+                               std::vector<harness::SeriesPoint>(count)};
   std::printf("\n  %-8s | %-32s | %-32s\n", "deg", "scoped (l=0 forward only)",
               "paper-literal (l<=1 forward)");
   std::printf("  %-8s | %-9s %-10s %-10s | %-9s %-10s %-10s\n", "", "rounds",
               "peak q", "messages", "rounds", "peak q", "messages");
-  for (std::size_t deg : {4u, 8u, 16u, 32u, 64u}) {
-    const auto scoped = run(deg, false);
-    const auto literal = run(deg, true);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t deg = degs[i];
+    const auto scoped = run(deg, false, flickers);
+    const auto literal = run(deg, true, flickers);
     std::printf("  %-8zu | %-9zu %-10zu %-10zu | %-9zu %-10zu %-10zu\n", deg,
                 scoped.rounds, scoped.peak_queue, scoped.messages,
                 literal.rounds, literal.peak_queue, literal.messages);
+    const auto x = static_cast<double>(deg);
+    scoped_q.points[i] = {x, static_cast<double>(scoped.peak_queue)};
+    literal_q.points[i] = {x, static_cast<double>(literal.peak_queue)};
+    scoped_msgs.points[i] = {x, static_cast<double>(scoped.messages)};
+    literal_msgs.points[i] = {x, static_cast<double>(literal.messages)};
   }
-  return 0;
+  bench.report_json_only(
+      "deg", {scoped_q, literal_q, scoped_msgs, literal_msgs});
+  return bench.finish();
 }

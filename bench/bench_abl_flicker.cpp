@@ -51,17 +51,28 @@ Outcome run(std::size_t repeats) {
 }  // namespace
 }  // namespace dynsub
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynsub;
-  bench::print_block_header(
-      "EXP-ABL1", "Section 1.3: the flickering-deletion counterexample",
-      "without insertion-time bookkeeping the naive algorithm keeps "
-      "answering 'true' for the deleted far edge while claiming "
-      "consistency; the Theorem 7 rules purge it");
+  bench::Bench bench(argc, argv, "abl_flicker", "EXP-ABL1",
+                     "Section 1.3: the flickering-deletion counterexample",
+                     "without insertion-time bookkeeping the naive algorithm "
+                     "keeps answering 'true' for the deleted far edge while "
+                     "claiming consistency; the Theorem 7 rules purge it");
+  const auto sweep = bench.sweep<std::size_t>({1, 4, 16, 64}, {1, 4, 8});
 
+  const std::size_t count = sweep.size();
+  harness::Series naive_wrong{"naive wrong rounds",
+                              std::vector<harness::SeriesPoint>(count)};
+  harness::Series robust_wrong{"robust wrong rounds",
+                               std::vector<harness::SeriesPoint>(count)};
+  harness::Series naive_amort{"naive amortized",
+                              std::vector<harness::SeriesPoint>(count)};
+  harness::Series robust_amort{"robust amortized",
+                               std::vector<harness::SeriesPoint>(count)};
   std::printf("\n  %-10s %-28s %-28s\n", "repeats", "naive (Sec 1.3 strawman)",
               "robust (Theorem 7)");
-  for (std::size_t repeats : {1u, 4u, 16u, 64u}) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t repeats = sweep[i];
     const auto naive = run<baseline::NaiveTwoHopNode>(repeats);
     const auto robust = run<core::Robust2HopNode>(repeats);
     std::printf(
@@ -69,10 +80,19 @@ int main() {
         "amort %-5.2f\n",
         repeats, naive.wrong_answer_rounds, naive.amortized,
         robust.wrong_answer_rounds, robust.amortized);
+    const auto x = static_cast<double>(repeats);
+    naive_wrong.points[i] = {x,
+                             static_cast<double>(naive.wrong_answer_rounds)};
+    robust_wrong.points[i] = {x,
+                              static_cast<double>(robust.wrong_answer_rounds)};
+    naive_amort.points[i] = {x, naive.amortized};
+    robust_amort.points[i] = {x, robust.amortized};
   }
   std::printf(
       "\n  (wrong rounds = rounds where the victim's answer about the ghost\n"
       "   edge contradicts ground truth while its consistency flag is up;\n"
       "   the robust column must be 0.)\n");
-  return 0;
+  bench.report_json_only(
+      "repeats", {naive_wrong, robust_wrong, naive_amort, robust_amort});
+  return bench.finish();
 }

@@ -17,27 +17,30 @@
 namespace dynsub {
 namespace {
 
-constexpr std::size_t kSizes[] = {64, 128, 256, 512, 1024};
-
 // Serialized single-edge toggles with stabilization waits: the regime the
 // paper's amortization charges (overlapping windows would hide the
 // per-change snapshot cost from the global inconsistent-rounds metric).
-dynamics::SerializedChurnWorkload make_churn(std::size_t n) {
-  return dynamics::SerializedChurnWorkload(n, 2 * n, /*toggles=*/60,
+dynamics::SerializedChurnWorkload make_churn(std::size_t n,
+                                             std::size_t toggles) {
+  return dynamics::SerializedChurnWorkload(n, 2 * n, toggles,
                                            /*seed=*/0xB0B + n);
 }
 
 }  // namespace
 }  // namespace dynsub
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynsub;
-  bench::print_block_header(
-      "EXP-COR2", "Corollary 2 / Lemma 1: 2-hop neighborhood listing",
-      "full 2-hop listing is Theta(n / log n) amortized (Lemma 1 upper, "
-      "Corollary 2 lower); the robust subset of Theorem 7 is O(1)");
+  bench::Bench bench(argc, argv, "b_full2hop", "EXP-COR2",
+                     "Corollary 2 / Lemma 1: 2-hop neighborhood listing",
+                     "full 2-hop listing is Theta(n / log n) amortized "
+                     "(Lemma 1 upper, Corollary 2 lower); the robust subset "
+                     "of Theorem 7 is O(1)");
+  const auto sizes =
+      bench.sweep<std::size_t>({64, 128, 256, 512, 1024}, {64, 128});
+  const std::size_t toggles = bench.quick() ? 20 : 60;
 
-  const std::size_t count = std::size(kSizes);
+  const std::size_t count = sizes.size();
   harness::Series full{"full 2-hop (Lemma 1)",
                        std::vector<harness::SeriesPoint>(count)};
   harness::Series robust{"robust 2-hop (Thm 7)",
@@ -45,16 +48,16 @@ int main() {
   harness::Series bound{"n/log2(n) (theory)",
                         std::vector<harness::SeriesPoint>(count)};
   harness::parallel_for(count, [&](std::size_t i) {
-    const std::size_t n = kSizes[i];
+    const std::size_t n = sizes[i];
     {
-      auto wl = make_churn(n);
+      auto wl = make_churn(n, toggles);
       full.points[i] = {static_cast<double>(n),
                         bench::run_experiment(
                             n, bench::factory_of<baseline::FullTwoHopNode>(), wl)
                             .amortized};
     }
     {
-      auto wl = make_churn(n);
+      auto wl = make_churn(n, toggles);
       robust.points[i] = {static_cast<double>(n),
                           bench::run_experiment(
                               n, bench::factory_of<core::Robust2HopNode>(), wl)
@@ -63,6 +66,6 @@ int main() {
     bound.points[i] = {static_cast<double>(n),
                        static_cast<double>(n) / std::log2(n)};
   });
-  bench::print_results("n", {full, robust, bound});
-  return 0;
+  bench.report("n", {full, robust, bound});
+  return bench.finish();
 }

@@ -15,7 +15,6 @@
 namespace dynsub {
 namespace {
 
-constexpr std::size_t kSizes[] = {32, 64, 128, 256, 512};
 constexpr std::size_t kCliqueSizes[] = {3, 4, 5, 6};
 
 struct Cell {
@@ -23,14 +22,14 @@ struct Cell {
   std::size_t cliques_listed = 0;
 };
 
-Cell run(std::size_t n, std::size_t k) {
+Cell run(std::size_t n, std::size_t k, std::size_t rounds) {
   dynamics::PlantedParams pp;
   pp.n = n;
   pp.k = k;
   pp.plants = 2;  // constant plant count: constant change rate across n
   pp.noise_per_round = 2;
   pp.rebuild_period = 8 + k * (k - 1) / 2;
-  pp.rounds = 300;
+  pp.rounds = rounds;
   pp.seed = 0xC11 + n * 7 + k;
   dynamics::PlantedCliqueWorkload wl(pp);
   net::Simulator sim(n, bench::factory_of<core::TriangleNode>(),
@@ -48,40 +47,51 @@ Cell run(std::size_t n, std::size_t k) {
 }  // namespace
 }  // namespace dynsub
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynsub;
-  bench::print_block_header(
-      "EXP-C1", "Corollary 1: k-clique membership listing (k = 3..6)",
-      "one triangle-membership structure answers every clique size in O(1) "
-      "amortized rounds (flat in n for every k)");
+  bench::Bench bench(argc, argv, "c1_clique", "EXP-C1",
+                     "Corollary 1: k-clique membership listing (k = 3..6)",
+                     "one triangle-membership structure answers every clique "
+                     "size in O(1) amortized rounds (flat in n for every k)");
+  const auto sizes =
+      bench.sweep<std::size_t>({32, 64, 128, 256, 512}, {32, 64});
+  const std::size_t rounds_per_run = bench.quick() ? 120 : 300;
 
-  const std::size_t rows = std::size(kSizes);
+  const std::size_t rows = sizes.size();
   const std::size_t cols = std::size(kCliqueSizes);
   std::vector<Cell> cells(rows * cols);
   harness::parallel_for(rows * cols, [&](std::size_t idx) {
-    cells[idx] = run(kSizes[idx / cols], kCliqueSizes[idx % cols]);
+    cells[idx] =
+        run(sizes[idx / cols], kCliqueSizes[idx % cols], rounds_per_run);
   });
 
   std::vector<harness::Series> series;
+  std::vector<harness::Series> volume;
   for (std::size_t c = 0; c < cols; ++c) {
     harness::Series s{"k=" + std::to_string(kCliqueSizes[c]),
                       std::vector<harness::SeriesPoint>(rows)};
+    harness::Series vol{"k=" + std::to_string(kCliqueSizes[c]) + " listed",
+                        std::vector<harness::SeriesPoint>(rows)};
     for (std::size_t r = 0; r < rows; ++r) {
-      s.points[r] = {static_cast<double>(kSizes[r]),
+      s.points[r] = {static_cast<double>(sizes[r]),
                      cells[r * cols + c].amortized};
+      vol.points[r] = {static_cast<double>(sizes[r]),
+                       static_cast<double>(cells[r * cols + c].cliques_listed)};
     }
     series.push_back(std::move(s));
+    volume.push_back(std::move(vol));
   }
-  bench::print_results("n", series);
+  bench.report("n", series);
+  bench.report_json_only("n", volume);
 
   std::printf("\nlisting volume (clique memberships reported, final round):\n");
   for (std::size_t r = 0; r < rows; ++r) {
-    std::printf("  n=%-5zu", kSizes[r]);
+    std::printf("  n=%-5zu", sizes[r]);
     for (std::size_t c = 0; c < cols; ++c) {
       std::printf("  k=%zu:%-6zu", kCliqueSizes[c],
                   cells[r * cols + c].cliques_listed);
     }
     std::printf("\n");
   }
-  return 0;
+  return bench.finish();
 }

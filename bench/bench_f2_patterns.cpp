@@ -34,14 +34,15 @@ struct Fig3Census {
 };
 
 template <typename NodeT>
-net::Simulator run_churn(std::size_t n, std::uint64_t seed) {
+net::Simulator run_churn(std::size_t n, std::uint64_t seed,
+                         std::size_t rounds) {
   net::Simulator sim(n, bench::factory_of<NodeT>(),
                      {.enforce_bandwidth = true, .track_prev_graph = false});
   dynamics::RandomChurnParams cp;
   cp.n = n;
   cp.target_edges = 3 * n;
   cp.max_changes = 4;
-  cp.rounds = 300;
+  cp.rounds = rounds;
   cp.seed = seed;
   dynamics::RandomChurnWorkload wl(cp);
   net::run_workload(sim, wl, 1000000);
@@ -51,17 +52,18 @@ net::Simulator run_churn(std::size_t n, std::uint64_t seed) {
 }  // namespace
 }  // namespace dynsub
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynsub;
-  const std::size_t n = 192;
-
-  bench::print_block_header(
-      "EXP-F2", "Figure 2: temporal edge patterns of T^{v,2}",
-      "the triangle structure's knowledge decomposes into incident edges, "
-      "pattern (a) (robust 2-hop) and pattern (b) (older than both)");
+  bench::Bench bench(argc, argv, "f2_patterns", "EXP-F2",
+                     "Figures 2/3: temporal edge pattern census",
+                     "the structures' knowledge decomposes exactly into the "
+                     "figures' temporal patterns (incident / pattern (a) / "
+                     "pattern (b); discovery-path lengths 1/2/3)");
+  const std::size_t n = bench.quick() ? 64 : 192;
+  const std::size_t rounds = bench.quick() ? 120 : 300;
 
   {
-    auto sim = run_churn<core::TriangleNode>(n, 0xF2);
+    auto sim = run_churn<core::TriangleNode>(n, 0xF2, rounds);
     Fig2Census census;
     std::size_t mismatch = 0;
     for (NodeId v = 0; v < n; ++v) {
@@ -93,6 +95,10 @@ int main() {
                 100.0 * census.pattern_b / total);
     std::printf("    oracle decomposition mismatches: %zu (must be 0)\n",
                 mismatch);
+    bench.metric("fig2_incident", static_cast<double>(census.incident));
+    bench.metric("fig2_pattern_a", static_cast<double>(census.pattern_a));
+    bench.metric("fig2_pattern_b", static_cast<double>(census.pattern_b));
+    bench.metric("fig2_mismatches", static_cast<double>(mismatch));
   }
 
   bench::print_block_header(
@@ -100,7 +106,7 @@ int main() {
       "discovery paths by length: 1 (incident), 2 (Fig 3a), 3 (Fig 3b)");
 
   {
-    auto sim = run_churn<core::Robust3HopNode>(n, 0xF3);
+    auto sim = run_churn<core::Robust3HopNode>(n, 0xF3, rounds);
     Fig3Census census;
     std::size_t robust_missing = 0;
     for (NodeId v = 0; v < n; ++v) {
@@ -130,6 +136,10 @@ int main() {
     std::printf("    robust 3-hop edges missing at stabilization: %zu "
                 "(must be 0)\n",
                 robust_missing);
+    bench.metric("fig3_len1", static_cast<double>(census.len1));
+    bench.metric("fig3_len2", static_cast<double>(census.len2));
+    bench.metric("fig3_len3", static_cast<double>(census.len3));
+    bench.metric("fig3_robust_missing", static_cast<double>(robust_missing));
   }
-  return 0;
+  return bench.finish();
 }

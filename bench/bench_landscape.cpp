@@ -22,25 +22,27 @@
 namespace dynsub {
 namespace {
 
-double churn_amortized(const net::NodeFactory& factory, std::size_t n) {
+double churn_amortized(const net::NodeFactory& factory, std::size_t n,
+                       std::size_t rounds) {
   dynamics::RandomChurnParams cp;
   cp.n = n;
   cp.target_edges = 2 * n;
   cp.max_changes = 6;
-  cp.rounds = 300;
+  cp.rounds = rounds;
   cp.seed = 0x1A2D;
   dynamics::RandomChurnWorkload wl(cp);
   return bench::run_experiment(n, factory, wl).amortized;
 }
 
-double planted_cycle_amortized(std::size_t n, std::size_t k) {
+double planted_cycle_amortized(std::size_t n, std::size_t k,
+                               std::size_t rounds) {
   dynamics::PlantedParams pp;
   pp.n = n;
   pp.k = k;
   pp.plants = 2;  // constant plant count: constant change rate across n
   pp.noise_per_round = 1;
   pp.rebuild_period = 12 + k;
-  pp.rounds = 300;
+  pp.rounds = rounds;
   pp.seed = 0x1A2E;
   dynamics::PlantedCycleWorkload wl(pp);
   return bench::run_experiment(
@@ -51,34 +53,46 @@ double planted_cycle_amortized(std::size_t n, std::size_t k) {
 }  // namespace
 }  // namespace dynsub
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynsub;
-  bench::print_block_header(
-      "EXP-LAND", "Section 1.2: the complexity landscape",
-      "clique membership and 4-/5-cycle listing are ultra fast (O(1)); "
-      "everything else on the map is polynomially hard");
+  bench::Bench bench(argc, argv, "landscape", "EXP-LAND",
+                     "Section 1.2: the complexity landscape",
+                     "clique membership and 4-/5-cycle listing are ultra "
+                     "fast (O(1)); everything else on the map is "
+                     "polynomially hard");
 
-  const std::size_t n = 256;
+  const std::size_t n = bench.quick() ? 96 : 256;
+  const std::size_t rounds = bench.quick() ? 120 : 300;
 
-  std::printf("\n  %-34s %-22s %-10s\n", "problem (measured at n~256)",
+  std::printf("\n  %-34s %-22s %-10s\n",
+              bench.quick() ? "problem (measured at n~96)"
+                            : "problem (measured at n~256)",
               "paper bound", "measured");
   std::printf("  %-34s %-22s %-10s\n", "---------------------------",
               "-----------", "--------");
 
-  std::printf("  %-34s %-22s %-10.2f\n", "triangle membership (Thm 1)",
-              "O(1)",
-              churn_amortized(bench::factory_of<core::TriangleNode>(), n));
-  std::printf("  %-34s %-22s %-10.2f\n", "k-clique membership (Cor 1)",
-              "O(1)",
-              churn_amortized(bench::factory_of<core::TriangleNode>(), n));
-  std::printf("  %-34s %-22s %-10.2f\n", "robust 2-hop (Thm 7)", "O(1)",
-              churn_amortized(bench::factory_of<core::Robust2HopNode>(), n));
-  std::printf("  %-34s %-22s %-10.2f\n", "robust 3-hop (Thm 6)", "O(1)",
-              churn_amortized(bench::factory_of<core::Robust3HopNode>(), n));
-  std::printf("  %-34s %-22s %-10.2f\n", "4-cycle listing (Thm 5)", "O(1)",
-              planted_cycle_amortized(n, 4));
-  std::printf("  %-34s %-22s %-10.2f\n", "5-cycle listing (Thm 5)", "O(1)",
-              planted_cycle_amortized(n, 5));
+  auto row = [&](const char* problem, const char* metric_key,
+                 const char* bound, double measured) {
+    std::printf("  %-34s %-22s %-10.2f\n", problem, bound, measured);
+    bench.metric(metric_key, measured);
+  };
+
+  // One run serves both rows: k-clique membership is answered by the very
+  // same triangle structure on the same event stream (Cor 1).
+  const double triangle_amortized =
+      churn_amortized(bench::factory_of<core::TriangleNode>(), n, rounds);
+  row("triangle membership (Thm 1)", "triangle_membership", "O(1)",
+      triangle_amortized);
+  row("k-clique membership (Cor 1)", "clique_membership", "O(1)",
+      triangle_amortized);
+  row("robust 2-hop (Thm 7)", "robust_2hop", "O(1)",
+      churn_amortized(bench::factory_of<core::Robust2HopNode>(), n, rounds));
+  row("robust 3-hop (Thm 6)", "robust_3hop", "O(1)",
+      churn_amortized(bench::factory_of<core::Robust3HopNode>(), n, rounds));
+  row("4-cycle listing (Thm 5)", "cycle4_listing", "O(1)",
+      planted_cycle_amortized(n, 4, rounds));
+  row("5-cycle listing (Thm 5)", "cycle5_listing", "O(1)",
+      planted_cycle_amortized(n, 5, rounds));
 
   {
     dynamics::MembershipLbParams mp;
@@ -90,8 +104,7 @@ int main() {
                               bench::factory_of<baseline::FullTwoHopNode>(),
                               wl)
             .amortized;
-    std::printf("  %-34s %-22s %-10.2f\n",
-                "P3 membership / 2-hop (Thm 2)", "Theta~(n)", a);
+    row("P3 membership / 2-hop (Thm 2)", "p3_membership_lb", "Theta~(n)", a);
   }
   {
     dynamics::MembershipLbParams mp;
@@ -102,23 +115,23 @@ int main() {
                          wl.nodes_required(),
                          bench::factory_of<baseline::FloodKHopNode>(2), wl)
                          .amortized;
-    std::printf("  %-34s %-22s %-10.2f\n",
-                "diamond membership (Thm 2)", "Omega(n/log n)", a);
+    row("diamond membership (Thm 2)", "diamond_membership_lb",
+        "Omega(n/log n)", a);
   }
   {
     dynamics::CycleLbParams cp;
-    cp.d = 14;  // n = 16*16 = 256
+    cp.d = bench.quick() ? 8 : 14;  // full run: n = 16*16 = 256
     cp.seed = 0x1A2F;
     dynamics::CycleLbAdversary wl(cp);
     const double a = bench::run_experiment(
                          wl.nodes_required(),
                          bench::factory_of<baseline::FloodKHopNode>(3), wl)
                          .amortized;
-    std::printf("  %-34s %-22s %-10.2f\n", "6-cycle listing (Thm 4)",
-                "Omega(sqrt n/log n)", a);
+    row("6-cycle listing (Thm 4)", "cycle6_listing_lb", "Omega(sqrt n/log n)",
+        a);
   }
   std::printf(
       "\n  The O(1) rows stay constant as n grows; the bottom rows grow with\n"
       "  n (see bench_t2_membership_lb / bench_t4_cycle_lb for the sweeps).\n");
-  return 0;
+  return bench.finish();
 }

@@ -1,7 +1,17 @@
 // Micro-benchmarks (google-benchmark): throughput of the hot paths the
 // experiment harnesses lean on -- simulator rounds per algorithm, the
 // EdgeKnowledge state machine, and the oracle's enumeration routines.
+//
+// Speaks the repo-wide bench CLI (--quick, --json <path>) by translating
+// it onto google-benchmark's own flags, so bench/run_all.sh can drive this
+// binary like the experiment benches.  The JSON it emits is
+// google-benchmark's schema, not harness/json.hpp's.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/edge_knowledge.hpp"
 #include "core/robust2hop.hpp"
@@ -122,4 +132,33 @@ BENCHMARK(BM_Oracle_Robust3Hop)->Arg(64)->Arg(128);
 }  // namespace
 }  // namespace dynsub
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<std::string> args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      args.emplace_back("--benchmark_min_time=0.01");
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json requires a path argument\n", argv[0]);
+        return 2;
+      }
+      args.emplace_back(std::string("--benchmark_out=") + argv[++i]);
+      args.emplace_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.emplace_back("--benchmark_out=" + std::string(arg.substr(7)));
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (auto& s : args) cargv.push_back(s.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,8 +20,6 @@
 namespace dynsub {
 namespace {
 
-constexpr std::size_t kTs[] = {32, 64, 128, 256, 512};
-
 double adversary_run(const dynamics::PatternGraph& pattern, std::size_t t,
                      const net::NodeFactory& factory) {
   dynamics::MembershipLbParams mp;
@@ -34,14 +32,17 @@ double adversary_run(const dynamics::PatternGraph& pattern, std::size_t t,
 }  // namespace
 }  // namespace dynsub
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynsub;
-  bench::print_block_header(
-      "EXP-T2", "Theorem 2: non-clique H membership listing lower bound",
-      "any structure for a non-clique pattern pays Omega(n / log n) "
-      "amortized rounds; cliques (K3 row) stay O(1)");
+  bench::Bench bench(argc, argv, "t2_membership_lb", "EXP-T2",
+                     "Theorem 2: non-clique H membership listing lower bound",
+                     "any structure for a non-clique pattern pays "
+                     "Omega(n / log n) amortized rounds; cliques (K3 row) "
+                     "stay O(1)");
+  const auto kTs =
+      bench.sweep<std::size_t>({32, 64, 128, 256, 512}, {16, 32, 64});
 
-  const std::size_t count = std::size(kTs);
+  const std::size_t count = kTs.size();
   harness::Series p3{"H=P3 (full2hop)", std::vector<harness::SeriesPoint>(count)};
   harness::Series diamond{"H=diamond (flood r=2)",
                           std::vector<harness::SeriesPoint>(count)};
@@ -65,6 +66,6 @@ int main() {
     bound.points[i] = {n, n / std::log2(n)};
   });
 
-  bench::print_results("n", {p3, diamond, c4, k3, bound});
-  return 0;
+  bench.report("n", {p3, diamond, c4, k3, bound});
+  return bench.finish();
 }

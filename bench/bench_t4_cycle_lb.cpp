@@ -20,8 +20,6 @@
 namespace dynsub {
 namespace {
 
-constexpr std::size_t kDs[] = {4, 6, 9, 13, 19, 28};
-
 double run(std::size_t d, const net::NodeFactory& factory) {
   dynamics::CycleLbParams cp;
   cp.d = d;
@@ -33,14 +31,16 @@ double run(std::size_t d, const net::NodeFactory& factory) {
 }  // namespace
 }  // namespace dynsub
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynsub;
-  bench::print_block_header(
-      "EXP-T4", "Theorem 4 / Figure 4: 6-cycle listing lower bound",
-      "k-cycle listing for k >= 6 pays Omega(sqrt(n) / log n) amortized; "
-      "4-/5-cycle machinery (Thm 5) on the same stream stays O(1)");
+  bench::Bench bench(argc, argv, "t4_cycle_lb", "EXP-T4",
+                     "Theorem 4 / Figure 4: 6-cycle listing lower bound",
+                     "k-cycle listing for k >= 6 pays Omega(sqrt(n) / log n) "
+                     "amortized; 4-/5-cycle machinery (Thm 5) on the same "
+                     "stream stays O(1)");
+  const auto kDs = bench.sweep<std::size_t>({4, 6, 9, 13, 19, 28}, {4, 6, 9});
 
-  const std::size_t count = std::size(kDs);
+  const std::size_t count = kDs.size();
   harness::Series flood{"6-cycle lister (flood r=3)",
                         std::vector<harness::SeriesPoint>(count)};
   harness::Series robust{"robust 3-hop (Thm 5, contrast)",
@@ -54,6 +54,6 @@ int main() {
     robust.points[i] = {n, run(d, bench::factory_of<core::Robust3HopNode>())};
     bound.points[i] = {n, std::sqrt(n) / std::log2(n)};
   });
-  bench::print_results("n", {flood, robust, bound});
-  return 0;
+  bench.report("n", {flood, robust, bound});
+  return bench.finish();
 }

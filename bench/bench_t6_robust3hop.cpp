@@ -16,32 +16,30 @@
 namespace dynsub {
 namespace {
 
-constexpr std::size_t kSizes[] = {32, 64, 128, 256, 512};
-
 struct Cell {
   double amortized = 0;
   std::size_t max_queue = 0;
   std::size_t paths = 0;
 };
 
-Cell run_random(std::size_t n) {
+Cell run_random(std::size_t n, std::size_t rounds) {
   dynamics::RandomChurnParams cp;
   cp.n = n;
   cp.target_edges = 2 * n;
   cp.max_changes = 4;  // constant change rate: the flat-in-n demonstration
-  cp.rounds = 300;
+  cp.rounds = rounds;
   cp.seed = 0x36 + n;
   dynamics::RandomChurnWorkload wl(cp);
   net::Simulator sim(n, bench::factory_of<core::Robust3HopNode>(),
                      {.enforce_bandwidth = true, .track_prev_graph = false});
   Cell cell;
-  std::size_t rounds = 0;
-  while (rounds < 1000000 && !(wl.finished() && sim.all_consistent())) {
+  std::size_t steps = 0;
+  while (steps < 1000000 && !(wl.finished() && sim.all_consistent())) {
     net::WorkloadObservation obs{sim.graph(), sim.round() + 1,
                                  sim.all_consistent()};
     auto ev = wl.finished() ? std::vector<EdgeEvent>{} : wl.next_round(obs);
     sim.step(ev);
-    ++rounds;
+    ++steps;
     for (NodeId v = 0; v < n; ++v) {
       cell.max_queue = std::max(cell.max_queue, sim.node(v).queue_length());
     }
@@ -57,14 +55,14 @@ Cell run_random(std::size_t n) {
   return cell;
 }
 
-double run_session(std::size_t n) {
+double run_session(std::size_t n, std::size_t rounds) {
   dynamics::SessionChurnParams sp;
   sp.n = n;
   // Scale session/offline lengths with n so the expected number of
   // topology changes per round stays constant across sizes.
   sp.session_min = 4.0 * static_cast<double>(n) / 32.0;
   sp.mean_offline = 6.0 * static_cast<double>(n) / 32.0;
-  sp.rounds = 300;
+  sp.rounds = rounds;
   sp.seed = 0x3E55 + n;
   dynamics::SessionChurnWorkload wl(sp);
   return bench::run_experiment(n, bench::factory_of<core::Robust3HopNode>(),
@@ -75,29 +73,40 @@ double run_session(std::size_t n) {
 }  // namespace
 }  // namespace dynsub
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynsub;
-  bench::print_block_header(
-      "EXP-T6", "Theorem 6: robust 3-hop neighborhood listing",
-      "maintained in O(1) amortized rounds with O(log n)-bit messages "
-      "(flat in n)");
+  bench::Bench bench(argc, argv, "t6_robust3hop", "EXP-T6",
+                     "Theorem 6: robust 3-hop neighborhood listing",
+                     "maintained in O(1) amortized rounds with O(log n)-bit "
+                     "messages (flat in n)");
+  const auto sizes =
+      bench.sweep<std::size_t>({32, 64, 128, 256, 512}, {32, 64, 128});
+  const std::size_t rounds = bench.quick() ? 120 : 300;
 
-  const std::size_t count = std::size(kSizes);
+  const std::size_t count = sizes.size();
   harness::Series random_s{"random churn", std::vector<harness::SeriesPoint>(count)};
   harness::Series session_s{"session churn", std::vector<harness::SeriesPoint>(count)};
   std::vector<Cell> cells(count);
   harness::parallel_for(count, [&](std::size_t i) {
-    cells[i] = run_random(kSizes[i]);
-    random_s.points[i] = {static_cast<double>(kSizes[i]), cells[i].amortized};
-    session_s.points[i] = {static_cast<double>(kSizes[i]),
-                           run_session(kSizes[i])};
+    cells[i] = run_random(sizes[i], rounds);
+    random_s.points[i] = {static_cast<double>(sizes[i]), cells[i].amortized};
+    session_s.points[i] = {static_cast<double>(sizes[i]),
+                           run_session(sizes[i], rounds)};
   });
-  bench::print_results("n", {random_s, session_s});
+  bench.report("n", {random_s, session_s});
 
+  harness::Series peak_q{"peak queue", std::vector<harness::SeriesPoint>(count)};
+  harness::Series paths{"discovery paths stored",
+                        std::vector<harness::SeriesPoint>(count)};
   std::printf("\nmechanism internals (random churn):\n");
   for (std::size_t i = 0; i < count; ++i) {
     std::printf("  n=%-5zu peak queue %-4zu discovery paths stored %-8zu\n",
-                kSizes[i], cells[i].max_queue, cells[i].paths);
+                sizes[i], cells[i].max_queue, cells[i].paths);
+    peak_q.points[i] = {static_cast<double>(sizes[i]),
+                        static_cast<double>(cells[i].max_queue)};
+    paths.points[i] = {static_cast<double>(sizes[i]),
+                       static_cast<double>(cells[i].paths)};
   }
-  return 0;
+  bench.report_json_only("n", {peak_q, paths});
+  return bench.finish();
 }

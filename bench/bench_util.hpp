@@ -5,19 +5,134 @@
 // block: the claim, a results table, an ASCII chart of the series, and the
 // log-log slope of each curve so the growth shape is a number.  Sweep
 // points are independent simulations and run on a thread pool.
+//
+// All benches speak the same CLI:
+//   --quick         reduced sweep (CI smoke / fast local iteration)
+//   --json <path>   also write the results as a BENCH_<name>.json document
+//                   (schema in harness/json.hpp); bench/run_all.sh drives
+//                   every binary this way to feed the perf trajectory
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/json.hpp"
 #include "net/simulator.hpp"
 #include "net/workload.hpp"
 
 namespace dynsub::bench {
+
+struct BenchOptions {
+  bool quick = false;
+  std::string json_path;
+};
+
+/// Parses the shared bench CLI; exits on --help or an unknown flag.
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json requires a path argument\n", argv[0]);
+        std::exit(2);
+      }
+      opts.json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opts.json_path = std::string(arg.substr(7));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--quick] [--json <path>]\n", argv[0]);
+      std::printf("  --quick        run a reduced sweep (CI smoke)\n");
+      std::printf("  --json <path>  write results as a JSON document\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n",
+                   argv[0], std::string(arg).c_str());
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+/// One bench run: owns the parsed options and the JSON document that
+/// mirrors everything report() prints.  Typical main:
+///
+///   Bench bench(argc, argv, "t1_triangle", "EXP-T1", "...", "...");
+///   const auto sizes = bench.quick() ? kQuickSizes : kSizes;
+///   ...
+///   bench.report("n", {series...});
+///   return bench.finish();
+class Bench {
+ public:
+  Bench(int argc, char** argv, std::string name, std::string exp_id,
+        std::string artifact, std::string claim)
+      : opts_(parse_options(argc, argv)),
+        doc_(harness::make_bench_document(name, exp_id, artifact, claim,
+                                          opts_.quick)) {
+    print_block_header_impl(exp_id, artifact, claim);
+    if (opts_.quick) std::printf("(quick mode: reduced sweep)\n");
+  }
+
+  [[nodiscard]] bool quick() const { return opts_.quick; }
+
+  /// Picks the full or reduced sweep depending on --quick.
+  template <typename T>
+  [[nodiscard]] std::vector<T> sweep(std::initializer_list<T> full,
+                                     std::initializer_list<T> reduced) const {
+    return opts_.quick ? std::vector<T>(reduced) : std::vector<T>(full);
+  }
+
+  /// Prints the standard results block and records the sweep in the JSON
+  /// document.
+  void report(const std::string& x_name,
+              const std::vector<harness::Series>& series);
+
+  /// Records a sweep in the JSON document without printing (for data that
+  /// already has a bespoke printed form).
+  void report_json_only(const std::string& x_name,
+                        const std::vector<harness::Series>& series) {
+    harness::add_sweep(doc_, x_name, series);
+  }
+
+  /// Records a scalar result (census counts, invariant violations, ...).
+  void metric(std::string_view key, double value) {
+    harness::add_metric(doc_, key, value);
+  }
+
+  void note(std::string_view key, std::string_view value) {
+    harness::add_note(doc_, key, value);
+  }
+
+  /// Writes the JSON document if --json was given; returns main()'s exit
+  /// code (1 on write failure).
+  [[nodiscard]] int finish() {
+    if (opts_.json_path.empty()) return 0;
+    if (!harness::write_json_file(opts_.json_path, doc_)) {
+      std::fprintf(stderr, "failed to write results to %s\n",
+                   opts_.json_path.c_str());
+      return 1;
+    }
+    std::printf("\nresults written to %s\n", opts_.json_path.c_str());
+    return 0;
+  }
+
+ private:
+  static void print_block_header_impl(const std::string& exp_id,
+                                      const std::string& artifact,
+                                      const std::string& claim);
+
+  BenchOptions opts_;
+  harness::Json doc_;
+};
 
 inline void print_block_header(const std::string& exp_id,
                                const std::string& artifact,
@@ -61,6 +176,18 @@ net::NodeFactory factory_of(Extra... extra) {
   return [extra...](NodeId v, std::size_t n) {
     return std::make_unique<NodeT>(v, n, extra...);
   };
+}
+
+inline void Bench::print_block_header_impl(const std::string& exp_id,
+                                           const std::string& artifact,
+                                           const std::string& claim) {
+  print_block_header(exp_id, artifact, claim);
+}
+
+inline void Bench::report(const std::string& x_name,
+                          const std::vector<harness::Series>& series) {
+  print_results(x_name, series);
+  harness::add_sweep(doc_, x_name, series);
 }
 
 }  // namespace dynsub::bench

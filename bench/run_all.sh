@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Runs every bench binary with the shared CLI and collects one
+# BENCH_<name>.json per bench -- the machine-readable perf trajectory.
+#
+#   bench/run_all.sh [--quick] [--build-dir DIR] [--out-dir DIR]
+#
+#   --quick       reduced sweeps (CI smoke; seconds instead of minutes)
+#   --build-dir   where the bench binaries live (default: build/release,
+#                 configured+built via the release preset if missing)
+#   --out-dir     where to write BENCH_*.json (default: the repo root)
+#
+# Every emitted file is validated as JSON; the script fails if any bench
+# exits non-zero or writes an invalid document.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+QUICK=0
+BUILD_DIR=""
+OUT_DIR="$ROOT"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1; shift ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out-dir) OUT_DIR="$2"; shift 2 ;;
+    -h|--help)
+      sed -n '2,13p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
+      exit 0 ;;
+    *) echo "run_all.sh: unknown argument '$1' (try --help)" >&2; exit 2 ;;
+  esac
+done
+
+if [[ -z "$BUILD_DIR" ]]; then
+  for cand in "$ROOT/build/release" "$ROOT/build"; do
+    if [[ -x "$cand/bench_t1_triangle" ]]; then
+      BUILD_DIR="$cand"
+      break
+    fi
+  done
+fi
+if [[ -z "$BUILD_DIR" ]]; then
+  echo "run_all.sh: no built benches found; building the release preset" >&2
+  (cd "$ROOT" && cmake --preset release && cmake --build --preset release -j "$(nproc)")
+  BUILD_DIR="$ROOT/build/release"
+fi
+
+mkdir -p "$OUT_DIR"
+
+validate_json() {
+  if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$1" > /dev/null
+  else
+    # No validator available; at least require a non-empty file.
+    [[ -s "$1" ]]
+  fi
+}
+
+declare -a emitted=()
+failures=0
+for bin in "$BUILD_DIR"/bench_*; do
+  [[ -x "$bin" && -f "$bin" ]] || continue
+  base="$(basename "$bin")"
+  name="${base#bench_}"
+  out="$OUT_DIR/BENCH_${name}.json"
+  echo
+  echo "### $base -> $out"
+  args=(--json "$out")
+  [[ "$QUICK" -eq 1 ]] && args+=(--quick)
+  if ! "$bin" "${args[@]}"; then
+    echo "run_all.sh: $base FAILED" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if ! validate_json "$out"; then
+    echo "run_all.sh: $out is not valid JSON" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  emitted+=("$out")
+done
+
+echo
+echo "run_all.sh: ${#emitted[@]} bench result file(s) in $OUT_DIR"
+# ${arr[@]+...} guard: empty-array expansion trips `set -u` on bash < 4.4.
+for f in ${emitted[@]+"${emitted[@]}"}; do echo "  $f"; done
+if [[ "$failures" -gt 0 ]]; then
+  echo "run_all.sh: $failures bench(es) failed" >&2
+  exit 1
+fi
+if [[ "${#emitted[@]}" -eq 0 ]]; then
+  echo "run_all.sh: no bench binaries found in $BUILD_DIR" >&2
+  exit 1
+fi

@@ -7,6 +7,16 @@
 // of -1 used by the paper (t_e = -1 initially) is representable.
 #pragma once
 
+// The codebase relies on C++20 throughout -- defaulted operator== and
+// operator<=> (edge.hpp, flat_set.hpp), designated initializers, spans.
+// Without this guard a pre-C++20 compile dies with dozens of cryptic
+// "no match for operator" errors far from the actual cause; fail here with
+// the one message that matters instead.
+#if !defined(__cpp_impl_three_way_comparison) || \
+    __cpp_impl_three_way_comparison < 201907L
+#error "dynsub requires C++20 (operator<=> support): compile with -std=c++20 or newer"
+#endif
+
 #include <cstdint>
 #include <limits>
 

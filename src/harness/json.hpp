@@ -1,0 +1,107 @@
+// JSON results layer for the measurement pipeline.
+//
+// Every bench binary can serialize what it printed -- run summaries and
+// sweep series -- into a small, versioned JSON document (`BENCH_<name>.json`)
+// so the perf trajectory across commits is machine-readable.  The document
+// model below is deliberately tiny: ordered object members (stable output
+// byte-for-byte for identical inputs), doubles that render as integers when
+// they are integral, and a strict recursive-descent parser used by the
+// round-trip tests.  No third-party JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace dynsub::harness {
+
+/// Minimal JSON document: null, bool, number (double), string, array,
+/// object.  Object members keep insertion order so dumps are stable.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  [[nodiscard]] static Json boolean(bool v);
+  [[nodiscard]] static Json number(double v);
+  [[nodiscard]] static Json number(std::uint64_t v);
+  [[nodiscard]] static Json number(std::int64_t v);
+  [[nodiscard]] static Json string(std::string_view v);
+  [[nodiscard]] static Json array();
+  [[nodiscard]] static Json object();
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  /// Array elements (empty unless type() == kArray).
+  [[nodiscard]] const std::vector<Json>& items() const { return items_; }
+  /// Object members in insertion order (empty unless type() == kObject).
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const {
+    return members_;
+  }
+
+  /// Object insert-or-get; converts a null value into an empty object.
+  Json& operator[](std::string_view key);
+  /// Object lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  /// Array append; converts a null value into an empty array.
+  void push_back(Json v);
+
+  /// Serializes with `indent` spaces per level (0 = single line).
+  [[nodiscard]] std::string dump(int indent = 2) const;
+  /// Strict parse of a complete JSON text; nullopt on any syntax error or
+  /// trailing garbage.
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+// ---------------------------------------------------------------------------
+// The bench results schema.  Version history:
+//   1 -- initial: schema_version, tool, bench, exp_id, artifact, claim,
+//        quick, sweeps[] (x_name + series[] with points[] and
+//        log_log_slope), metrics{}, notes{}.
+// Bump the version whenever a field is renamed, removed, or changes
+// meaning; adding new optional fields is backward compatible.
+// ---------------------------------------------------------------------------
+inline constexpr int kBenchSchemaVersion = 1;
+
+[[nodiscard]] Json to_json(const RunSummary& s);
+[[nodiscard]] Json to_json(const Series& s);
+[[nodiscard]] std::optional<RunSummary> run_summary_from_json(const Json& j);
+[[nodiscard]] std::optional<Series> series_from_json(const Json& j);
+
+/// Skeleton document for one bench run.
+[[nodiscard]] Json make_bench_document(std::string_view bench,
+                                       std::string_view exp_id,
+                                       std::string_view artifact,
+                                       std::string_view claim, bool quick);
+/// Appends one sweep (x parameter name + measured series) to `doc`.
+void add_sweep(Json& doc, std::string_view x_name,
+               const std::vector<Series>& series);
+/// Records a scalar metric (e.g. a census count) under doc["metrics"].
+void add_metric(Json& doc, std::string_view name, double value);
+/// Records a free-form annotation under doc["notes"].
+void add_note(Json& doc, std::string_view key, std::string_view value);
+
+/// Writes `doc.dump()` plus a trailing newline; false on I/O failure.
+[[nodiscard]] bool write_json_file(const std::string& path, const Json& doc);
+
+}  // namespace dynsub::harness

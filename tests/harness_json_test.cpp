@@ -1,0 +1,272 @@
+// Tests for the JSON results layer: document model round-trips, the
+// RunSummary/Series serializers, and stability of the bench schema that
+// the perf trajectory (BENCH_*.json) depends on.
+#include "harness/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dynsub::harness {
+namespace {
+
+TEST(Json, ScalarsDumpAndParse) {
+  EXPECT_EQ(Json().dump(0), "null");
+  EXPECT_EQ(Json::boolean(true).dump(0), "true");
+  EXPECT_EQ(Json::boolean(false).dump(0), "false");
+  EXPECT_EQ(Json::string("hi").dump(0), "\"hi\"");
+  EXPECT_EQ(Json::number(3.5).dump(0), "3.5");
+
+  auto parsed = Json::parse("3.5");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->as_number(), 3.5);
+
+  parsed = Json::parse("  true ");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->as_bool());
+
+  parsed = Json::parse("null");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_null());
+}
+
+TEST(Json, IntegralNumbersPrintWithoutFraction) {
+  EXPECT_EQ(Json::number(std::uint64_t{42}).dump(0), "42");
+  EXPECT_EQ(Json::number(std::int64_t{-7}).dump(0), "-7");
+  EXPECT_EQ(Json::number(1e6).dump(0), "1000000");
+  // Counters round-trip exactly through the double representation.
+  const auto big = std::uint64_t{1} << 52;
+  auto parsed = Json::parse(Json::number(big).dump(0));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(static_cast<std::uint64_t>(parsed->as_number()), big);
+}
+
+TEST(Json, StringEscapes) {
+  const std::string raw = "a\"b\\c\nd\te\x01f";
+  const std::string dumped = Json::string(raw).dump(0);
+  auto parsed = Json::parse(dumped);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), raw);
+
+  parsed = Json::parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "A\xC3\xA9");
+}
+
+TEST(Json, SurrogatePairsDecodeToUtf8) {
+  // U+1F600 as a \u surrogate pair must become a single 4-byte UTF-8
+  // sequence, not two 3-byte CESU-8 sequences.
+  auto parsed = Json::parse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "\xF0\x9F\x98\x80");
+  // Lone surrogates (either half) are invalid.
+  EXPECT_FALSE(Json::parse("\"\\ud83d\"").has_value());
+  EXPECT_FALSE(Json::parse("\"\\ud83dx\"").has_value());
+  EXPECT_FALSE(Json::parse("\"\\ud83d\\u0041\"").has_value());
+  EXPECT_FALSE(Json::parse("\"\\ude00\"").has_value());
+}
+
+TEST(Json, ObjectsKeepInsertionOrderAndRoundTrip) {
+  Json obj = Json::object();
+  obj["zeta"] = Json::number(1.0);
+  obj["alpha"] = Json::number(2.0);
+  obj["nested"]["inner"] = Json::string("x");
+  ASSERT_EQ(obj.members().size(), 3u);
+  EXPECT_EQ(obj.members()[0].first, "zeta");
+  EXPECT_EQ(obj.members()[1].first, "alpha");
+
+  const std::string dumped = obj.dump(2);
+  auto parsed = Json::parse(dumped);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(2), dumped);  // dump(parse(dump(x))) is stable
+  const Json* inner = parsed->find("nested");
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(inner->find("inner"), nullptr);
+  EXPECT_EQ(inner->find("inner")->as_string(), "x");
+}
+
+TEST(Json, ArraysRoundTrip) {
+  Json arr = Json::array();
+  arr.push_back(Json::number(1.0));
+  arr.push_back(Json::string("two"));
+  arr.push_back(Json::boolean(false));
+  auto parsed = Json::parse(arr.dump(0));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->items().size(), 3u);
+  EXPECT_EQ(parsed->items()[1].as_string(), "two");
+  EXPECT_EQ(Json::parse("[]")->items().size(), 0u);
+  EXPECT_EQ(Json::parse("{}")->members().size(), 0u);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("1.").has_value());
+  EXPECT_FALSE(Json::parse("tru").has_value());
+  EXPECT_FALSE(Json::parse("1 2").has_value());  // trailing garbage
+  EXPECT_FALSE(Json::parse("\"bad\\q\"").has_value());
+  EXPECT_FALSE(Json::parse("0123").has_value());  // leading zero
+  EXPECT_FALSE(Json::parse("-012").has_value());
+  EXPECT_TRUE(Json::parse("0.5").has_value());
+  EXPECT_TRUE(Json::parse("-0.5").has_value());
+}
+
+TEST(Json, ParseRejectsPathologicalNesting) {
+  std::string deep(500, '[');
+  deep += std::string(500, ']');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+}
+
+RunSummary sample_summary() {
+  RunSummary s;
+  s.n = 128;
+  s.rounds = 431;
+  s.changes = 1290;
+  s.inconsistent_rounds = 77;
+  s.amortized = 0.0596899;
+  s.amortized_sup = 0.75;
+  s.per_node_sup = 1.25;
+  s.messages = 987654;
+  s.payload_bits = 12345678;
+  return s;
+}
+
+TEST(JsonSchema, RunSummaryRoundTrip) {
+  const RunSummary s = sample_summary();
+  const Json j = to_json(s);
+  const auto back_opt = run_summary_from_json(j);
+  ASSERT_TRUE(back_opt.has_value());
+  const RunSummary& back = *back_opt;
+  EXPECT_EQ(back.n, s.n);
+  EXPECT_EQ(back.rounds, s.rounds);
+  EXPECT_EQ(back.changes, s.changes);
+  EXPECT_EQ(back.inconsistent_rounds, s.inconsistent_rounds);
+  EXPECT_DOUBLE_EQ(back.amortized, s.amortized);
+  EXPECT_DOUBLE_EQ(back.amortized_sup, s.amortized_sup);
+  EXPECT_DOUBLE_EQ(back.per_node_sup, s.per_node_sup);
+  EXPECT_EQ(back.messages, s.messages);
+  EXPECT_EQ(back.payload_bits, s.payload_bits);
+
+  // Text-level round-trip (what actually lands in BENCH_*.json).
+  auto parsed = Json::parse(j.dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(run_summary_from_json(*parsed).has_value());
+}
+
+TEST(JsonSchema, RunSummaryFieldNamesAreStable) {
+  // The perf-trajectory consumers key on these exact names; renaming any
+  // of them is a schema break and must bump kBenchSchemaVersion.
+  const Json j = to_json(sample_summary());
+  for (const char* key :
+       {"n", "rounds", "changes", "inconsistent_rounds", "amortized",
+        "amortized_sup", "per_node_sup", "messages", "payload_bits"}) {
+    EXPECT_NE(j.find(key), nullptr) << "missing field: " << key;
+  }
+  EXPECT_EQ(j.members().size(), 9u) << "unexpected extra/missing fields";
+}
+
+TEST(JsonSchema, RunSummaryFromJsonRejectsMissingFields) {
+  Json j = to_json(sample_summary());
+  Json incomplete = Json::object();
+  for (const auto& [k, v] : j.members()) {
+    if (k != "messages") incomplete[k] = v;
+  }
+  EXPECT_FALSE(run_summary_from_json(incomplete).has_value());
+}
+
+TEST(JsonSchema, SeriesRoundTrip) {
+  Series s;
+  s.name = "random churn";
+  s.points = {{32, 0.53}, {64, 0.51}, {128, 0.47}};
+  const Json j = to_json(s);
+  const auto back = series_from_json(j);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, s.name);
+  ASSERT_EQ(back->points.size(), s.points.size());
+  for (std::size_t i = 0; i < s.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back->points[i].x, s.points[i].x);
+    EXPECT_DOUBLE_EQ(back->points[i].y, s.points[i].y);
+  }
+  // The serialized form also carries the derived log-log slope.
+  const Json* slope = j.find("log_log_slope");
+  ASSERT_NE(slope, nullptr);
+  EXPECT_NEAR(slope->as_number(), log_log_slope(s), 1e-12);
+}
+
+TEST(JsonSchema, BenchDocumentShapeIsStable) {
+  Json doc = make_bench_document("t1_triangle", "EXP-T1", "artifact text",
+                                 "claim text", /*quick=*/true);
+  Series s;
+  s.name = "series";
+  s.points = {{1, 2}};
+  add_sweep(doc, "n", {s});
+  add_metric(doc, "mismatches", 0.0);
+  add_note(doc, "host", "ci");
+
+  ASSERT_NE(doc.find("schema_version"), nullptr);
+  EXPECT_EQ(static_cast<int>(doc.find("schema_version")->as_number()),
+            kBenchSchemaVersion);
+  EXPECT_EQ(doc.find("tool")->as_string(), "dynsub-bench");
+  EXPECT_EQ(doc.find("bench")->as_string(), "t1_triangle");
+  EXPECT_EQ(doc.find("exp_id")->as_string(), "EXP-T1");
+  EXPECT_EQ(doc.find("artifact")->as_string(), "artifact text");
+  EXPECT_EQ(doc.find("claim")->as_string(), "claim text");
+  EXPECT_TRUE(doc.find("quick")->as_bool());
+
+  const Json* sweeps = doc.find("sweeps");
+  ASSERT_NE(sweeps, nullptr);
+  ASSERT_EQ(sweeps->items().size(), 1u);
+  const Json& sweep = sweeps->items()[0];
+  EXPECT_EQ(sweep.find("x_name")->as_string(), "n");
+  ASSERT_EQ(sweep.find("series")->items().size(), 1u);
+  const auto series_back = series_from_json(sweep.find("series")->items()[0]);
+  ASSERT_TRUE(series_back.has_value());
+  EXPECT_EQ(series_back->name, "series");
+
+  EXPECT_DOUBLE_EQ(doc.find("metrics")->find("mismatches")->as_number(), 0.0);
+  EXPECT_EQ(doc.find("notes")->find("host")->as_string(), "ci");
+
+  // Top-level member order is part of the stable output (documents diff
+  // cleanly across commits).
+  const char* expected_order[] = {"schema_version", "tool",     "bench",
+                                  "exp_id",         "artifact", "claim",
+                                  "quick",          "sweeps",   "metrics",
+                                  "notes"};
+  ASSERT_EQ(doc.members().size(), std::size(expected_order));
+  for (std::size_t i = 0; i < std::size(expected_order); ++i) {
+    EXPECT_EQ(doc.members()[i].first, expected_order[i]);
+  }
+}
+
+TEST(JsonSchema, WriteJsonFileProducesParseableDocument) {
+  Json doc = make_bench_document("unit", "EXP-UNIT", "a", "c", false);
+  add_metric(doc, "k", 1.5);
+  const std::string path =
+      ::testing::TempDir() + "/dynsub_harness_json_test.json";
+  ASSERT_TRUE(write_json_file(path, doc));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("bench")->as_string(), "unit");
+  std::remove(path.c_str());
+}
+
+TEST(JsonSchema, WriteJsonFileFailsOnBadPath) {
+  EXPECT_FALSE(write_json_file("/nonexistent-dir/x/y.json", Json::object()));
+}
+
+}  // namespace
+}  // namespace dynsub::harness
