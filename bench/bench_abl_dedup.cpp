@@ -8,6 +8,7 @@
 // costing Theta(deg) distinct (e, 2, via) queue items per deletion at the
 // hub, while the scoped rule stays flat.  (Queue duplicate suppression,
 // deviation D4, is on in both columns; it is orthogonal.)
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -53,9 +54,12 @@ Outcome run(std::size_t deg, bool paper_literal, std::size_t flickers) {
   core::Robust3HopNode::Options opts;
   opts.paper_literal_l2_forward = paper_literal;
   net::Simulator sim(n, bench::factory_of<core::Robust3HopNode>(opts),
-                     {.enforce_bandwidth = true, .track_prev_graph = false});
+                     {.enforce_bandwidth = true,
+                      .track_prev_graph = false,
+                      .collect_phase_timings = true});
   net::ScriptedWorkload wl(star_script(deg, flickers));
   Outcome out;
+  const auto start = std::chrono::steady_clock::now();
   while (!(wl.finished() && sim.all_consistent()) && out.rounds < 1000000) {
     net::WorkloadObservation obs{sim.graph(), sim.round() + 1,
                                  sim.all_consistent()};
@@ -66,6 +70,10 @@ Outcome run(std::size_t deg, bool paper_literal, std::size_t flickers) {
       out.peak_queue = std::max(out.peak_queue, sim.node(v).queue_length());
     }
   }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  bench::perf_accumulator().add(harness::summarize_timed(sim, wall));
   out.messages = sim.metrics().messages();
   return out;
 }

@@ -6,6 +6,7 @@
 // flag* -- the failure mode the imaginary-timestamp machinery exists to
 // prevent.  Also compares amortized complexity to show robustness is not
 // bought with extra rounds.
+#include <chrono>
 #include <cstdio>
 
 #include "baseline/naive2hop.hpp"
@@ -26,9 +27,11 @@ struct Outcome {
 template <typename NodeT>
 Outcome run(std::size_t repeats) {
   const auto scenario = dynamics::make_repeated_flicker_scenario(8, repeats);
-  net::Simulator sim(8, bench::factory_of<NodeT>());
+  net::Simulator sim(8, bench::factory_of<NodeT>(),
+                     {.collect_phase_timings = true});
   net::ScriptedWorkload wl(scenario.script);
   Outcome out;
+  const auto start = std::chrono::steady_clock::now();
   while (!(wl.finished() && sim.all_consistent()) && out.rounds < 1000000) {
     net::WorkloadObservation obs{sim.graph(), sim.round() + 1,
                                  sim.all_consistent()};
@@ -44,6 +47,10 @@ Outcome run(std::size_t repeats) {
             .contains(scenario.ghost);
     if ((answer == net::Answer::kTrue) != truth) ++out.wrong_answer_rounds;
   }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  bench::perf_accumulator().add(harness::summarize_timed(sim, wall));
   out.amortized = sim.metrics().amortized();
   return out;
 }

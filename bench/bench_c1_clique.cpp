@@ -33,8 +33,10 @@ Cell run(std::size_t n, std::size_t k, std::size_t rounds) {
   pp.seed = 0xC11 + n * 7 + k;
   dynamics::PlantedCliqueWorkload wl(pp);
   net::Simulator sim(n, bench::factory_of<core::TriangleNode>(),
-                     {.enforce_bandwidth = true, .track_prev_graph = false});
-  net::run_workload(sim, wl, 1000000);
+                     {.enforce_bandwidth = true,
+                      .track_prev_graph = false,
+                      .collect_phase_timings = true});
+  bench::run_timed(sim, wl, 1000000);
   Cell cell;
   cell.amortized = sim.metrics().amortized();
   for (NodeId v = 0; v < n; ++v) {

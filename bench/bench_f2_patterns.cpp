@@ -37,7 +37,9 @@ template <typename NodeT>
 net::Simulator run_churn(std::size_t n, std::uint64_t seed,
                          std::size_t rounds) {
   net::Simulator sim(n, bench::factory_of<NodeT>(),
-                     {.enforce_bandwidth = true, .track_prev_graph = false});
+                     {.enforce_bandwidth = true,
+                      .track_prev_graph = false,
+                      .collect_phase_timings = true});
   dynamics::RandomChurnParams cp;
   cp.n = n;
   cp.target_edges = 3 * n;
@@ -45,7 +47,7 @@ net::Simulator run_churn(std::size_t n, std::uint64_t seed,
   cp.rounds = rounds;
   cp.seed = seed;
   dynamics::RandomChurnWorkload wl(cp);
-  net::run_workload(sim, wl, 1000000);
+  bench::run_timed(sim, wl, 1000000);
   return sim;
 }
 

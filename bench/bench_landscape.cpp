@@ -22,8 +22,8 @@
 namespace dynsub {
 namespace {
 
-double churn_amortized(const net::NodeFactory& factory, std::size_t n,
-                       std::size_t rounds) {
+harness::RunSummary churn_run(const net::NodeFactory& factory, std::size_t n,
+                              std::size_t rounds) {
   dynamics::RandomChurnParams cp;
   cp.n = n;
   cp.target_edges = 2 * n;
@@ -31,11 +31,11 @@ double churn_amortized(const net::NodeFactory& factory, std::size_t n,
   cp.rounds = rounds;
   cp.seed = 0x1A2D;
   dynamics::RandomChurnWorkload wl(cp);
-  return bench::run_experiment(n, factory, wl).amortized;
+  return bench::run_experiment(n, factory, wl);
 }
 
-double planted_cycle_amortized(std::size_t n, std::size_t k,
-                               std::size_t rounds) {
+harness::RunSummary planted_cycle_run(std::size_t n, std::size_t k,
+                                      std::size_t rounds) {
   dynamics::PlantedParams pp;
   pp.n = n;
   pp.k = k;
@@ -45,9 +45,8 @@ double planted_cycle_amortized(std::size_t n, std::size_t k,
   pp.rounds = rounds;
   pp.seed = 0x1A2E;
   dynamics::PlantedCycleWorkload wl(pp);
-  return bench::run_experiment(
-             n, bench::factory_of<core::Robust3HopNode>(), wl)
-      .amortized;
+  return bench::run_experiment(n, bench::factory_of<core::Robust3HopNode>(),
+                               wl);
 }
 
 }  // namespace
@@ -76,23 +75,31 @@ int main(int argc, char** argv) {
     std::printf("  %-34s %-22s %-10.2f\n", problem, bound, measured);
     bench.metric(metric_key, measured);
   };
+  // Sparse-churn rows also record their engine throughput: the
+  // `<key>.rounds_per_sec` metrics are what bench/check_regression.py
+  // tracks across commits.
+  auto perf_row = [&](const char* problem, const std::string& metric_key,
+                      const char* bound, const harness::RunSummary& s) {
+    row(problem, metric_key.c_str(), bound, s.amortized);
+    bench.metric(metric_key + ".rounds_per_sec", s.rounds_per_sec);
+  };
 
   // One run serves both rows: k-clique membership is answered by the very
   // same triangle structure on the same event stream (Cor 1).
-  const double triangle_amortized =
-      churn_amortized(bench::factory_of<core::TriangleNode>(), n, rounds);
-  row("triangle membership (Thm 1)", "triangle_membership", "O(1)",
-      triangle_amortized);
+  const harness::RunSummary triangle_summary =
+      churn_run(bench::factory_of<core::TriangleNode>(), n, rounds);
+  perf_row("triangle membership (Thm 1)", "triangle_membership", "O(1)",
+           triangle_summary);
   row("k-clique membership (Cor 1)", "clique_membership", "O(1)",
-      triangle_amortized);
-  row("robust 2-hop (Thm 7)", "robust_2hop", "O(1)",
-      churn_amortized(bench::factory_of<core::Robust2HopNode>(), n, rounds));
-  row("robust 3-hop (Thm 6)", "robust_3hop", "O(1)",
-      churn_amortized(bench::factory_of<core::Robust3HopNode>(), n, rounds));
-  row("4-cycle listing (Thm 5)", "cycle4_listing", "O(1)",
-      planted_cycle_amortized(n, 4, rounds));
-  row("5-cycle listing (Thm 5)", "cycle5_listing", "O(1)",
-      planted_cycle_amortized(n, 5, rounds));
+      triangle_summary.amortized);
+  perf_row("robust 2-hop (Thm 7)", "robust_2hop", "O(1)",
+           churn_run(bench::factory_of<core::Robust2HopNode>(), n, rounds));
+  perf_row("robust 3-hop (Thm 6)", "robust_3hop", "O(1)",
+           churn_run(bench::factory_of<core::Robust3HopNode>(), n, rounds));
+  perf_row("4-cycle listing (Thm 5)", "cycle4_listing", "O(1)",
+           planted_cycle_run(n, 4, rounds));
+  perf_row("5-cycle listing (Thm 5)", "cycle5_listing", "O(1)",
+           planted_cycle_run(n, 5, rounds));
 
   {
     dynamics::MembershipLbParams mp;
@@ -130,6 +137,35 @@ int main(int argc, char** argv) {
     row("6-cycle listing (Thm 4)", "cycle6_listing_lb", "Omega(sqrt n/log n)",
         a);
   }
+  // --- Engine throughput on the sparse-churn regime. -----------------------
+  // Serialized toggles with stabilization waits: most rounds touch O(1)
+  // nodes, which is exactly where the active-set engine's O(active) rounds
+  // beat the seed engine's Theta(n) sweep.  These rounds_per_sec metrics
+  // land in BENCH_landscape.json and are guarded by
+  // bench/check_regression.py.
+  {
+    const std::size_t sn = bench.quick() ? 256 : 1024;
+    const std::size_t toggles = bench.quick() ? 150 : 400;
+    auto sparse_run = [&](const net::NodeFactory& f) {
+      dynamics::SerializedChurnWorkload wl(sn, 2 * sn, toggles, 0x51AB);
+      return bench::run_experiment(sn, f, wl);
+    };
+    const harness::RunSummary tri =
+        sparse_run(bench::factory_of<core::TriangleNode>());
+    const harness::RunSummary r2h =
+        sparse_run(bench::factory_of<core::Robust2HopNode>());
+    std::printf(
+        "\n  sparse-churn engine throughput (n=%zu, %zu serialized "
+        "toggles):\n"
+        "    triangle   %12.0f rounds/sec\n"
+        "    robust2hop %12.0f rounds/sec\n",
+        sn, toggles, tri.rounds_per_sec, r2h.rounds_per_sec);
+    bench.metric("sparse_churn.n", static_cast<double>(sn));
+    bench.metric("sparse_churn.triangle.rounds_per_sec", tri.rounds_per_sec);
+    bench.metric("sparse_churn.robust2hop.rounds_per_sec",
+                 r2h.rounds_per_sec);
+  }
+
   std::printf(
       "\n  The O(1) rows stay constant as n grows; the bottom rows grow with\n"
       "  n (see bench_t2_membership_lb / bench_t4_cycle_lb for the sweeps).\n");

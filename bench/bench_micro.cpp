@@ -63,6 +63,45 @@ BENCHMARK(BM_Round_Robust2Hop)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_Round_Triangle)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_Round_Robust3Hop)->Arg(64)->Arg(256)->Arg(512);
 
+/// The acceptance criterion of the active-set engine: a quiescent round
+/// (no events, every queue drained) costs O(1), independent of n.  The
+/// per-iteration time must stay flat as n sweeps 1k -> 256k; the dense
+/// reference mode (sparse = 0) shows the seed engine's Theta(n) growth.
+void quiescent_round(benchmark::State& state, bool sparse) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  net::Simulator sim(
+      n,
+      [](NodeId v, std::size_t nn) {
+        return std::make_unique<core::Robust2HopNode>(v, nn);
+      },
+      {.enforce_bandwidth = true,
+       .track_prev_graph = false,
+       .sparse_rounds = sparse});
+  // A little topology plus a full drain, so quiescence is the steady
+  // state of a real network, not the empty-graph special case.
+  std::vector<EdgeEvent> ring;
+  for (NodeId v = 0; v < 64; ++v) {
+    ring.push_back(EdgeEvent::insert(v, (v + 1) % 64));
+  }
+  sim.step(ring);
+  sim.run_until_stable(1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step({}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_QuiescentRound_Sparse(benchmark::State& state) {
+  quiescent_round(state, true);
+}
+void BM_QuiescentRound_Dense(benchmark::State& state) {
+  quiescent_round(state, false);
+}
+BENCHMARK(BM_QuiescentRound_Sparse)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18);
+BENCHMARK(BM_QuiescentRound_Dense)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
 void BM_EdgeKnowledge_InsertRetract(benchmark::State& state) {
   const NodeId self = 0;
   net::LocalView view(self);

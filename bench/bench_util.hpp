@@ -13,6 +13,8 @@
 //                   every binary this way to feed the perf trajectory
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -28,6 +30,42 @@
 #include "net/workload.hpp"
 
 namespace dynsub::bench {
+
+/// Process-wide perf aggregate across every run_experiment() call (sweep
+/// points may run on the harness thread pool, hence atomics).  Bench::finish
+/// folds it into the JSON document as perf.* metrics, which is what the
+/// BENCH_*.json trajectory and bench/check_regression.py track.
+struct PerfAccumulator {
+  std::atomic<std::uint64_t> rounds{0};
+  std::atomic<std::uint64_t> wall_ns{0};
+  std::atomic<std::uint64_t> apply_ns{0};
+  std::atomic<std::uint64_t> react_ns{0};
+  std::atomic<std::uint64_t> route_ns{0};
+  std::atomic<std::uint64_t> receive_ns{0};
+
+  void add(const harness::RunSummary& s) {
+    rounds.fetch_add(static_cast<std::uint64_t>(s.rounds),
+                     std::memory_order_relaxed);
+    wall_ns.fetch_add(static_cast<std::uint64_t>(s.wall_seconds * 1e9),
+                      std::memory_order_relaxed);
+    apply_ns.fetch_add(s.apply_ns, std::memory_order_relaxed);
+    react_ns.fetch_add(s.react_ns, std::memory_order_relaxed);
+    route_ns.fetch_add(s.route_ns, std::memory_order_relaxed);
+    receive_ns.fetch_add(s.receive_ns, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double rounds_per_sec() const {
+    const auto ns = wall_ns.load(std::memory_order_relaxed);
+    if (ns == 0) return 0.0;
+    return static_cast<double>(rounds.load(std::memory_order_relaxed)) /
+           (static_cast<double>(ns) * 1e-9);
+  }
+};
+
+inline PerfAccumulator& perf_accumulator() {
+  static PerfAccumulator acc;
+  return acc;
+}
 
 struct BenchOptions {
   bool quick = false;
@@ -113,8 +151,32 @@ class Bench {
   }
 
   /// Writes the JSON document if --json was given; returns main()'s exit
-  /// code (1 on write failure).
+  /// code (1 on write failure).  Folds the process-wide perf aggregate
+  /// into the document first, so every BENCH_*.json carries rounds_per_sec
+  /// and the per-phase engine time split.
   [[nodiscard]] int finish() {
+    const PerfAccumulator& perf = perf_accumulator();
+    if (perf.rounds.load(std::memory_order_relaxed) > 0) {
+      metric("perf.rounds",
+             static_cast<double>(perf.rounds.load(std::memory_order_relaxed)));
+      metric("perf.wall_seconds",
+             static_cast<double>(
+                 perf.wall_ns.load(std::memory_order_relaxed)) *
+                 1e-9);
+      metric("perf.rounds_per_sec", perf.rounds_per_sec());
+      metric("perf.apply_ns", static_cast<double>(perf.apply_ns.load(
+                                  std::memory_order_relaxed)));
+      metric("perf.react_ns", static_cast<double>(perf.react_ns.load(
+                                  std::memory_order_relaxed)));
+      metric("perf.route_ns", static_cast<double>(perf.route_ns.load(
+                                  std::memory_order_relaxed)));
+      metric("perf.receive_ns", static_cast<double>(perf.receive_ns.load(
+                                    std::memory_order_relaxed)));
+      std::printf("\nperf: %.0f rounds/sec over %llu simulated rounds\n",
+                  perf.rounds_per_sec(),
+                  static_cast<unsigned long long>(
+                      perf.rounds.load(std::memory_order_relaxed)));
+    }
     if (opts_.json_path.empty()) return 0;
     if (!harness::write_json_file(opts_.json_path, doc_)) {
       std::fprintf(stderr, "failed to write results to %s\n",
@@ -160,15 +222,42 @@ inline void print_results(const std::string& x_name,
 }
 
 /// Runs `workload` to completion (plus drain) over an algorithm built by
-/// `factory`; returns the run summary.
+/// `factory`; returns the run summary with wall-clock + per-phase perf
+/// filled in (and folded into the process-wide perf aggregate).
 inline harness::RunSummary run_experiment(std::size_t n,
                                           const net::NodeFactory& factory,
                                           net::Workload& workload,
                                           std::size_t max_rounds = 10000000) {
   net::Simulator sim(n, factory, {.enforce_bandwidth = true,
-                                  .track_prev_graph = false});
+                                  .track_prev_graph = false,
+                                  .sparse_rounds = true,
+                                  .collect_phase_timings = true});
+  const auto start = std::chrono::steady_clock::now();
   net::run_workload(sim, workload, max_rounds);
-  return harness::summarize(sim);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  harness::RunSummary s = harness::summarize_timed(sim, wall);
+  perf_accumulator().add(s);
+  return s;
+}
+
+/// For benches that need the simulator afterwards (coverage queries,
+/// prev-graph checks): drives `workload` on a caller-owned `sim`, timing
+/// the run and folding it into the process-wide perf aggregate.  Construct
+/// the simulator with `.collect_phase_timings = true` to get the per-phase
+/// split.
+inline harness::RunSummary run_timed(net::Simulator& sim,
+                                     net::Workload& workload,
+                                     std::size_t max_rounds = 10000000) {
+  const auto start = std::chrono::steady_clock::now();
+  net::run_workload(sim, workload, max_rounds);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  harness::RunSummary s = harness::summarize_timed(sim, wall);
+  perf_accumulator().add(s);
+  return s;
 }
 
 template <typename NodeT, typename... Extra>

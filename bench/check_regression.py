@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Guard the engine-throughput trajectory in BENCH_*.json.
+
+Compares the perf metrics of freshly produced bench results against the
+checked-in floor values in bench/perf_baseline.json and fails when any
+guarded metric regresses more than the tolerance (default 30%):
+
+    effective_floor = baseline_value * (1 - tolerance)
+
+The baseline values are deliberately *conservative floors* (a few times
+below what a developer machine measures), so the check catches an engine
+falling off an asymptotic cliff -- a quiescent round going Theta(n) again,
+an allocation sneaking back into the router -- rather than CI-runner noise.
+Raise them as the engine gets faster.
+
+usage: check_regression.py [--results-dir DIR] [--baseline FILE]
+                           [--tolerance 0.30]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_metrics(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics", {})
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path}: 'metrics' is not an object")
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results-dir", default=".",
+                        help="directory holding BENCH_<name>.json files")
+    parser.add_argument("--baseline",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "perf_baseline.json"),
+                        help="checked-in baseline floors")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    args = parser.parse_args()
+
+    with open(args.baseline, "r", encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    failures = []
+    checked = 0
+    for bench, floors in sorted(baseline.items()):
+        if bench.startswith("__"):  # documentation keys
+            continue
+        path = os.path.join(args.results_dir, f"BENCH_{bench}.json")
+        if not os.path.exists(path):
+            failures.append(f"{bench}: missing result file {path}")
+            continue
+        try:
+            metrics = load_metrics(path)
+        except (ValueError, json.JSONDecodeError) as e:
+            failures.append(f"{bench}: unreadable results: {e}")
+            continue
+        for key, floor in sorted(floors.items()):
+            effective = floor * (1.0 - args.tolerance)
+            value = metrics.get(key)
+            checked += 1
+            if value is None:
+                failures.append(f"{bench}: metric '{key}' missing "
+                                f"(expected >= {effective:.0f})")
+            elif value < effective:
+                failures.append(
+                    f"{bench}: {key} = {value:.0f} regressed below "
+                    f"{effective:.0f} (baseline {floor:.0f}, "
+                    f"tolerance {args.tolerance:.0%})")
+            else:
+                print(f"ok  {bench}: {key} = {value:.0f} "
+                      f">= {effective:.0f}")
+
+    if failures:
+        print(f"\ncheck_regression: {len(failures)} failure(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  FAIL {f}", file=sys.stderr)
+        return 1
+    print(f"check_regression: all {checked} guarded metric(s) within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,8 @@ void FullTwoHopNode::enqueue_snapshot(NodeId dst) {
     m.nodes[0] = view_.self();
     m.aux = index;
     m.aux2 = static_cast<std::uint32_t>(bits);
-    m.blob = snap.extract_bits(from, bits);
+    m.blob.resize((bits + 7) / 8);
+    snap.extract_bits_into(from, bits, m.blob.data());
     q.push_back(std::move(m));
   }
 }
@@ -87,7 +88,7 @@ void FullTwoHopNode::receive_and_update(const net::NodeContext& ctx,
         DYNSUB_CHECK(msg.nodes[0] == from);
         const std::size_t cb = chunk_bits();
         it->second.deposit_bits(static_cast<std::size_t>(msg.aux) * cb,
-                                msg.aux2, msg.blob);
+                                msg.aux2, msg.blob.bytes());
         break;
       }
       case Kind::kEdgeInsert:
@@ -200,18 +201,24 @@ net::Answer FullTwoHopNode::query_pattern(
 }
 
 FlatSet<Edge> FullTwoHopNode::known_edges() const {
-  FlatSet<Edge> out;
+  std::size_t upper = view_.degree();
+  for (const auto& [u, bits] : nbr_sets_) {
+    (void)u;
+    upper += bits.count();
+  }
+  std::vector<Edge> edges;
+  edges.reserve(upper);
   const NodeId v = view_.self();
   for (const auto& [u, ts] : view_.incident()) {
     (void)ts;
-    out.insert(Edge(v, u));
+    edges.push_back(Edge(v, u));
   }
   for (const auto& [u, bits] : nbr_sets_) {
     for (NodeId z = 0; z < n_; ++z) {
-      if (z != u && bits.test(z)) out.insert(Edge(u, z));
+      if (z != u && bits.test(z)) edges.push_back(Edge(u, z));
     }
   }
-  return out;
+  return FlatSet<Edge>::from_unsorted(std::move(edges));
 }
 
 }  // namespace dynsub::baseline

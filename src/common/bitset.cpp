@@ -12,16 +12,22 @@ std::size_t DenseBitset::count() const {
 
 std::vector<std::uint8_t> DenseBitset::extract_bits(std::size_t from,
                                                     std::size_t nbits) const {
-  DYNSUB_CHECK(from + nbits <= bits_);
   std::vector<std::uint8_t> out((nbits + 7) / 8, 0);
-  for (std::size_t i = 0; i < nbits; ++i) {
-    if (test(from + i)) out[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
-  }
+  extract_bits_into(from, nbits, out.data());
   return out;
 }
 
+void DenseBitset::extract_bits_into(std::size_t from, std::size_t nbits,
+                                    std::uint8_t* out) const {
+  DYNSUB_CHECK(from + nbits <= bits_);
+  for (std::size_t i = 0; i < (nbits + 7) / 8; ++i) out[i] = 0;
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (test(from + i)) out[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+  }
+}
+
 void DenseBitset::deposit_bits(std::size_t from, std::size_t nbits,
-                               const std::vector<std::uint8_t>& chunk) {
+                               std::span<const std::uint8_t> chunk) {
   DYNSUB_CHECK(from + nbits <= bits_);
   DYNSUB_CHECK(chunk.size() >= (nbits + 7) / 8);
   for (std::size_t i = 0; i < nbits; ++i) {

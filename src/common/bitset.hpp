@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/check.hpp"
@@ -46,9 +47,15 @@ class DenseBitset {
   [[nodiscard]] std::vector<std::uint8_t> extract_bits(std::size_t from,
                                                        std::size_t nbits) const;
 
+  /// Allocation-free variant: writes ceil(nbits/8) bytes into `out` (LSB
+  /// first), for callers that own the destination buffer (e.g. a
+  /// WireMessage's inline blob).
+  void extract_bits_into(std::size_t from, std::size_t nbits,
+                         std::uint8_t* out) const;
+
   /// Writes the chunk produced by extract_bits back at bit offset `from`.
   void deposit_bits(std::size_t from, std::size_t nbits,
-                    const std::vector<std::uint8_t>& chunk);
+                    std::span<const std::uint8_t> chunk);
 
   friend bool operator==(const DenseBitset&, const DenseBitset&) = default;
 

@@ -17,6 +17,18 @@ class FlatSet {
  public:
   using const_iterator = typename std::vector<T>::const_iterator;
 
+  /// Bulk-build: sorts `items`, drops duplicates, adopts the storage.
+  /// O(k log k) versus O(k^2) element shifts for k element-wise inserts.
+  [[nodiscard]] static FlatSet from_unsorted(std::vector<T> items) {
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    FlatSet s;
+    s.data_ = std::move(items);
+    return s;
+  }
+
+  void reserve(std::size_t n) { data_.reserve(n); }
+
   [[nodiscard]] bool contains(const T& v) const {
     return std::binary_search(data_.begin(), data_.end(), v);
   }
@@ -66,6 +78,33 @@ class FlatMap {
   using value_type = std::pair<K, V>;
   using const_iterator = typename std::vector<value_type>::const_iterator;
   using iterator = typename std::vector<value_type>::iterator;
+
+  /// Bulk-build: stable-sorts `items` by key, keeps the *first* entry of
+  /// each duplicate key, adopts the storage.  O(k log k) versus O(k^2)
+  /// element shifts for k element-wise inserts.
+  [[nodiscard]] static FlatMap from_unsorted(std::vector<value_type> items) {
+    std::stable_sort(items.begin(), items.end(),
+                     [](const value_type& a, const value_type& b) {
+                       return a.first < b.first;
+                     });
+    items.erase(std::unique(items.begin(), items.end(),
+                            [](const value_type& a, const value_type& b) {
+                              return a.first == b.first;
+                            }),
+                items.end());
+    FlatMap m;
+    m.data_ = std::move(items);
+    return m;
+  }
+
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  /// The sorted backing storage (for bulk consumers).
+  [[nodiscard]] const std::vector<value_type>& values() const { return data_; }
+  /// Moves the sorted backing storage out (leaves the map empty).
+  [[nodiscard]] std::vector<value_type> take_values() && {
+    return std::move(data_);
+  }
 
   [[nodiscard]] bool contains(const K& k) const { return find(k) != end(); }
 

@@ -86,11 +86,16 @@ net::Answer Robust2HopNode::query_edge(Edge e) const {
 }
 
 FlatMap<Edge, Timestamp> Robust2HopNode::known_edges() const {
-  FlatMap<Edge, Timestamp> out = knowledge_.alive_edges();
+  // Bulk build: adopt the alive 2-hop knowledge (already sorted), append
+  // the incident edges, and sort once -- O(k log k) instead of k shifted
+  // inserts (knowledge_ never stores incident edges, so keys are unique).
+  auto items = std::move(knowledge_.alive_edges()).take_values();
+  items.reserve(items.size() + view_.degree());
+  const NodeId v = view_.self();
   for (const auto& [u, t] : view_.incident()) {
-    out[Edge(view_.self(), u)] = t;
+    items.emplace_back(Edge(v, u), t);
   }
-  return out;
+  return FlatMap<Edge, Timestamp>::from_unsorted(std::move(items));
 }
 
 }  // namespace dynsub::core

@@ -246,11 +246,13 @@ net::Answer Robust3HopNode::query_cycle(
 }
 
 FlatSet<Edge> Robust3HopNode::known_edges() const {
-  FlatSet<Edge> out;
+  // paths_ iterates in sorted key order, so this is a linear bulk build.
+  std::vector<Edge> edges;
+  edges.reserve(paths_.size());
   for (const auto& [e, pset] : paths_) {
-    if (!pset.empty()) out.insert(e);
+    if (!pset.empty()) edges.push_back(e);
   }
-  return out;
+  return FlatSet<Edge>::from_unsorted(std::move(edges));
 }
 
 namespace {

@@ -229,11 +229,15 @@ std::vector<std::vector<NodeId>> TriangleNode::list_cliques(int k) const {
 }
 
 FlatMap<Edge, Timestamp> TriangleNode::known_edges() const {
-  FlatMap<Edge, Timestamp> out = knowledge_.alive_edges();
+  // Bulk build (see Robust2HopNode::known_edges): knowledge_ never stores
+  // incident edges, so appending them and sorting once is exact.
+  auto items = std::move(knowledge_.alive_edges()).take_values();
+  items.reserve(items.size() + view_.degree());
+  const NodeId v = view_.self();
   for (const auto& [u, t] : view_.incident()) {
-    out[Edge(view_.self(), u)] = t;
+    items.emplace_back(Edge(v, u), t);
   }
-  return out;
+  return FlatMap<Edge, Timestamp>::from_unsorted(std::move(items));
 }
 
 }  // namespace dynsub::core

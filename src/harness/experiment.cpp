@@ -23,6 +23,20 @@ RunSummary summarize(const net::Simulator& sim) {
   s.per_node_sup = m.per_node_amortized_sup();
   s.messages = m.messages();
   s.payload_bits = m.payload_bits();
+  const net::PhaseTimings& t = sim.phase_timings();
+  s.apply_ns = t.apply_ns;
+  s.react_ns = t.react_ns;
+  s.route_ns = t.route_ns;
+  s.receive_ns = t.receive_ns;
+  return s;
+}
+
+RunSummary summarize_timed(const net::Simulator& sim, double wall_seconds) {
+  RunSummary s = summarize(sim);
+  s.wall_seconds = wall_seconds;
+  if (wall_seconds > 0) {
+    s.rounds_per_sec = static_cast<double>(s.rounds) / wall_seconds;
+  }
   return s;
 }
 

@@ -27,9 +27,24 @@ struct RunSummary {
   double per_node_sup = 0.0;
   std::uint64_t messages = 0;
   std::uint64_t payload_bits = 0;
+  // Wall-clock perf (the BENCH_*.json trajectory): filled by the caller
+  // that timed the run (see bench_util.hpp run_experiment); zero when the
+  // run was not timed.
+  double wall_seconds = 0.0;
+  double rounds_per_sec = 0.0;
+  // Per-phase engine time (requires SimulatorConfig::collect_phase_timings).
+  std::uint64_t apply_ns = 0;
+  std::uint64_t react_ns = 0;
+  std::uint64_t route_ns = 0;
+  std::uint64_t receive_ns = 0;
 };
 
 [[nodiscard]] RunSummary summarize(const net::Simulator& sim);
+
+/// summarize() plus the wall-clock fields: `wall_seconds` is the measured
+/// duration of the run; rounds_per_sec is derived.
+[[nodiscard]] RunSummary summarize_timed(const net::Simulator& sim,
+                                         double wall_seconds);
 
 /// One (x, y) measurement of a named series.
 struct SeriesPoint {

@@ -465,6 +465,12 @@ Json to_json(const RunSummary& s) {
   j["per_node_sup"] = Json::number(s.per_node_sup);
   j["messages"] = Json::number(s.messages);
   j["payload_bits"] = Json::number(s.payload_bits);
+  j["wall_seconds"] = Json::number(s.wall_seconds);
+  j["rounds_per_sec"] = Json::number(s.rounds_per_sec);
+  j["apply_ns"] = Json::number(s.apply_ns);
+  j["react_ns"] = Json::number(s.react_ns);
+  j["route_ns"] = Json::number(s.route_ns);
+  j["receive_ns"] = Json::number(s.receive_ns);
   return j;
 }
 
@@ -514,6 +520,17 @@ std::optional<RunSummary> run_summary_from_json(const Json& j) {
   s.inconsistent_rounds = static_cast<std::uint64_t>(inconsistent);
   s.messages = static_cast<std::uint64_t>(messages);
   s.payload_bits = static_cast<std::uint64_t>(payload);
+  // Perf fields were added after schema v1 documents were first written;
+  // treat them as optional so older BENCH_*.json files still parse.
+  double ns = 0;
+  (void)read_number(j, "wall_seconds", s.wall_seconds);
+  (void)read_number(j, "rounds_per_sec", s.rounds_per_sec);
+  if (read_number(j, "apply_ns", ns)) s.apply_ns = static_cast<std::uint64_t>(ns);
+  if (read_number(j, "react_ns", ns)) s.react_ns = static_cast<std::uint64_t>(ns);
+  if (read_number(j, "route_ns", ns)) s.route_ns = static_cast<std::uint64_t>(ns);
+  if (read_number(j, "receive_ns", ns)) {
+    s.receive_ns = static_cast<std::uint64_t>(ns);
+  }
   return s;
 }
 

@@ -11,7 +11,9 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -25,6 +27,88 @@ namespace dynsub::net {
 
 /// Bits needed to name one node among n.
 [[nodiscard]] std::size_t node_id_bits(std::size_t n);
+
+/// Byte payload with small-buffer optimization.
+///
+/// Any bandwidth-legal snapshot chunk fits a handful of bytes (the chunk is
+/// bounded by bandwidth_bits(n) < 128 bits for every practical n), so the
+/// common case lives in the 16 inline bytes and copying a WireMessage
+/// through the router never touches the heap.  Oversized payloads (only
+/// ever constructed by tests probing the budget assertion) spill to a heap
+/// block.
+class SmallBlob {
+ public:
+  static constexpr std::size_t kInlineBytes = 16;
+
+  SmallBlob() = default;
+  SmallBlob(const SmallBlob& o) { assign(o.bytes()); }
+  SmallBlob(SmallBlob&& o) noexcept
+      : size_(o.size_),
+        inline_(o.inline_),
+        heap_(std::move(o.heap_)),
+        heap_capacity_(o.heap_capacity_) {
+    o.size_ = 0;
+    o.heap_capacity_ = 0;
+  }
+  SmallBlob& operator=(const SmallBlob& o) {
+    if (this != &o) assign(o.bytes());
+    return *this;
+  }
+  SmallBlob& operator=(SmallBlob&& o) noexcept {
+    size_ = o.size_;
+    inline_ = o.inline_;
+    heap_ = std::move(o.heap_);
+    heap_capacity_ = o.heap_capacity_;
+    o.size_ = 0;
+    o.heap_capacity_ = 0;
+    return *this;
+  }
+  SmallBlob(std::span<const std::uint8_t> bytes) { assign(bytes); }
+  SmallBlob(const std::vector<std::uint8_t>& bytes) {
+    assign(std::span<const std::uint8_t>(bytes));
+  }
+
+  void assign(std::span<const std::uint8_t> bytes) {
+    resize(bytes.size());
+    std::memcpy(data(), bytes.data(), bytes.size());
+  }
+  void assign(std::size_t count, std::uint8_t value) {
+    resize(count);
+    std::memset(data(), value, count);
+  }
+
+  /// Resizes without preserving contents (callers overwrite immediately).
+  void resize(std::size_t count) {
+    if (count > kInlineBytes && count > heap_capacity_) {
+      heap_ = std::make_unique<std::uint8_t[]>(count);
+      heap_capacity_ = count;
+    }
+    size_ = static_cast<std::uint32_t>(count);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::uint8_t* data() {
+    return size_ <= kInlineBytes ? inline_.data() : heap_.get();
+  }
+  [[nodiscard]] const std::uint8_t* data() const {
+    return size_ <= kInlineBytes ? inline_.data() : heap_.get();
+  }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return {data(), size_};
+  }
+
+  friend bool operator==(const SmallBlob& a, const SmallBlob& b) {
+    return a.size_ == b.size_ &&
+           std::memcmp(a.data(), b.data(), a.size_) == 0;
+  }
+
+ private:
+  std::uint32_t size_ = 0;
+  std::array<std::uint8_t, kInlineBytes> inline_{};
+  std::unique_ptr<std::uint8_t[]> heap_;
+  std::size_t heap_capacity_ = 0;
+};
 
 struct WireMessage {
   enum class Kind : std::uint8_t {
@@ -56,9 +140,9 @@ struct WireMessage {
   std::array<NodeId, 4> nodes{kNoNode, kNoNode, kNoNode, kNoNode};
   std::uint8_t path_len = 0;  // kPathInsert: number of edges (1 or 2 on wire)
   std::uint8_t ttl = 0;       // kPathDelete / kNotice hop budget
-  std::uint32_t aux = 0;      // kSnapshotChunk: chunk index
-  std::uint32_t aux2 = 0;     // kSnapshotChunk: bit count in blob
-  std::vector<std::uint8_t> blob;  // kSnapshotChunk payload
+  std::uint32_t aux = 0;   // kSnapshotChunk: chunk index
+  std::uint32_t aux2 = 0;  // kSnapshotChunk: bit count in blob
+  SmallBlob blob;          // kSnapshotChunk payload (inline for legal sizes)
 
   /// Exact size charged against the per-link budget.
   [[nodiscard]] std::size_t payload_bits(std::size_t n) const;

@@ -7,25 +7,17 @@
 namespace dynsub::net {
 
 void Metrics::record_round(Round round, std::uint64_t changes_this_round,
-                           const std::vector<bool>& node_consistent,
+                           std::uint64_t inconsistent_nodes,
                            std::uint64_t messages_this_round,
                            std::uint64_t bits_this_round) {
-  DYNSUB_CHECK(node_consistent.size() == node_inconsistent_.size());
   (void)round;
   ++rounds_;
   changes_ += changes_this_round;
   messages_ += messages_this_round;
   payload_bits_ += bits_this_round;
 
-  std::uint64_t inconsistent = 0;
-  for (std::size_t v = 0; v < node_consistent.size(); ++v) {
-    if (!node_consistent[v]) {
-      ++inconsistent;
-      ++node_inconsistent_[v];
-    }
-  }
-  sum_inconsistent_nodes_ += inconsistent;
-  if (inconsistent > 0) ++inconsistent_rounds_;
+  sum_inconsistent_nodes_ += inconsistent_nodes;
+  if (inconsistent_nodes > 0) ++inconsistent_rounds_;
   if (changes_ > 0) {
     amortized_sup_ = std::max(
         amortized_sup_, static_cast<double>(inconsistent_rounds_) /

@@ -22,12 +22,20 @@ class Metrics {
  public:
   explicit Metrics(std::size_t n) : node_inconsistent_(n), node_changes_(n) {}
 
+  /// Per-round accounting.  `inconsistent_nodes` is the number of nodes
+  /// whose flag is down at the end of the round -- the simulator maintains
+  /// it as an O(1) counter so metering a quiescent round never scans the
+  /// consistency vector.
   void record_round(Round round, std::uint64_t changes_this_round,
-                    const std::vector<bool>& node_consistent,
+                    std::uint64_t inconsistent_nodes,
                     std::uint64_t messages_this_round,
                     std::uint64_t bits_this_round);
 
   void record_node_change(NodeId v) { ++node_changes_[v]; }
+
+  /// Called once per round for each inconsistent node (every inconsistent
+  /// node is in the active set, so the sparse engine visits them all).
+  void record_node_inconsistent(NodeId v) { ++node_inconsistent_[v]; }
 
   [[nodiscard]] Round rounds() const { return rounds_; }
   [[nodiscard]] std::uint64_t changes() const { return changes_; }

@@ -39,6 +39,10 @@ enum class Answer : std::uint8_t { kFalse = 0, kTrue = 1, kInconsistent = 2 };
 /// message per destination link per round (asserted by the simulator); the
 /// two control bits ride along for free, matching the paper's convention
 /// that IsEmpty / AreNeighborsEmpty indications are piggybacked single bits.
+///
+/// Outboxes are pooled by the simulator and reused across rounds (reset()
+/// keeps the payload vector's capacity), so steady-state sends do not
+/// heap-allocate.
 class Outbox {
  public:
   struct Directed {
@@ -51,6 +55,13 @@ class Outbox {
     directed_.push_back({dst, std::move(msg)});
   }
 
+  /// Returns the outbox to its empty state, keeping allocated capacity.
+  void reset() {
+    directed_.clear();
+    is_empty_ = true;
+    are_neighbors_empty_ = true;
+  }
+
   /// Declares "my queue was non-empty this round" (IsEmpty = false).
   void declare_busy() { is_empty_ = false; }
 
@@ -61,6 +72,9 @@ class Outbox {
   [[nodiscard]] const std::vector<Directed>& directed() const {
     return directed_;
   }
+  /// Simulator-only: the router moves payloads out of the outbox (the
+  /// outbox is reset before its next use).
+  [[nodiscard]] std::vector<Directed>& directed_mut() { return directed_; }
   [[nodiscard]] bool is_empty_flag() const { return is_empty_; }
   [[nodiscard]] bool are_neighbors_empty_flag() const {
     return are_neighbors_empty_;
@@ -72,18 +86,21 @@ class Outbox {
   bool are_neighbors_empty_ = true;
 };
 
-/// One round's incoming traffic.
+/// One round's incoming traffic.  A non-owning view into the simulator's
+/// pooled routing buffers, valid only for the duration of
+/// receive_and_update (nodes must copy anything they want to keep, which
+/// every algorithm in the repo already does by construction).
 struct Inbox {
   struct Item {
     NodeId from;
     WireMessage msg;
   };
   /// Payloads, sorted by sender id (deterministic processing order).
-  std::vector<Item> payloads;
-  /// Senders that declared IsEmpty = false this round.
-  std::vector<NodeId> busy_neighbors;
-  /// Senders that declared AreNeighborsEmpty = false this round.
-  std::vector<NodeId> busy_two_hop;
+  std::span<const Item> payloads;
+  /// Senders that declared IsEmpty = false this round, ascending.
+  std::span<const NodeId> busy_neighbors;
+  /// Senders that declared AreNeighborsEmpty = false this round, ascending.
+  std::span<const NodeId> busy_two_hop;
 };
 
 /// A distributed algorithm, instantiated once per node.
@@ -106,6 +123,24 @@ class NodeProgram {
   /// Current local queue length (for congestion metrics); 0 if the
   /// algorithm has no queue.
   [[nodiscard]] virtual std::size_t queue_length() const { return 0; }
+
+  /// First-class "I may act if stepped" signal, consulted by the sparse
+  /// round engine after every round the node runs.  Contract: when this
+  /// returns false, stepping the node with no incident events and an empty
+  /// inbox must be a no-op -- no messages, no control bits, no externally
+  /// visible state change (consistent() in particular must not flip).  The
+  /// simulator then skips the node entirely until an event or a message
+  /// touches it again, which is what makes quiescent rounds O(1) instead
+  /// of Theta(n).
+  ///
+  /// The default covers every queue-driven algorithm in the paper: a
+  /// non-empty pending queue means work remains, and an inconsistent node
+  /// may still be converging (e.g. the two-quiet-rounds rule of Theorem 1
+  /// flips consistent() one idle round after the queue drains).  Programs
+  /// with pending work outside those two signals must override.
+  [[nodiscard]] virtual bool wants_to_act() const {
+    return queue_length() > 0 || !consistent();
+  }
 };
 
 }  // namespace dynsub::net

@@ -1,0 +1,97 @@
+// Pooled, allocation-free per-destination routing buffers.
+//
+// The round engine needs three (destination -> items) multimaps per round
+// (payloads, IsEmpty flags, AreNeighborsEmpty flags) plus one for incident
+// topology events.  The seed engine materialized them as n per-inbox
+// vectors cleared and std::sort-ed every round -- Theta(n) work and
+// allocation churn even in quiescent rounds.  DestBuckets replaces that
+// with one flat staged buffer scattered into contiguous per-destination
+// ranges by a *stable counting sort on destination*: a round costs
+// O(items staged) regardless of n, every buffer persists across rounds
+// (capacity is retained), and because senders stage in ascending id order
+// the per-destination ranges come out sender-sorted for free -- the three
+// per-inbox sorts of the seed engine disappear.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dynsub::net {
+
+template <typename T>
+class DestBuckets {
+ public:
+  explicit DestBuckets(std::size_t n)
+      : mark_(n, 0), count_(n, 0), offset_(n, 0), cursor_(n, 0) {}
+
+  /// Starts a new round: previously built buckets become invalid in O(1)
+  /// (epoch bump), no per-destination state is cleared.
+  void begin_round() {
+    staged_.clear();
+    touched_.clear();
+    ++epoch_;
+  }
+
+  /// Stages one item for `dst`.  Per-destination item order is staging
+  /// order (the scatter below is stable).
+  void add(NodeId dst, T item) {
+    DYNSUB_DCHECK(dst < mark_.size());
+    if (mark_[dst] != epoch_) {
+      mark_[dst] = epoch_;
+      count_[dst] = 0;
+      touched_.push_back(dst);
+    }
+    ++count_[dst];
+    staged_.emplace_back(dst, std::move(item));
+  }
+
+  /// Scatters the staged items into contiguous per-destination ranges.
+  /// Two O(items staged) passes: prefix offsets over the touched
+  /// destinations, then a stable permutation so items are *moved* into
+  /// place with sequential push_backs (no default construction of T, no
+  /// reallocation in steady state).
+  void build() {
+    std::uint32_t running = 0;
+    for (NodeId dst : touched_) {
+      offset_[dst] = running;
+      cursor_[dst] = running;
+      running += count_[dst];
+    }
+    perm_.resize(staged_.size());
+    for (std::uint32_t j = 0; j < staged_.size(); ++j) {
+      perm_[cursor_[staged_[j].first]++] = j;
+    }
+    items_.clear();
+    for (std::uint32_t j : perm_) items_.push_back(std::move(staged_[j].second));
+  }
+
+  /// Items staged for `dst` this round (empty span when none).
+  [[nodiscard]] std::span<const T> bucket(NodeId dst) const {
+    if (dst >= mark_.size() || mark_[dst] != epoch_) return {};
+    return {items_.data() + offset_[dst], count_[dst]};
+  }
+
+  /// Destinations that received at least one item this round, in first-
+  /// touch order (not sorted).
+  [[nodiscard]] const std::vector<NodeId>& touched() const { return touched_; }
+
+  [[nodiscard]] std::size_t total() const { return staged_.size(); }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> mark_;    // epoch stamp per destination
+  std::vector<std::uint32_t> count_;   // valid when mark_ == epoch_
+  std::vector<std::uint32_t> offset_;  // valid after build()
+  std::vector<std::uint32_t> cursor_;  // build() scratch (write position)
+  std::vector<NodeId> touched_;
+  std::vector<std::pair<NodeId, T>> staged_;
+  std::vector<std::uint32_t> perm_;
+  std::vector<T> items_;
+};
+
+}  // namespace dynsub::net

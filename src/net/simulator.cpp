@@ -1,11 +1,24 @@
 #include "net/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.hpp"
 #include "net/message.hpp"
 
 namespace dynsub::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point from, Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+}  // namespace
 
 Simulator::Simulator(std::size_t n, NodeFactory factory,
                      SimulatorConfig config)
@@ -14,8 +27,12 @@ Simulator::Simulator(std::size_t n, NodeFactory factory,
       prev_g_(n),
       consistent_(n, true),
       metrics_(n),
-      local_events_(n),
-      inboxes_(n) {
+      events_by_node_(n),
+      payloads_(n),
+      busy_flags_(n),
+      two_hop_flags_(n),
+      active_mark_(n, 0),
+      sent_mark_(n, 0) {
   DYNSUB_CHECK(n >= 1);
   nodes_.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
@@ -30,58 +47,101 @@ const oracle::TimestampedGraph& Simulator::prev_graph() const {
   return prev_g_;
 }
 
+void Simulator::mark_active(NodeId v) {
+  if (active_mark_[v] != active_epoch_) {
+    active_mark_[v] = active_epoch_;
+    active_.push_back(v);
+  }
+}
+
 RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   const std::size_t n = nodes_.size();
+  const bool timed = config_.collect_phase_timings;
   ++round_;
+  Clock::time_point t0;
+  if (timed) t0 = Clock::now();
 
-  // --- Phase 0: bring G_{i-1} up to date and apply this round's events. ---
+  // --- Phase 0: bring G_{i-1} up to date, apply this round's events, and
+  // assemble the active set. ---
   if (config_.track_prev_graph) {
     for (const auto& ev : pending_prev_) prev_g_.apply(ev, round_ - 1);
     pending_prev_.assign(events.begin(), events.end());
   }
   DYNSUB_CHECK_MSG(g_.batch_applicable(events),
                    "round " << round_ << ": workload batch not applicable");
-  for (auto& le : local_events_) le.clear();
+  events_by_node_.begin_round();
+  ++active_epoch_;
+  active_.clear();
+  // Round 1 bootstraps densely: every program runs once and declares its
+  // intent through wants_to_act(); from then on the carryover + events +
+  // traffic exactly cover every node that can act (node.hpp contract).
+  const bool dense = !config_.sparse_rounds || round_ == 1;
+  if (dense) {
+    for (NodeId v = 0; v < n; ++v) {
+      active_mark_[v] = active_epoch_;
+      active_.push_back(v);
+    }
+  } else {
+    for (NodeId v : carry_) mark_active(v);
+  }
   for (const auto& ev : events) {
     g_.apply(ev, round_);
-    local_events_[ev.edge.lo()].push_back(ev);
-    local_events_[ev.edge.hi()].push_back(ev);
+    events_by_node_.add(ev.edge.lo(), ev);
+    events_by_node_.add(ev.edge.hi(), ev);
     metrics_.record_node_change(ev.edge.lo());
     metrics_.record_node_change(ev.edge.hi());
+    if (!dense) {
+      mark_active(ev.edge.lo());
+      mark_active(ev.edge.hi());
+    }
+  }
+  events_by_node_.build();
+  if (!dense) std::sort(active_.begin(), active_.end());
+  Clock::time_point t1;
+  if (timed) {
+    t1 = Clock::now();
+    timings_.apply_ns += elapsed_ns(t0, t1);
   }
 
   // --- Phase 1: react & send (first half of the communication round). ---
-  // Control flags are collected per sender and expanded over current links.
-  std::vector<Outbox> outboxes(n);
-  for (NodeId v = 0; v < n; ++v) {
+  if (outbox_pool_.size() < active_.size()) {
+    outbox_pool_.resize(active_.size());
+  }
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const NodeId v = active_[i];
+    Outbox& out = outbox_pool_[i];
+    out.reset();
     NodeContext ctx{v, n, round_};
-    nodes_[v]->react_and_send(ctx, local_events_[v], outboxes[v]);
+    nodes_[v]->react_and_send(ctx, events_by_node_.bucket(v), out);
+  }
+  Clock::time_point t2;
+  if (timed) {
+    t2 = Clock::now();
+    timings_.react_ns += elapsed_ns(t1, t2);
   }
 
-  // --- Phase 2: routing. ---
+  // --- Phase 2: routing.  Payloads and control bits are staged into the
+  // pooled buckets; per-destination ranges come out sender-sorted because
+  // active_ is ascending. ---
+  payloads_.begin_round();
+  busy_flags_.begin_round();
+  two_hop_flags_.begin_round();
   std::size_t messages = 0;
   std::uint64_t bits = 0;
   const std::size_t budget = bandwidth_bits(n);
-  for (auto& inbox : inboxes_) {
-    inbox.payloads.clear();
-    inbox.busy_neighbors.clear();
-    inbox.busy_two_hop.clear();
-  }
-  std::vector<NodeId> sent_to;  // per-sender destination scratch
-  for (NodeId v = 0; v < n; ++v) {
-    const Outbox& out = outboxes[v];
-    sent_to.clear();
-    for (const auto& dm : out.directed()) {
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const NodeId v = active_[i];
+    Outbox& out = outbox_pool_[i];
+    ++sent_epoch_;  // one epoch per sender: O(1) duplicate-destination check
+    for (auto& dm : out.directed_mut()) {
       DYNSUB_CHECK_MSG(dm.dst < n, "node " << v << " sent to bad id");
       DYNSUB_CHECK_MSG(g_.has_edge(Edge(v, dm.dst)),
                        "round " << round_ << ": node " << v
                                 << " sent over absent link to " << dm.dst);
       if (config_.enforce_bandwidth) {
-        DYNSUB_CHECK_MSG(
-            std::find(sent_to.begin(), sent_to.end(), dm.dst) ==
-                sent_to.end(),
-            "round " << round_ << ": node " << v
-                     << " sent two payloads to " << dm.dst);
+        DYNSUB_CHECK_MSG(sent_mark_[dm.dst] != sent_epoch_,
+                         "round " << round_ << ": node " << v
+                                  << " sent two payloads to " << dm.dst);
         const std::size_t sz = dm.msg.payload_bits(n);
         DYNSUB_CHECK_MSG(sz <= budget, "round "
                                            << round_ << ": node " << v
@@ -90,60 +150,99 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
                                            << budget);
         bits += sz;
       }
-      sent_to.push_back(dm.dst);
-      inboxes_[dm.dst].payloads.push_back({v, dm.msg});
+      sent_mark_[dm.dst] = sent_epoch_;
+      payloads_.add(dm.dst, Inbox::Item{v, std::move(dm.msg)});
       ++messages;
     }
     // Control bits are broadcast to all current neighbors.
     if (!out.is_empty_flag() || !out.are_neighbors_empty_flag()) {
       for (NodeId u : g_.neighbors(v)) {
-        if (!out.is_empty_flag()) inboxes_[u].busy_neighbors.push_back(v);
-        if (!out.are_neighbors_empty_flag()) {
-          inboxes_[u].busy_two_hop.push_back(v);
-        }
+        if (!out.is_empty_flag()) busy_flags_.add(u, v);
+        if (!out.are_neighbors_empty_flag()) two_hop_flags_.add(u, v);
       }
     }
   }
-  for (auto& inbox : inboxes_) {
-    std::sort(inbox.payloads.begin(), inbox.payloads.end(),
-              [](const Inbox::Item& a, const Inbox::Item& b) {
-                return a.from < b.from;
-              });
-    std::sort(inbox.busy_neighbors.begin(), inbox.busy_neighbors.end());
-    std::sort(inbox.busy_two_hop.begin(), inbox.busy_two_hop.end());
+  payloads_.build();
+  busy_flags_.build();
+  two_hop_flags_.build();
+
+  // Pure receivers join the receive half of the round.
+  receive_extra_.clear();
+  auto note_receiver = [&](NodeId u) {
+    if (active_mark_[u] != active_epoch_) {
+      active_mark_[u] = active_epoch_;
+      receive_extra_.push_back(u);
+    }
+  };
+  for (NodeId u : payloads_.touched()) note_receiver(u);
+  for (NodeId u : busy_flags_.touched()) note_receiver(u);
+  for (NodeId u : two_hop_flags_.touched()) note_receiver(u);
+  std::sort(receive_extra_.begin(), receive_extra_.end());
+  Clock::time_point t3;
+  if (timed) {
+    t3 = Clock::now();
+    timings_.route_ns += elapsed_ns(t2, t3);
   }
 
-  // --- Phase 3: receive & update (second half of the round). ---
-  for (NodeId v = 0; v < n; ++v) {
+  // --- Phase 3: receive & update (second half of the round), over the
+  // ascending merge of active_ and receive_extra_. ---
+  carry_.clear();
+  auto receive_one = [&](NodeId v) {
     NodeContext ctx{v, n, round_};
-    nodes_[v]->receive_and_update(ctx, inboxes_[v]);
-    consistent_[v] = nodes_[v]->consistent();
+    Inbox in;
+    in.payloads = payloads_.bucket(v);
+    in.busy_neighbors = busy_flags_.bucket(v);
+    in.busy_two_hop = two_hop_flags_.bucket(v);
+    nodes_[v]->receive_and_update(ctx, in);
+    const bool ok = nodes_[v]->consistent();
+    if (ok != consistent_[v]) {
+      consistent_[v] = ok;
+      if (ok) {
+        --inconsistent_count_;
+      } else {
+        ++inconsistent_count_;
+      }
+    }
+    if (!ok) metrics_.record_node_inconsistent(v);
+    if (config_.sparse_rounds && nodes_[v]->wants_to_act()) {
+      carry_.push_back(v);
+    }
+  };
+  {
+    std::size_t a = 0, e = 0;
+    while (a < active_.size() || e < receive_extra_.size()) {
+      if (e >= receive_extra_.size() ||
+          (a < active_.size() && active_[a] < receive_extra_[e])) {
+        receive_one(active_[a++]);
+      } else {
+        receive_one(receive_extra_[e++]);
+      }
+    }
   }
 
   // --- Metering. ---
-  metrics_.record_round(round_, events.size(), consistent_, messages, bits);
+  metrics_.record_round(round_, events.size(), inconsistent_count_, messages,
+                        bits);
+  if (timed) timings_.receive_ns += elapsed_ns(t3, Clock::now());
 
   RoundResult result;
   result.round = round_;
   result.changes = events.size();
   result.messages = messages;
-  result.inconsistent_nodes = static_cast<std::size_t>(
-      std::count(consistent_.begin(), consistent_.end(), false));
+  result.inconsistent_nodes = inconsistent_count_;
   return result;
 }
 
 std::size_t Simulator::run_until_stable(std::size_t max_rounds) {
   std::size_t rounds = 0;
+  // all_consistent() is an O(1) counter check; each quiet step costs
+  // O(active), and an inconsistent node is always active (node.hpp
+  // contract), so this loop does no full-vector scans.
   while (rounds < max_rounds && !all_consistent()) {
     step({});
     ++rounds;
   }
   return rounds;
-}
-
-bool Simulator::all_consistent() const {
-  return std::find(consistent_.begin(), consistent_.end(), false) ==
-         consistent_.end();
 }
 
 }  // namespace dynsub::net

@@ -7,16 +7,37 @@
 //   1. validate + apply the workload's topology events (true timestamps are
 //      stamped here and visible only to the oracle / audits),
 //   2. notify every affected node of exactly its incident events and run
-//      react_and_send for all nodes,
+//      react_and_send for every *active* node,
 //   3. route messages -- asserting the O(log n) per-link budget, at most one
 //      payload per directed link, and delivery only over edges of G_i --
-//   4. run receive_and_update for all nodes and meter consistency.
+//   4. run receive_and_update for active nodes and receivers, meter
+//      consistency.
+//
+// Active set (the sparse engine): a node can act in round i only if it has
+// incident topology events, reported wants_to_act() after the last round it
+// ran (non-empty pending queue, still converging), or traffic arrived on
+// one of its links.  The engine tracks exactly that set with epoch-stamped
+// membership, so a round costs O(|active| + |messages|) instead of the seed
+// engine's Theta(n) -- a quiescent round (no events, all queues drained) is
+// O(1).  Round 1 steps every node once (bootstrap), giving programs with
+// spontaneous initial work one chance to declare themselves; afterwards the
+// wants_to_act() contract (see node.hpp) carries the set forward.  Setting
+// SimulatorConfig::sparse_rounds = false restores the seed engine's dense
+// semantics (every node stepped every round); the golden-trace equivalence
+// suite drives both engines in lockstep and asserts identical results.
+//
+// Routing uses pooled flat buffers (net/router.hpp): outboxes are reused
+// slot-indexed objects, inboxes are spans into a per-destination buffer
+// built by a stable counting sort on destination, and WireMessage payloads
+// are inline (SmallBlob) -- steady-state rounds perform no heap allocation.
 //
 // The engine also maintains G_{i-1} (needed because the paper's 3-hop and
 // cycle-listing guarantees are stated against the previous round's graph).
-// Determinism: nodes execute in id order and see inboxes sorted by sender.
+// Determinism: active nodes execute in id order and see inboxes sorted by
+// sender.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -26,6 +47,7 @@
 #include "common/types.hpp"
 #include "net/metrics.hpp"
 #include "net/node.hpp"
+#include "net/router.hpp"
 #include "oracle/timestamped_graph.hpp"
 
 namespace dynsub::net {
@@ -40,6 +62,13 @@ struct SimulatorConfig {
   bool enforce_bandwidth = true;
   /// Maintain G_{i-1}; costs O(changes) per round.
   bool track_prev_graph = true;
+  /// Sparse active-set rounds (see the header comment).  false = the seed
+  /// engine's dense semantics: every node stepped every round.  Kept as
+  /// the reference mode for the golden-trace equivalence suite.
+  bool sparse_rounds = true;
+  /// Accumulate per-phase wall-clock timings (four steady_clock reads per
+  /// round; off by default so unit tests measure nothing).
+  bool collect_phase_timings = false;
 };
 
 struct RoundResult {
@@ -47,6 +76,20 @@ struct RoundResult {
   std::size_t changes = 0;
   std::size_t inconsistent_nodes = 0;
   std::size_t messages = 0;
+
+  friend bool operator==(const RoundResult&, const RoundResult&) = default;
+};
+
+/// Cumulative per-phase wall-clock nanoseconds (collect_phase_timings).
+struct PhaseTimings {
+  std::uint64_t apply_ns = 0;    // Phase 0: event validation + graph apply
+  std::uint64_t react_ns = 0;    // Phase 1: react_and_send over the active set
+  std::uint64_t route_ns = 0;    // Phase 2: routing + bandwidth enforcement
+  std::uint64_t receive_ns = 0;  // Phase 3: receive_and_update + metering
+
+  [[nodiscard]] std::uint64_t total_ns() const {
+    return apply_ns + react_ns + route_ns + receive_ns;
+  }
 };
 
 class Simulator {
@@ -62,6 +105,8 @@ class Simulator {
   /// Convenience: runs rounds with no topology changes until every node is
   /// consistent (or `max_rounds` pass); returns the number of rounds run.
   /// This is the adversaries' "wait for the algorithm to stabilize".
+  /// all_consistent() is an O(1) counter check, and each drain round costs
+  /// O(active), so draining an already-stable network is free.
   std::size_t run_until_stable(std::size_t max_rounds);
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
@@ -79,23 +124,51 @@ class Simulator {
   [[nodiscard]] const std::vector<bool>& consistency() const {
     return consistent_;
   }
-  [[nodiscard]] bool all_consistent() const;
+  [[nodiscard]] bool all_consistent() const {
+    return inconsistent_count_ == 0;
+  }
+
+  /// Nodes stepped in the send half of the last round (the active set).
+  /// 0 for a quiescent round -- the O(1) witness the perf suite asserts.
+  [[nodiscard]] std::size_t last_round_active() const {
+    return active_.size();
+  }
+  /// Nodes stepped in the receive half (active set plus pure receivers).
+  [[nodiscard]] std::size_t last_round_stepped() const {
+    return active_.size() + receive_extra_.size();
+  }
 
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] const PhaseTimings& phase_timings() const { return timings_; }
 
  private:
+  void mark_active(NodeId v);
+
   SimulatorConfig config_;
   oracle::TimestampedGraph g_;
   oracle::TimestampedGraph prev_g_;
   std::vector<EdgeEvent> pending_prev_;  // last round's events, not yet in prev_g_
   std::vector<std::unique_ptr<NodeProgram>> nodes_;
   std::vector<bool> consistent_;
+  std::size_t inconsistent_count_ = 0;
   Metrics metrics_;
   Round round_ = 0;
+  PhaseTimings timings_;
 
-  // Reused per-round scratch (avoids per-round allocation churn).
-  std::vector<std::vector<EdgeEvent>> local_events_;
-  std::vector<Inbox> inboxes_;
+  // Persistent, reused round state: the pooled router (O(n) memory once,
+  // O(active + messages) work per round, no steady-state allocation).
+  DestBuckets<EdgeEvent> events_by_node_;
+  DestBuckets<Inbox::Item> payloads_;
+  DestBuckets<NodeId> busy_flags_;
+  DestBuckets<NodeId> two_hop_flags_;
+  std::vector<Outbox> outbox_pool_;   // slot i belongs to active_[i]
+  std::vector<NodeId> active_;        // this round's send-half set, ascending
+  std::vector<NodeId> receive_extra_; // pure receivers, ascending
+  std::vector<NodeId> carry_;         // wants_to_act() carryover to next round
+  std::vector<std::uint64_t> active_mark_;  // epoch stamps for active_ dedup
+  std::uint64_t active_epoch_ = 0;
+  std::vector<std::uint64_t> sent_mark_;  // per-destination duplicate check
+  std::uint64_t sent_epoch_ = 0;
 };
 
 }  // namespace dynsub::net

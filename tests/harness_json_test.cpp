@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 namespace dynsub::harness {
 namespace {
@@ -134,6 +135,12 @@ RunSummary sample_summary() {
   s.per_node_sup = 1.25;
   s.messages = 987654;
   s.payload_bits = 12345678;
+  s.wall_seconds = 0.125;
+  s.rounds_per_sec = 3448.0;
+  s.apply_ns = 1111;
+  s.react_ns = 2222;
+  s.route_ns = 3333;
+  s.receive_ns = 4444;
   return s;
 }
 
@@ -152,6 +159,12 @@ TEST(JsonSchema, RunSummaryRoundTrip) {
   EXPECT_DOUBLE_EQ(back.per_node_sup, s.per_node_sup);
   EXPECT_EQ(back.messages, s.messages);
   EXPECT_EQ(back.payload_bits, s.payload_bits);
+  EXPECT_DOUBLE_EQ(back.wall_seconds, s.wall_seconds);
+  EXPECT_DOUBLE_EQ(back.rounds_per_sec, s.rounds_per_sec);
+  EXPECT_EQ(back.apply_ns, s.apply_ns);
+  EXPECT_EQ(back.react_ns, s.react_ns);
+  EXPECT_EQ(back.route_ns, s.route_ns);
+  EXPECT_EQ(back.receive_ns, s.receive_ns);
 
   // Text-level round-trip (what actually lands in BENCH_*.json).
   auto parsed = Json::parse(j.dump(2));
@@ -165,10 +178,30 @@ TEST(JsonSchema, RunSummaryFieldNamesAreStable) {
   const Json j = to_json(sample_summary());
   for (const char* key :
        {"n", "rounds", "changes", "inconsistent_rounds", "amortized",
-        "amortized_sup", "per_node_sup", "messages", "payload_bits"}) {
+        "amortized_sup", "per_node_sup", "messages", "payload_bits",
+        "wall_seconds", "rounds_per_sec", "apply_ns", "react_ns", "route_ns",
+        "receive_ns"}) {
     EXPECT_NE(j.find(key), nullptr) << "missing field: " << key;
   }
-  EXPECT_EQ(j.members().size(), 9u) << "unexpected extra/missing fields";
+  EXPECT_EQ(j.members().size(), 15u) << "unexpected extra/missing fields";
+}
+
+TEST(JsonSchema, RunSummaryPerfFieldsAreOptional) {
+  // Pre-perf schema v1 documents lack the wall-clock fields; they must
+  // still parse (with zeros) so the trajectory tools can read old files.
+  Json j = to_json(sample_summary());
+  Json legacy = Json::object();
+  for (const auto& [k, v] : j.members()) {
+    if (std::string_view(k) != "wall_seconds" &&
+        std::string_view(k) != "rounds_per_sec" &&
+        std::string_view(k).find("_ns") == std::string_view::npos) {
+      legacy[k] = v;
+    }
+  }
+  const auto back = run_summary_from_json(legacy);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_DOUBLE_EQ(back->rounds_per_sec, 0.0);
+  EXPECT_EQ(back->react_ns, 0u);
 }
 
 TEST(JsonSchema, RunSummaryFromJsonRejectsMissingFields) {

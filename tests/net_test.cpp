@@ -50,6 +50,25 @@ TEST(MessageTest, PathInsertEncoding) {
   EXPECT_EQ(m.nodes[2], 4u);
 }
 
+TEST(MessageTest, SmallBlobInlineAndHeap) {
+  SmallBlob b;
+  EXPECT_TRUE(b.empty());
+  b.assign(3, 0xab);  // inline path
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.data()[2], 0xab);
+  SmallBlob big;
+  big.assign(100, 0x5a);  // heap spill (only over-budget tests do this)
+  EXPECT_EQ(big.size(), 100u);
+  EXPECT_EQ(big.data()[99], 0x5a);
+  SmallBlob copy = big;
+  EXPECT_TRUE(copy == big);
+  SmallBlob moved = std::move(big);
+  EXPECT_EQ(moved.size(), 100u);
+  EXPECT_TRUE(moved == copy);
+  moved.assign(2, 1);
+  EXPECT_FALSE(moved == copy);
+}
+
 // ---------------------------------------------------------- LocalView ----
 
 TEST(LocalViewTest, TracksIncidentEdgesAndTimestamps) {
@@ -109,6 +128,12 @@ class ProbeNode final : public NodeProgram {
   }
 
   [[nodiscard]] bool consistent() const override { return !declare_busy_always; }
+
+  // Active-set contract: the pending "send next round" intent is work the
+  // default queue/consistency signals cannot see.
+  [[nodiscard]] bool wants_to_act() const override {
+    return send_next_round || NodeProgram::wants_to_act();
+  }
 
   net::LocalView view_;
   std::size_t events_seen = 0;
@@ -270,16 +295,74 @@ TEST(SimulatorTest, ControlBitsReachNeighbors) {
   EXPECT_TRUE(sim.consistency()[0]);
 }
 
+// ----------------------------------------------- sparse active set ----
+
+TEST(SimulatorTest, QuiescentRoundsHaveEmptyActiveSet) {
+  Simulator sim(64, probe_factory());
+  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1)});
+  sim.step({});  // the probes send their canned payloads
+  sim.step({});  // the receivers settle
+  for (int i = 0; i < 3; ++i) {
+    const auto r = sim.step({});
+    EXPECT_EQ(sim.last_round_active(), 0u);
+    EXPECT_EQ(sim.last_round_stepped(), 0u);
+    EXPECT_EQ(r.messages, 0u);
+    EXPECT_EQ(r.inconsistent_nodes, 0u);
+  }
+}
+
+TEST(SimulatorTest, ActiveSetTouchesOnlyAffectedNodes) {
+  Simulator sim(64, probe_factory());
+  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(3, 4)});
+  // Round 2: only {3, 4} carry pending sends; nobody else is stepped.
+  sim.step({});
+  EXPECT_EQ(sim.last_round_active(), 2u);
+  for (NodeId v = 0; v < 64; ++v) {
+    auto& probe = dynamic_cast<ProbeNode&>(sim.node(v));
+    EXPECT_EQ(probe.events_seen, (v == 3 || v == 4) ? 1u : 0u);
+  }
+}
+
+TEST(SimulatorTest, WantsToActCarriesNodesBetweenRounds) {
+  Simulator sim(8, probe_factory());
+  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1)});
+  auto& n1 = dynamic_cast<ProbeNode&>(sim.node(1));
+  // Round 2: 0 and 1 want to act (pending canned send) and exchange
+  // payloads even though no events touch them.
+  sim.step({});
+  EXPECT_EQ(n1.payloads_seen, 1u);
+  EXPECT_EQ(sim.last_round_active(), 2u);
+}
+
+TEST(SimulatorTest, DenseModeMatchesSparseResults) {
+  Simulator sparse(6, probe_factory());
+  Simulator dense(6, probe_factory(),
+                  {.sparse_rounds = false});
+  const std::vector<std::vector<EdgeEvent>> script{
+      {EdgeEvent::insert(0, 1), EdgeEvent::insert(1, 2)},
+      {},
+      {EdgeEvent::remove(0, 1)},
+      {},
+      {}};
+  for (const auto& batch : script) {
+    const auto rs = sparse.step(batch);
+    const auto rd = dense.step(batch);
+    EXPECT_EQ(rs, rd);
+    EXPECT_EQ(sparse.consistency(), dense.consistency());
+  }
+  EXPECT_EQ(sparse.metrics().messages(), dense.metrics().messages());
+  EXPECT_EQ(sparse.metrics().inconsistent_rounds(),
+            dense.metrics().inconsistent_rounds());
+}
+
 // ------------------------------------------------------------ metrics ----
 
 TEST(MetricsTest, AmortizedRatioAndSup) {
   Metrics m(2);
-  const std::vector<bool> ok{true, true};
-  const std::vector<bool> bad{true, false};
-  m.record_round(1, 2, bad, 0, 0);   // 1 inconsistent round / 2 changes
-  m.record_round(2, 0, bad, 0, 0);   // 2 / 2
-  m.record_round(3, 0, ok, 0, 0);    // 2 / 2
-  m.record_round(4, 2, ok, 0, 0);    // 2 / 4
+  m.record_round(1, 2, 1, 0, 0);  // 1 inconsistent round / 2 changes
+  m.record_round(2, 0, 1, 0, 0);  // 2 / 2
+  m.record_round(3, 0, 0, 0, 0);  // 2 / 2
+  m.record_round(4, 2, 0, 0, 0);  // 2 / 4
   EXPECT_DOUBLE_EQ(m.amortized(), 0.5);
   EXPECT_DOUBLE_EQ(m.amortized_sup(), 1.0);
   EXPECT_EQ(m.inconsistent_rounds(), 2u);
@@ -290,9 +373,10 @@ TEST(MetricsTest, PerNodeAccounting) {
   Metrics m(3);
   m.record_node_change(0);
   m.record_node_change(1);
-  const std::vector<bool> c{false, true, true};
-  m.record_round(1, 1, c, 0, 0);
-  m.record_round(2, 0, c, 0, 0);
+  m.record_round(1, 1, 1, 0, 0);
+  m.record_node_inconsistent(0);
+  m.record_round(2, 0, 1, 0, 0);
+  m.record_node_inconsistent(0);
   EXPECT_DOUBLE_EQ(m.per_node_amortized_sup(), 2.0);  // node 0: 2 rounds / 1
 }
 

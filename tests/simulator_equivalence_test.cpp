@@ -1,0 +1,214 @@
+// Golden-trace equivalence suite for the sparse active-set round engine.
+//
+// The sparse engine (SimulatorConfig::sparse_rounds = true, the default)
+// must be *observationally identical* to the seed engine's dense semantics
+// (every node stepped every round), which is preserved as the
+// sparse_rounds = false reference mode.  This suite drives both engines in
+// lockstep on the same event stream -- random churn, the Section 1.3
+// flicker adversary, and planted-structure churn, all seeded -- and
+// asserts, after every single round:
+//
+//   * identical RoundResults,
+//   * identical per-node consistency flags,
+//   * identical audited node state (known_edges),
+//
+// plus, at the end of the run: identical Metrics trajectories (every
+// counter, including the per-node vectors) and a clean oracle audit on
+// both engines.  Finally it asserts the performance contract that
+// motivates the sparse engine: once drained, quiescent rounds step zero
+// nodes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baseline/floodkhop.hpp"
+#include "baseline/full2hop.hpp"
+#include "baseline/naive2hop.hpp"
+#include "core/audit.hpp"
+#include "core/robust2hop.hpp"
+#include "core/robust3hop.hpp"
+#include "core/triangle.hpp"
+#include "dynamics/flicker.hpp"
+#include "dynamics/planted.hpp"
+#include "dynamics/random_churn.hpp"
+#include "net/simulator.hpp"
+#include "net/workload.hpp"
+#include "sim_test_util.hpp"
+
+namespace dynsub {
+namespace {
+
+/// The two engines under comparison, built over the same factory.
+struct EnginePair {
+  net::Simulator sparse;
+  net::Simulator dense;
+
+  EnginePair(std::size_t n, const net::NodeFactory& f)
+      : sparse(n, f, {.sparse_rounds = true}),
+        dense(n, f, {.sparse_rounds = false}) {}
+};
+
+void expect_metrics_equal(const net::Metrics& a, const net::Metrics& b) {
+  EXPECT_EQ(a.rounds(), b.rounds());
+  EXPECT_EQ(a.changes(), b.changes());
+  EXPECT_EQ(a.inconsistent_rounds(), b.inconsistent_rounds());
+  EXPECT_EQ(a.messages(), b.messages());
+  EXPECT_EQ(a.payload_bits(), b.payload_bits());
+  EXPECT_EQ(a.sum_inconsistent_nodes(), b.sum_inconsistent_nodes());
+  EXPECT_DOUBLE_EQ(a.amortized(), b.amortized());
+  EXPECT_DOUBLE_EQ(a.amortized_sup(), b.amortized_sup());
+  EXPECT_DOUBLE_EQ(a.per_node_amortized_sup(), b.per_node_amortized_sup());
+  EXPECT_EQ(a.node_inconsistent(), b.node_inconsistent());
+  EXPECT_EQ(a.node_changes(), b.node_changes());
+}
+
+/// Feeds the same event stream to both engines round by round, asserting
+/// the per-round invariants.  `state_of(sim, v)` extracts the audited node
+/// state compared across engines (must be equality-comparable).
+template <typename StateFn>
+void drive_lockstep(EnginePair& e, net::Workload& wl,
+                    const StateFn& state_of,
+                    std::size_t max_rounds = 100000) {
+  const std::size_t n = e.sparse.node_count();
+  std::size_t rounds = 0;
+  while (rounds < max_rounds &&
+         !(wl.finished() && e.sparse.all_consistent())) {
+    net::WorkloadObservation obs{e.sparse.graph(), e.sparse.round() + 1,
+                                 e.sparse.all_consistent()};
+    const std::vector<EdgeEvent> batch =
+        wl.finished() ? std::vector<EdgeEvent>{} : wl.next_round(obs);
+    const net::RoundResult rs = e.sparse.step(batch);
+    const net::RoundResult rd = e.dense.step(batch);
+    ASSERT_EQ(rs, rd) << "diverged at round " << rs.round;
+    ASSERT_EQ(e.sparse.consistency(), e.dense.consistency())
+        << "consistency flags diverged at round " << rs.round;
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_TRUE(state_of(e.sparse, v) == state_of(e.dense, v))
+          << "node " << v << " state diverged at round " << rs.round;
+    }
+    ++rounds;
+  }
+  ASSERT_TRUE(e.sparse.all_consistent())
+      << "failed to stabilize in " << max_rounds << " rounds";
+  expect_metrics_equal(e.sparse.metrics(), e.dense.metrics());
+
+  // The perf contract: a drained network runs O(1) quiescent rounds --
+  // the sparse engine steps zero nodes while staying equivalent.
+  for (int i = 0; i < 3; ++i) {
+    const net::RoundResult rs = e.sparse.step({});
+    const net::RoundResult rd = e.dense.step({});
+    ASSERT_EQ(rs, rd);
+    EXPECT_EQ(e.sparse.last_round_active(), 0u);
+    EXPECT_EQ(e.sparse.last_round_stepped(), 0u);
+  }
+}
+
+template <typename NodeT>
+auto known_edges_of() {
+  return [](const net::Simulator& sim, NodeId v) {
+    return dynamic_cast<const NodeT&>(sim.node(v)).known_edges();
+  };
+}
+
+TEST(SimulatorEquivalence, TriangleUnderRandomChurn) {
+  dynamics::RandomChurnParams cp;
+  cp.n = 32;
+  cp.target_edges = 64;
+  cp.max_changes = 5;
+  cp.rounds = 150;
+  cp.seed = 0xE0u;
+  dynamics::RandomChurnWorkload wl(cp);
+  EnginePair e(cp.n, testing::factory_of<core::TriangleNode>());
+  drive_lockstep(e, wl, known_edges_of<core::TriangleNode>());
+  EXPECT_EQ(core::audit_triangle(e.sparse), std::nullopt);
+  EXPECT_EQ(core::audit_triangle(e.dense), std::nullopt);
+}
+
+TEST(SimulatorEquivalence, Robust2HopUnderRandomChurn) {
+  dynamics::RandomChurnParams cp;
+  cp.n = 40;
+  cp.target_edges = 80;
+  cp.max_changes = 6;
+  cp.rounds = 150;
+  cp.seed = 0xE1u;
+  dynamics::RandomChurnWorkload wl(cp);
+  EnginePair e(cp.n, testing::factory_of<core::Robust2HopNode>());
+  drive_lockstep(e, wl, known_edges_of<core::Robust2HopNode>());
+  EXPECT_EQ(core::audit_robust2hop(e.sparse), std::nullopt);
+  EXPECT_EQ(core::audit_robust2hop(e.dense), std::nullopt);
+}
+
+TEST(SimulatorEquivalence, Robust3HopUnderPlantedCycles) {
+  dynamics::PlantedParams pp;
+  pp.n = 28;
+  pp.k = 4;
+  pp.plants = 2;
+  pp.noise_per_round = 1;
+  pp.rebuild_period = 14;
+  pp.rounds = 120;
+  pp.seed = 0xE2u;
+  dynamics::PlantedCycleWorkload wl(pp);
+  EnginePair e(pp.n, testing::factory_of<core::Robust3HopNode>());
+  drive_lockstep(e, wl, known_edges_of<core::Robust3HopNode>());
+  EXPECT_EQ(core::audit_robust3hop(e.sparse), std::nullopt);
+  EXPECT_EQ(core::audit_robust3hop(e.dense), std::nullopt);
+  EXPECT_EQ(core::audit_cycle_listing(e.sparse), std::nullopt);
+  EXPECT_EQ(core::audit_cycle_listing(e.dense), std::nullopt);
+}
+
+TEST(SimulatorEquivalence, TriangleUnderFlickerAdversary) {
+  const auto scenario = dynamics::make_repeated_flicker_scenario(12, 3);
+  net::ScriptedWorkload wl(scenario.script);
+  EnginePair e(12, testing::factory_of<core::TriangleNode>());
+  drive_lockstep(e, wl, known_edges_of<core::TriangleNode>());
+  EXPECT_EQ(core::audit_triangle(e.sparse), std::nullopt);
+}
+
+TEST(SimulatorEquivalence, NaiveBaselineUnderFlickerAdversary) {
+  // The naive baseline keeps its ghost edge -- equivalence is about
+  // identical behavior, not correctness, so it must hold here too.
+  const auto scenario = dynamics::make_flicker_scenario(12);
+  net::ScriptedWorkload wl(scenario.script);
+  EnginePair e(12, testing::factory_of<baseline::NaiveTwoHopNode>());
+  drive_lockstep(e, wl, [](const net::Simulator& sim, NodeId v) {
+    return dynamic_cast<const baseline::NaiveTwoHopNode&>(sim.node(v))
+        .known_edges();
+  });
+}
+
+TEST(SimulatorEquivalence, FullTwoHopBaselineUnderRandomChurn) {
+  // The heaviest-traffic program: multi-round snapshot FIFOs whose
+  // consistency flips are driven by pure receivers, and the only
+  // production exerciser of the SmallBlob snapshot-chunk wire path.
+  dynamics::RandomChurnParams cp;
+  cp.n = 20;
+  cp.target_edges = 30;
+  cp.max_changes = 3;
+  cp.rounds = 80;
+  cp.seed = 0xE4u;
+  dynamics::RandomChurnWorkload wl(cp);
+  EnginePair e(cp.n, testing::factory_of<baseline::FullTwoHopNode>());
+  drive_lockstep(e, wl, [](const net::Simulator& sim, NodeId v) {
+    return dynamic_cast<const baseline::FullTwoHopNode&>(sim.node(v))
+        .known_edges();
+  });
+}
+
+TEST(SimulatorEquivalence, FloodBaselineUnderRandomChurn) {
+  dynamics::RandomChurnParams cp;
+  cp.n = 24;
+  cp.target_edges = 36;
+  cp.max_changes = 3;
+  cp.rounds = 80;
+  cp.seed = 0xE3u;
+  dynamics::RandomChurnWorkload wl(cp);
+  EnginePair e(cp.n, testing::factory_of<baseline::FloodKHopNode>(2));
+  drive_lockstep(e, wl, [](const net::Simulator& sim, NodeId v) {
+    return dynamic_cast<const baseline::FloodKHopNode&>(sim.node(v))
+        .known_edges();
+  });
+}
+
+}  // namespace
+}  // namespace dynsub
