@@ -6,11 +6,12 @@
 // the per-node listing volume, demonstrating that the same triangle
 // structure serves every clique size without extra communication.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/triangle.hpp"
-#include "dynamics/planted.hpp"
+#include "scenario/registry.hpp"
 
 namespace dynsub {
 namespace {
@@ -22,21 +23,22 @@ struct Cell {
   std::size_t cliques_listed = 0;
 };
 
-Cell run(std::size_t n, std::size_t k, std::size_t rounds) {
-  dynamics::PlantedParams pp;
-  pp.n = n;
-  pp.k = k;
-  pp.plants = 2;  // constant plant count: constant change rate across n
-  pp.noise_per_round = 2;
-  pp.rebuild_period = 8 + k * (k - 1) / 2;
-  pp.rounds = rounds;
-  pp.seed = 0xC11 + n * 7 + k;
-  dynamics::PlantedCliqueWorkload wl(pp);
+Cell run(std::size_t n, std::size_t k, std::size_t rounds,
+         std::uint64_t base_seed) {
+  // Constant plant count: constant change rate across n.  The workload
+  // comes from the scenario registry, so this sweep point is exactly
+  // `dynsub_run --scenario '<spec>'` with the same string.
+  const std::string spec =
+      "planted-clique(n=" + std::to_string(n) + ", k=" + std::to_string(k) +
+      ", plants=2, noise=2, period=" + std::to_string(8 + k * (k - 1) / 2) +
+      ", rounds=" + std::to_string(rounds) +
+      ", seed=" + std::to_string(base_seed + n * 7 + k) + ")";
+  auto built = bench::build_scenario_or_die(spec);
   net::Simulator sim(n, bench::factory_of<core::TriangleNode>(),
                      {.enforce_bandwidth = true,
                       .track_prev_graph = false,
                       .collect_phase_timings = true});
-  bench::run_timed(sim, wl, 1000000);
+  bench::run_timed(sim, *built.workload, 1000000);
   Cell cell;
   cell.amortized = sim.metrics().amortized();
   for (NodeId v = 0; v < n; ++v) {
@@ -61,10 +63,11 @@ int main(int argc, char** argv) {
 
   const std::size_t rows = sizes.size();
   const std::size_t cols = std::size(kCliqueSizes);
+  const std::uint64_t base_seed = bench.seed_or(0xC11);
   std::vector<Cell> cells(rows * cols);
   harness::parallel_for(rows * cols, [&](std::size_t idx) {
-    cells[idx] =
-        run(sizes[idx / cols], kCliqueSizes[idx % cols], rounds_per_run);
+    cells[idx] = run(sizes[idx / cols], kCliqueSizes[idx % cols],
+                     rounds_per_run, base_seed);
   });
 
   std::vector<harness::Series> series;

@@ -24,10 +24,12 @@
 #include <string_view>
 #include <vector>
 
+#include "common/format.hpp"
 #include "harness/experiment.hpp"
 #include "harness/json.hpp"
 #include "net/simulator.hpp"
 #include "net/workload.hpp"
+#include "scenario/registry.hpp"
 
 namespace dynsub::bench {
 
@@ -69,16 +71,31 @@ inline PerfAccumulator& perf_accumulator() {
 
 struct BenchOptions {
   bool quick = false;
+  bool list = false;
+  bool has_seed = false;
+  std::uint64_t seed = 0;
   std::string json_path;
 };
 
 /// Parses the shared bench CLI; exits on --help or an unknown flag.
 inline BenchOptions parse_options(int argc, char** argv) {
   BenchOptions opts;
+  auto parse_seed = [&](std::string_view text) {
+    const auto v = parse_u64(text);
+    if (!v) {
+      std::fprintf(stderr, "%s: --seed wants an unsigned integer, got '%s'\n",
+                   argv[0], std::string(text).c_str());
+      std::exit(2);
+    }
+    opts.seed = *v;
+    opts.has_seed = true;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--quick") {
       opts.quick = true;
+    } else if (arg == "--list") {
+      opts.list = true;
     } else if (arg == "--json") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s: --json requires a path argument\n", argv[0]);
@@ -87,10 +104,23 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opts.json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       opts.json_path = std::string(arg.substr(7));
+    } else if (arg == "--seed") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --seed requires a value argument\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      parse_seed(argv[++i]);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      parse_seed(arg.substr(7));
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--quick] [--json <path>]\n", argv[0]);
+      std::printf("usage: %s [--quick] [--seed <u64>] [--json <path>] [--list]\n",
+                  argv[0]);
       std::printf("  --quick        run a reduced sweep (CI smoke)\n");
+      std::printf("  --seed <u64>   override the bench's base seed (reruns\n");
+      std::printf("                 with the same seed are bit-identical)\n");
       std::printf("  --json <path>  write results as a JSON document\n");
+      std::printf("  --list         describe what this bench measures, then exit\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n",
@@ -116,11 +146,28 @@ class Bench {
       : opts_(parse_options(argc, argv)),
         doc_(harness::make_bench_document(name, exp_id, artifact, claim,
                                           opts_.quick)) {
+    if (opts_.list) {
+      std::printf("%s  %s\n  artifact: %s\n  claim:    %s\n", name.c_str(),
+                  exp_id.c_str(), artifact.c_str(), claim.c_str());
+      std::exit(0);
+    }
     print_block_header_impl(exp_id, artifact, claim);
     if (opts_.quick) std::printf("(quick mode: reduced sweep)\n");
+    if (opts_.has_seed) {
+      std::printf("(seed override: %llu)\n",
+                  static_cast<unsigned long long>(opts_.seed));
+      harness::add_note(doc_, "seed", std::to_string(opts_.seed));
+    }
   }
 
   [[nodiscard]] bool quick() const { return opts_.quick; }
+
+  /// The --seed override when given, else the bench's own default --
+  /// thread this into workload construction so a rerun with the same seed
+  /// reproduces the exact event streams.
+  [[nodiscard]] std::uint64_t seed_or(std::uint64_t dflt) const {
+    return opts_.has_seed ? opts_.seed : dflt;
+  }
 
   /// Picks the full or reduced sweep depending on --quick.
   template <typename T>
@@ -258,6 +305,21 @@ inline harness::RunSummary run_timed(net::Simulator& sim,
   harness::RunSummary s = harness::summarize_timed(sim, wall);
   perf_accumulator().add(s);
   return s;
+}
+
+/// Builds a registry scenario or dies loudly: a bench silently falling back
+/// to a different workload would fake the measurement.
+inline scenario::ScenarioBuild build_scenario_or_die(
+    const std::string& spec,
+    const scenario::ScenarioOptions& opts = scenario::ScenarioOptions{}) {
+  std::string error;
+  auto built = scenario::build_scenario(spec, opts, &error);
+  if (!built) {
+    std::fprintf(stderr, "bench: bad scenario '%s': %s\n", spec.c_str(),
+                 error.c_str());
+    std::exit(1);
+  }
+  return std::move(*built);
 }
 
 template <typename NodeT, typename... Extra>

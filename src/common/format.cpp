@@ -7,6 +7,19 @@
 
 namespace dynsub {
 
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  constexpr std::uint64_t kMax = 0xFFFFFFFFFFFFFFFFull;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (kMax - digit) / 10) return std::nullopt;  // would overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
 std::string with_thousands(std::uint64_t v) {
   std::string digits = std::to_string(v);
   std::string out;

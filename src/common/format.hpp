@@ -1,10 +1,19 @@
-// Small formatting helpers shared by the harness and examples.
+// Small formatting / parsing helpers shared by the harness and examples.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dynsub {
+
+/// Strict unsigned parse: the entire string must be decimal digits and the
+/// value must fit in 64 bits -- no signs, whitespace, base prefixes, or
+/// silent wrap-around.  Every CLI flag and spec parameter in the repo goes
+/// through this one helper so strictness cannot drift between parsers.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
 
 /// "1234567" -> "1,234,567".
 [[nodiscard]] std::string with_thousands(std::uint64_t v);

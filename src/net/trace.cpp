@@ -1,8 +1,12 @@
 #include "net/trace.hpp"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <string_view>
+
+#include "common/format.hpp"
 
 namespace dynsub::net {
 
@@ -51,19 +55,19 @@ std::optional<std::vector<std::vector<EdgeEvent>>> read_trace(
           colon + 1 >= tok.size()) {
         return fail(line_no, "bad event token '" + tok + "'");
       }
-      unsigned long a = 0, b = 0;
-      try {
-        std::size_t used_a = 0, used_b = 0;
-        a = std::stoul(tok.substr(1, colon - 1), &used_a);
-        b = std::stoul(tok.substr(colon + 1), &used_b);
-        if (used_a != colon - 1 || used_b != tok.size() - colon - 1) {
-          return fail(line_no, "trailing junk in '" + tok + "'");
-        }
-      } catch (const std::exception&) {
+      // parse_u64 is strict (digits only, no wrap-around), which keeps
+      // signs, hex, and overflow out of replayed traces.
+      const auto a = parse_u64(std::string_view(tok).substr(1, colon - 1));
+      const auto b = parse_u64(std::string_view(tok).substr(colon + 1));
+      if (!a || !b) {
         return fail(line_no, "bad node id in '" + tok + "'");
       }
-      if (a == b) return fail(line_no, "self loop in '" + tok + "'");
-      const Edge e(static_cast<NodeId>(a), static_cast<NodeId>(b));
+      constexpr std::uint64_t kMaxNodeId = std::numeric_limits<NodeId>::max();
+      if (*a > kMaxNodeId || *b > kMaxNodeId) {
+        return fail(line_no, "node id out of range in '" + tok + "'");
+      }
+      if (*a == *b) return fail(line_no, "self loop in '" + tok + "'");
+      const Edge e(static_cast<NodeId>(*a), static_cast<NodeId>(*b));
       batch.push_back(
           {e, tok[0] == '+' ? EventKind::kInsert : EventKind::kDelete});
     }

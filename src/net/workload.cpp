@@ -16,9 +16,13 @@ std::size_t run_workload(Simulator& sim, Workload& workload,
     ++rounds;
   }
   // Drain: let queues empty so the final metrics describe a settled network.
+  // This runs even when max_rounds cut a never-finished() workload off
+  // mid-stream -- otherwise such a run would return with queues full and
+  // metrics describing an unsettled network.  The drain adds at most
+  // drain_cap rounds beyond max_rounds; pass drain_cap = 0 for a hard cap
+  // at exactly max_rounds.
   std::size_t drained = 0;
-  while (rounds < max_rounds && drained < drain_cap &&
-         !sim.all_consistent()) {
+  while (drained < drain_cap && !sim.all_consistent()) {
     sim.step({});
     ++rounds;
     ++drained;

@@ -61,9 +61,14 @@ class ScriptedWorkload final : public Workload {
 
 class Simulator;
 
-/// Drives `sim` with `workload` until the workload reports finished and all
-/// nodes are consistent (the trailing drain is capped by `drain_cap` rounds),
-/// or until `max_rounds` elapse.  Returns the number of rounds executed.
+/// Drives `sim` with `workload` until the workload reports finished or
+/// `max_rounds` workload-driven rounds elapse (the cutoff path for
+/// workloads that never report finished()), then runs a trailing drain of
+/// up to `drain_cap` quiet rounds so the final metrics describe a settled
+/// network.  The drain applies after the max_rounds cutoff too, so the
+/// return value can exceed max_rounds by at most drain_cap; a drain_cap of
+/// 0 caps the run at exactly max_rounds.  Returns the number of rounds
+/// executed.
 std::size_t run_workload(Simulator& sim, Workload& workload,
                          std::size_t max_rounds, std::size_t drain_cap = 1000);
 

@@ -1,0 +1,188 @@
+// Workload combinators: adversaries as composable values.
+//
+// Each combinator implements net::Workload over other workloads, so an
+// arbitrary scenario -- "two churning communities, one flickering corner,
+// everything squeezed through a 4-events/round pipe" -- is an expression
+// instead of a new C++ program.  The scenario registry (registry.hpp)
+// exposes them under the spec grammar `name(param=value, child, ...)`, and
+// they nest arbitrarily because each one both consumes and implements the
+// same Workload interface.
+//
+// Composed batches stay *applicable* by construction.  The simulator aborts
+// on an insert of a present edge, a delete of an absent one, or two events
+// on one edge in the same round; whenever composition could produce such a
+// batch, the combinator resolves it deterministically: events are considered
+// in a fixed order, the first event touching an edge in a round wins, and
+// events that are no-ops against the effective graph state (the observed
+// graph plus the batch built so far) are dropped.  A composed workload is
+// therefore as legal a Workload as a hand-written one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/flat_set.hpp"
+#include "common/rng.hpp"
+#include "net/workload.hpp"
+#include "oracle/timestamped_graph.hpp"
+
+namespace dynsub::scenario {
+
+/// Runs its stages in order: stage k+1 starts only after stage k reports
+/// finished().  With `stabilize_between`, quiet rounds are inserted after a
+/// finished stage until the network reports all-consistent -- the
+/// adversaries' "wait for the algorithm to stabilize", lifted to the
+/// composition level.  Stage batches get the standard conflict resolution
+/// (a later stage is blind to what an earlier one left in the graph, so
+/// its no-ops and same-edge repeats are dropped).  Round accounting: every
+/// round is fed to exactly one stage or counted as a gap round, so
+/// sum(rounds_fed) + gap_rounds() is the number of next_round() calls.
+class SequenceWorkload final : public net::Workload {
+ public:
+  explicit SequenceWorkload(
+      std::vector<std::unique_ptr<net::Workload>> stages,
+      bool stabilize_between = false);
+
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const net::WorkloadObservation& obs) override;
+  [[nodiscard]] bool finished() const override;
+
+  [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
+  /// Rounds fed to stage k so far.
+  [[nodiscard]] std::size_t rounds_fed(std::size_t k) const {
+    return rounds_fed_[k];
+  }
+  /// Quiet stabilization rounds inserted between stages.
+  [[nodiscard]] std::size_t gap_rounds() const { return gap_rounds_; }
+  /// Events discarded by conflict resolution so far.
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+ private:
+  std::vector<std::unique_ptr<net::Workload>> stages_;
+  std::vector<std::size_t> rounds_fed_;
+  std::size_t cursor_ = 0;
+  bool stabilize_between_;
+  std::size_t gap_rounds_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+/// Merges several adversaries' per-round batches into one batch.  Parts are
+/// polled in construction order every round; conflicts on the same edge are
+/// resolved first-wins, and no-op events are dropped (see the header
+/// comment).  An overlay of a single part whose batches are applicable is
+/// the identity.
+class OverlayWorkload final : public net::Workload {
+ public:
+  explicit OverlayWorkload(std::vector<std::unique_ptr<net::Workload>> parts);
+
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const net::WorkloadObservation& obs) override;
+  [[nodiscard]] bool finished() const override;
+
+  /// Events discarded by conflict resolution so far (duplicates + no-ops).
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+ private:
+  std::vector<std::unique_ptr<net::Workload>> parts_;
+  std::size_t dropped_ = 0;
+};
+
+/// Caps topology changes at `cap` per round, spilling the remainder forward
+/// into a FIFO backlog -- turns any workload into a bandwidth-limited
+/// regime.  Event order is preserved exactly: a round emits the longest
+/// backlog prefix with at most `cap` events and at most one event per edge
+/// (no-ops created by the lag -- e.g. the inner workload re-inserting an
+/// edge whose first insert is still queued -- are dropped).  cap =
+/// kUnlimited makes it the identity for workloads that emit applicable
+/// batches.
+class ThrottleWorkload final : public net::Workload {
+ public:
+  static constexpr std::size_t kUnlimited =
+      std::numeric_limits<std::size_t>::max();
+
+  ThrottleWorkload(std::unique_ptr<net::Workload> inner, std::size_t cap);
+
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const net::WorkloadObservation& obs) override;
+  [[nodiscard]] bool finished() const override;
+
+  [[nodiscard]] std::size_t backlog() const { return backlog_.size(); }
+  [[nodiscard]] std::size_t peak_backlog() const { return peak_backlog_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+ private:
+  std::unique_ptr<net::Workload> inner_;
+  std::size_t cap_;
+  std::deque<EdgeEvent> backlog_;
+  std::size_t peak_backlog_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+/// Seeded delay/reorder of the inner workload's events: each event is held
+/// back by an independent uniform delay in [0, max_delay] rounds.  Delays
+/// are clamped so that two events on the *same* edge can never invert
+/// (each edge's due rounds are non-decreasing in arrival order, and an
+/// event deferred by a same-round conflict re-enters ahead of anything
+/// scheduled later) -- an insert/delete sequence on one edge therefore
+/// survives the reorder intact, while events on different edges shuffle
+/// freely.  No-op events are dropped as a safety net (a coherent inner
+/// stream never produces one).  Deterministic for a fixed seed;
+/// max_delay = 0 is the identity for applicable inner streams.
+class JitterWorkload final : public net::Workload {
+ public:
+  /// Largest accepted max_delay (the pending-slot deque holds
+  /// max_delay + 1 rounds of events).
+  static constexpr std::size_t kMaxDelay = 1000000;
+
+  JitterWorkload(std::unique_ptr<net::Workload> inner, std::size_t max_delay,
+                 std::uint64_t seed);
+
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const net::WorkloadObservation& obs) override;
+  [[nodiscard]] bool finished() const override;
+
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+ private:
+  std::unique_ptr<net::Workload> inner_;
+  std::size_t max_delay_;
+  Rng rng_;
+  std::deque<std::vector<EdgeEvent>> slots_;  // slots_[d]: due in d rounds
+  FlatMap<Edge, Round> floor_;  // per-edge minimum due round (no inversion)
+  std::size_t dropped_ = 0;
+};
+
+/// Shifts a workload into the node-id window [offset, offset + width):
+/// every emitted event is translated by +offset, and the inner workload
+/// observes a private shadow graph of its own (pre-shift) id space, kept up
+/// to date by replaying its own events.  The inner workload therefore
+/// behaves exactly as it would alone on a width-node network, which is what
+/// lets independent communities co-exist in one simulation (overlay several
+/// RemapWorkloads with disjoint windows).
+class RemapWorkload final : public net::Workload {
+ public:
+  /// `width` is the inner workload's node-id space size; ids emitted by the
+  /// inner workload must stay below it.
+  RemapWorkload(std::unique_ptr<net::Workload> inner, NodeId offset,
+                std::size_t width);
+
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const net::WorkloadObservation& obs) override;
+  [[nodiscard]] bool finished() const override { return inner_->finished(); }
+
+  [[nodiscard]] NodeId offset() const { return offset_; }
+  /// Highest global node id this workload can touch, plus one.
+  [[nodiscard]] std::size_t nodes_required() const {
+    return offset_ + shadow_.node_count();
+  }
+
+ private:
+  std::unique_ptr<net::Workload> inner_;
+  NodeId offset_;
+  oracle::TimestampedGraph shadow_;
+};
+
+}  // namespace dynsub::scenario

@@ -1,0 +1,694 @@
+#include "scenario/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "common/format.hpp"
+#include "dynamics/flicker.hpp"
+#include "dynamics/lb_cycle.hpp"
+#include "dynamics/lb_membership.hpp"
+#include "dynamics/planted.hpp"
+#include "dynamics/random_churn.hpp"
+#include "dynamics/sessions.hpp"
+#include "net/trace.hpp"
+#include "scenario/compose.hpp"
+
+namespace dynsub::scenario {
+namespace {
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+/// Quick mode shrinks *default* round counts (explicit spec parameters are
+/// never touched) so a full-registry smoke run stays in CI-seconds.
+std::size_t scaled(bool quick, std::size_t full) {
+  return quick ? std::max<std::size_t>(16, full / 5) : full;
+}
+
+// ------------------------------------------------ typed parameter reads ----
+
+/// Strict reader over one SpecNode's key=value parameters.  Every read
+/// records its key; finish() rejects parameters nobody asked for, so a typo
+/// (`round=` for `rounds=`) is an error instead of a silently ignored knob.
+class Params {
+ public:
+  Params(const SpecNode& node, std::string* error)
+      : node_(node), error_(error) {}
+
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  std::uint64_t u64(std::string_view key, std::uint64_t dflt) {
+    const std::string* raw = use(key);
+    if (raw == nullptr || failed_) return dflt;
+    const auto v = parse_u64(*raw);
+    if (!v) {
+      fail("parameter '" + std::string(key) + "' of '" + node_.name +
+           "' is not an unsigned integer: '" + *raw + "'");
+      return dflt;
+    }
+    return *v;
+  }
+
+  double real(std::string_view key, double dflt) {
+    const std::string* raw = use(key);
+    if (raw == nullptr || failed_) return dflt;
+    // Strict: digits with at most one '.', so nan/inf/negatives/hex-floats
+    // cannot slip a quietly wrong regime past the typed-parameter promise.
+    const bool shape_ok =
+        !raw->empty() && raw->front() != '.' && raw->back() != '.' &&
+        raw->find_first_not_of("0123456789.") == std::string::npos &&
+        std::count(raw->begin(), raw->end(), '.') <= 1;
+    char* end = nullptr;
+    const double v = shape_ok ? std::strtod(raw->c_str(), &end) : 0.0;
+    // !isfinite: a digits-only value past ~1e308 overflows to +inf.
+    if (!shape_ok || end == raw->c_str() || *end != '\0' ||
+        !std::isfinite(v)) {
+      fail("parameter '" + std::string(key) + "' of '" + node_.name +
+           "' is not a non-negative number: '" + *raw + "'");
+      return dflt;
+    }
+    return v;
+  }
+
+  std::string str(std::string_view key, std::string_view dflt) {
+    const std::string* raw = use(key);
+    return raw != nullptr ? *raw : std::string(dflt);
+  }
+
+  /// True when every parameter present in the spec was consumed by a read
+  /// and no key appears twice (param() reads only the first occurrence, so
+  /// a duplicate would be a silently ignored override).
+  bool finish() {
+    if (failed_) return false;
+    for (std::size_t i = 0; i < node_.params.size(); ++i) {
+      const std::string& k = node_.params[i].first;
+      if (std::find(used_.begin(), used_.end(), k) == used_.end()) {
+        fail("unknown parameter '" + k + "' for scenario '" + node_.name +
+             "'");
+        return false;
+      }
+      for (std::size_t j = i + 1; j < node_.params.size(); ++j) {
+        if (node_.params[j].first == k) {
+          fail("duplicate parameter '" + k + "' for scenario '" +
+               node_.name + "'");
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void fail(const std::string& what) {
+    if (!failed_ && error_ != nullptr) *error_ = what;
+    failed_ = true;
+  }
+
+ private:
+  const std::string* use(std::string_view key) {
+    used_.emplace_back(key);
+    return node_.param(key);
+  }
+
+  const SpecNode& node_;
+  std::string* error_;
+  std::vector<std::string> used_;
+  bool failed_ = false;
+};
+
+// A fat-fingered n=10^18 must be a clean error before any builder
+// allocates O(n) state (shadow graphs, session tables, flicker scripts) --
+// not an OOM or a wrapped size computation.
+bool check_nodes(Params& p, std::string_view name, std::uint64_t nodes) {
+  if (nodes <= kMaxScenarioNodes) return true;
+  p.fail("scenario '" + std::string(name) + "' wants " +
+         std::to_string(nodes) + " nodes; the registry caps at " +
+         std::to_string(kMaxScenarioNodes));
+  return false;
+}
+
+bool require_children(const SpecNode& node, std::size_t min_count,
+                      Params& params) {
+  if (node.children.size() < min_count) {
+    params.fail("scenario '" + node.name + "' requires at least " +
+                num(min_count) + " child scenario(s)");
+    return false;
+  }
+  return true;
+}
+
+bool forbid_children(const SpecNode& node, Params& params) {
+  if (!node.children.empty()) {
+    params.fail("scenario '" + node.name + "' takes no child scenarios");
+    return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ builders ----
+
+using Builder = std::optional<ScenarioBuild> (*)(const SpecNode&,
+                                                 const ScenarioOptions&,
+                                                 std::string*);
+
+ScenarioBuild make_build(std::unique_ptr<net::Workload> wl,
+                         std::size_t nodes) {
+  ScenarioBuild b;
+  b.workload = std::move(wl);
+  b.nodes = nodes;
+  return b;
+}
+
+std::optional<ScenarioBuild> build_churn(const SpecNode& node,
+                                         const ScenarioOptions& o,
+                                         std::string* error) {
+  Params p(node, error);
+  if (!forbid_children(node, p)) return std::nullopt;
+  dynamics::RandomChurnParams cp;
+  cp.n = p.u64("n", o.n != 0 ? o.n : 64);
+  cp.target_edges = p.u64("target", 2 * cp.n);
+  cp.min_changes = p.u64("min", 0);
+  cp.max_changes = p.u64("max", 4);
+  cp.delete_fraction = p.real("delfrac", 0.5);
+  cp.rounds = p.u64("rounds", scaled(o.quick, 240));
+  cp.seed = p.u64("seed", o.seed);
+  if (!p.finish()) return std::nullopt;
+  if (cp.n < 2) {
+    p.fail("churn needs n >= 2");
+    return std::nullopt;
+  }
+  if (!check_nodes(p, node.name, cp.n)) return std::nullopt;
+  return make_build(std::make_unique<dynamics::RandomChurnWorkload>(cp),
+                    cp.n);
+}
+
+std::optional<ScenarioBuild> build_serialized_churn(const SpecNode& node,
+                                                    const ScenarioOptions& o,
+                                                    std::string* error) {
+  Params p(node, error);
+  if (!forbid_children(node, p)) return std::nullopt;
+  const std::size_t n = p.u64("n", o.n != 0 ? o.n : 256);
+  const std::size_t target = p.u64("target", 2 * n);
+  const std::size_t toggles = p.u64("toggles", scaled(o.quick, 200));
+  const std::uint64_t seed = p.u64("seed", o.seed);
+  // Matches SerializedChurnWorkload's own default so a registry-built run
+  // is the same regime as a directly constructed one.
+  const std::size_t wait = p.u64("wait", 1000000);
+  if (!p.finish()) return std::nullopt;
+  if (n < 2) {
+    p.fail("serialized-churn needs n >= 2");
+    return std::nullopt;
+  }
+  if (!check_nodes(p, node.name, n)) return std::nullopt;
+  return make_build(std::make_unique<dynamics::SerializedChurnWorkload>(
+                        n, target, toggles, seed, wait),
+                    n);
+}
+
+template <typename WorkloadT>
+std::optional<ScenarioBuild> build_planted(const SpecNode& node,
+                                           const ScenarioOptions& o,
+                                           std::string* error) {
+  Params p(node, error);
+  if (!forbid_children(node, p)) return std::nullopt;
+  dynamics::PlantedParams pp;
+  pp.n = p.u64("n", o.n != 0 ? o.n : 64);
+  pp.k = p.u64("k", 4);
+  pp.plants = p.u64("plants", 3);
+  pp.noise_per_round = p.u64("noise", 1);
+  pp.rebuild_period = p.u64("period", 12);
+  pp.rounds = p.u64("rounds", scaled(o.quick, 200));
+  pp.seed = p.u64("seed", o.seed);
+  if (!p.finish()) return std::nullopt;
+  if (pp.k < 3 || pp.k > pp.n || pp.n < pp.k * pp.plants) {
+    p.fail("'" + node.name + "' needs k >= 3 and n >= k * plants");
+    return std::nullopt;
+  }
+  if (!check_nodes(p, node.name, pp.n)) return std::nullopt;
+  return make_build(std::make_unique<WorkloadT>(pp), pp.n);
+}
+
+std::optional<ScenarioBuild> build_sessions(const SpecNode& node,
+                                            const ScenarioOptions& o,
+                                            std::string* error) {
+  Params p(node, error);
+  if (!forbid_children(node, p)) return std::nullopt;
+  dynamics::SessionChurnParams sp;
+  sp.n = p.u64("n", o.n != 0 ? o.n : 64);
+  sp.join_degree = p.u64("degree", 3);
+  sp.session_min = p.real("smin", 4.0);
+  sp.session_alpha = p.real("alpha", 1.5);
+  sp.mean_offline = p.real("offline", 6.0);
+  sp.rewire_prob = p.real("rewire", 0.02);
+  sp.triadic_closure = p.real("closure", 0.0);
+  sp.rounds = p.u64("rounds", scaled(o.quick, 200));
+  sp.seed = p.u64("seed", o.seed);
+  if (!p.finish()) return std::nullopt;
+  if (sp.n < 2) {
+    p.fail("sessions needs n >= 2");
+    return std::nullopt;
+  }
+  if (!check_nodes(p, node.name, sp.n)) return std::nullopt;
+  return make_build(std::make_unique<dynamics::SessionChurnWorkload>(sp),
+                    sp.n);
+}
+
+std::optional<ScenarioBuild> build_flicker(const SpecNode& node,
+                                           const ScenarioOptions& o,
+                                           std::string* error) {
+  Params p(node, error);
+  if (!forbid_children(node, p)) return std::nullopt;
+  const std::size_t n = p.u64("n", o.n != 0 ? o.n : 12);
+  const std::size_t repeats = p.u64("repeats", 1);
+  if (!p.finish()) return std::nullopt;
+  if (n < 8) {
+    p.fail("flicker needs n >= 8 (the junk-edge congestion gadget)");
+    return std::nullopt;
+  }
+  // The whole script is materialized up front at ~O(n) rounds per repeat,
+  // so the budget must bound the product, not just each factor.
+  if (repeats > 100000 || n * repeats > 10000000) {
+    p.fail("flicker n=" + num(n) + " x repeats=" + num(repeats) +
+           " would materialize too large a script (cap: n*repeats <= 10^7)");
+    return std::nullopt;
+  }
+  const auto scenario =
+      repeats <= 1 ? dynamics::make_flicker_scenario(n)
+                   : dynamics::make_repeated_flicker_scenario(n, repeats);
+  return make_build(std::make_unique<net::ScriptedWorkload>(scenario.script),
+                    n);
+}
+
+std::optional<ScenarioBuild> build_membership_lb(const SpecNode& node,
+                                                 const ScenarioOptions& o,
+                                                 std::string* error) {
+  Params p(node, error);
+  if (!forbid_children(node, p)) return std::nullopt;
+  dynamics::MembershipLbParams mp;
+  const std::string pattern = p.str("pattern", "p3");
+  if (pattern == "p3") {
+    mp.pattern = dynamics::pattern_p3();
+  } else if (pattern == "diamond") {
+    mp.pattern = dynamics::pattern_diamond();
+  } else if (pattern == "c4") {
+    mp.pattern = dynamics::pattern_c4();
+  } else {
+    p.fail("membership-lb pattern must be p3 | diamond | c4, got '" +
+           pattern + "'");
+    return std::nullopt;
+  }
+  mp.t = p.u64("t", scaled(o.quick, o.n != 0 ? o.n : 32));
+  mp.max_wait = p.u64("wait", 100000);
+  if (!p.finish()) return std::nullopt;
+  if (!check_nodes(p, node.name, mp.t) ||
+      !check_nodes(p, node.name, mp.pattern.k - 2 + mp.t)) {
+    return std::nullopt;
+  }
+  auto wl = std::make_unique<dynamics::MembershipLbAdversary>(mp);
+  const std::size_t nodes = wl->nodes_required();
+  return make_build(std::move(wl), nodes);
+}
+
+std::optional<ScenarioBuild> build_cycle_lb(const SpecNode& node,
+                                            const ScenarioOptions& o,
+                                            std::string* error) {
+  Params p(node, error);
+  if (!forbid_children(node, p)) return std::nullopt;
+  dynamics::CycleLbParams cp;
+  cp.d = p.u64("d", o.quick ? 4 : 9);
+  cp.seed = p.u64("seed", o.seed);
+  cp.max_wait = p.u64("wait", 100000);
+  if (!p.finish()) return std::nullopt;
+  if (cp.d < 3) {
+    p.fail("cycle-lb needs d >= 3");
+    return std::nullopt;
+  }
+  // nodes_required = (d + 2)^2; keep the square well inside 64 bits.
+  if (cp.d > kMaxScenarioNodes ||
+      !check_nodes(p, node.name, (cp.d + 2) * (cp.d + 2))) {
+    if (cp.d > kMaxScenarioNodes) {
+      p.fail("cycle-lb d=" + std::to_string(cp.d) + " is out of range");
+    }
+    return std::nullopt;
+  }
+  auto wl = std::make_unique<dynamics::CycleLbAdversary>(cp);
+  const std::size_t nodes = wl->nodes_required();
+  return make_build(std::move(wl), nodes);
+}
+
+// Combinator builders recurse through build_scenario on their children.
+std::optional<ScenarioBuild> build_child(const SpecNode& child,
+                                         const ScenarioOptions& o,
+                                         std::string* error);
+
+std::optional<ScenarioBuild> build_seq(const SpecNode& node,
+                                       const ScenarioOptions& o,
+                                       std::string* error) {
+  Params p(node, error);
+  const bool stabilize = p.u64("stabilize", 0) != 0;
+  if (!p.finish()) return std::nullopt;
+  if (!require_children(node, 1, p)) return std::nullopt;
+  std::vector<std::unique_ptr<net::Workload>> stages;
+  std::size_t nodes = 0;
+  for (const SpecNode& child : node.children) {
+    auto built = build_child(child, o, error);
+    if (!built) return std::nullopt;
+    nodes = std::max(nodes, built->nodes);
+    stages.push_back(std::move(built->workload));
+  }
+  return make_build(
+      std::make_unique<SequenceWorkload>(std::move(stages), stabilize),
+      nodes);
+}
+
+std::optional<ScenarioBuild> build_overlay(const SpecNode& node,
+                                           const ScenarioOptions& o,
+                                           std::string* error) {
+  Params p(node, error);
+  if (!p.finish()) return std::nullopt;
+  if (!require_children(node, 1, p)) return std::nullopt;
+  std::vector<std::unique_ptr<net::Workload>> parts;
+  std::size_t nodes = 0;
+  for (const SpecNode& child : node.children) {
+    auto built = build_child(child, o, error);
+    if (!built) return std::nullopt;
+    nodes = std::max(nodes, built->nodes);
+    parts.push_back(std::move(built->workload));
+  }
+  return make_build(std::make_unique<OverlayWorkload>(std::move(parts)),
+                    nodes);
+}
+
+std::optional<ScenarioBuild> build_throttle(const SpecNode& node,
+                                            const ScenarioOptions& o,
+                                            std::string* error) {
+  Params p(node, error);
+  const std::uint64_t cap_raw = p.u64("cap", 8);
+  if (!p.finish()) return std::nullopt;
+  if (node.children.size() != 1) {
+    p.fail("throttle takes exactly one child scenario");
+    return std::nullopt;
+  }
+  auto built = build_child(node.children[0], o, error);
+  if (!built) return std::nullopt;
+  // cap=0 spells "unlimited" in specs (there is no infinity literal).
+  const std::size_t cap = cap_raw == 0
+                              ? ThrottleWorkload::kUnlimited
+                              : static_cast<std::size_t>(cap_raw);
+  return make_build(
+      std::make_unique<ThrottleWorkload>(std::move(built->workload), cap),
+      built->nodes);
+}
+
+std::optional<ScenarioBuild> build_jitter(const SpecNode& node,
+                                          const ScenarioOptions& o,
+                                          std::string* error) {
+  Params p(node, error);
+  const std::uint64_t delay = p.u64("delay", 2);
+  const std::uint64_t seed = p.u64("seed", o.seed);
+  if (!p.finish()) return std::nullopt;
+  if (delay > JitterWorkload::kMaxDelay) {
+    p.fail("jitter delay=" + std::to_string(delay) + " exceeds the cap of " +
+           std::to_string(JitterWorkload::kMaxDelay));
+    return std::nullopt;
+  }
+  if (node.children.size() != 1) {
+    p.fail("jitter takes exactly one child scenario");
+    return std::nullopt;
+  }
+  auto built = build_child(node.children[0], o, error);
+  if (!built) return std::nullopt;
+  return make_build(
+      std::make_unique<JitterWorkload>(std::move(built->workload),
+                                       static_cast<std::size_t>(delay), seed),
+      built->nodes);
+}
+
+std::optional<ScenarioBuild> build_remap(const SpecNode& node,
+                                         const ScenarioOptions& o,
+                                         std::string* error) {
+  Params p(node, error);
+  const bool has_offset = node.param("offset") != nullptr;
+  const std::uint64_t offset_raw = p.u64("offset", 0);
+  if (!p.finish()) return std::nullopt;
+  if (node.children.size() != 1) {
+    p.fail("remap takes exactly one child scenario");
+    return std::nullopt;
+  }
+  auto built = build_child(node.children[0], o, error);
+  if (!built) return std::nullopt;
+  // Default offset: stack the window right after the child's own id space.
+  // Both terms are checked against the registry cap *separately* before
+  // the sum, so the addition cannot wrap around 64 bits -- and the cap is
+  // far below NodeId's 32-bit range, so the cast below is exact.
+  const std::uint64_t offset64 =
+      has_offset ? offset_raw : static_cast<std::uint64_t>(built->nodes);
+  if (offset64 > kMaxScenarioNodes ||
+      built->nodes > kMaxScenarioNodes ||
+      offset64 + built->nodes > kMaxScenarioNodes) {
+    p.fail("remap offset " + num(offset64) + " + window " +
+           num(built->nodes) + " exceeds the registry's node cap of " +
+           num(kMaxScenarioNodes));
+    return std::nullopt;
+  }
+  const NodeId offset = static_cast<NodeId>(offset64);
+  auto wl = std::make_unique<RemapWorkload>(std::move(built->workload),
+                                            offset, built->nodes);
+  const std::size_t nodes = wl->nodes_required();
+  return make_build(std::move(wl), nodes);
+}
+
+// ---------------------------------------------------------- composites ----
+
+using Expander = std::string (*)(const ScenarioOptions&);
+
+std::string expand_flash_crowd(const ScenarioOptions& o) {
+  const std::size_t n = o.n != 0 ? o.n : 96;
+  const std::size_t calm = scaled(o.quick, 80);
+  const std::size_t burst = scaled(o.quick, 60);
+  const std::uint64_t s = o.seed;
+  return "seq(sessions(n=" + num(n) + ", rounds=" + num(calm) +
+         ", seed=" + num(s) + "), overlay(sessions(n=" + num(n) +
+         ", degree=5, closure=0.4, rounds=" + num(burst) +
+         ", seed=" + num(s + 1) + "), churn(n=" + num(n) +
+         ", min=6, max=18, target=" + num(3 * n) + ", rounds=" + num(burst) +
+         ", seed=" + num(s + 2) + ")), sessions(n=" + num(n) +
+         ", rounds=" + num(calm) + ", seed=" + num(s + 3) +
+         "), stabilize=1)";
+}
+
+std::string expand_partition_heal(const ScenarioOptions& o) {
+  const std::size_t n = std::max<std::size_t>(o.n != 0 ? o.n : 96, 8);
+  const std::size_t h = n / 2;
+  const std::size_t part = scaled(o.quick, 120);
+  const std::size_t heal = scaled(o.quick, 80);
+  const std::uint64_t s = o.seed;
+  const auto community = [&](std::uint64_t seed, std::size_t offset) {
+    return "remap(churn(n=" + num(h) + ", target=" + num(2 * h) +
+           ", max=4, rounds=" + num(part) + ", seed=" + num(seed) +
+           "), offset=" + num(offset) + ")";
+  };
+  return "seq(overlay(" + community(s, 0) + ", " + community(s + 1, h) +
+         "), churn(n=" + num(n) + ", target=" + num(2 * n) +
+         ", max=6, rounds=" + num(heal) + ", seed=" + num(s + 2) +
+         "), stabilize=1)";
+}
+
+std::string expand_multi_community(const ScenarioOptions& o) {
+  const std::size_t n = std::max<std::size_t>(o.n != 0 ? o.n : 128, 16);
+  const std::size_t c = n / 4;
+  const std::size_t rounds = scaled(o.quick, 150);
+  const std::uint64_t s = o.seed;
+  std::string spec = "overlay(";
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i != 0) spec += ", ";
+    spec += "remap(churn(n=" + num(c) + ", target=" + num(2 * c) +
+            ", max=3, rounds=" + num(rounds) + ", seed=" + num(s + i) +
+            "), offset=" + num(i * c) + ")";
+  }
+  return spec + ")";
+}
+
+std::string expand_flicker_storm(const ScenarioOptions& o) {
+  const std::size_t n = std::max<std::size_t>(o.n != 0 ? o.n : 64, 28);
+  const std::size_t planted = n - 12;
+  const std::size_t rounds = scaled(o.quick, 160);
+  const std::size_t repeats = o.quick ? 2 : 4;
+  return "overlay(planted-clique(n=" + num(planted) +
+         ", k=4, plants=2, noise=1, rounds=" + num(rounds) +
+         ", seed=" + num(o.seed) + "), remap(flicker(n=12, repeats=" +
+         num(repeats) + "), offset=" + num(planted) + "))";
+}
+
+std::string expand_bandwidth_crunch(const ScenarioOptions& o) {
+  const std::size_t n = o.n != 0 ? o.n : 64;
+  const std::size_t rounds = scaled(o.quick, 120);
+  return "throttle(churn(n=" + num(n) + ", min=8, max=20, target=" +
+         num(3 * n) + ", rounds=" + num(rounds) + ", seed=" + num(o.seed) +
+         "), cap=4)";
+}
+
+std::string expand_jittered_sessions(const ScenarioOptions& o) {
+  const std::size_t n = o.n != 0 ? o.n : 96;
+  const std::size_t rounds = scaled(o.quick, 150);
+  return "jitter(sessions(n=" + num(n) + ", degree=4, closure=0.3, rounds=" +
+         num(rounds) + ", seed=" + num(o.seed) + "), delay=3, seed=" +
+         num(o.seed + 1) + ")";
+}
+
+// ------------------------------------------------------- the registries ----
+
+struct PrimitiveEntry {
+  const char* name;
+  ScenarioKind kind;
+  const char* summary;
+  const char* example;
+  Builder build;
+};
+
+const PrimitiveEntry kEntries[] = {
+    // Primitives (src/dynamics/).
+    {"churn", ScenarioKind::kPrimitive,
+     "uniform random churn held near a target edge count",
+     "churn(n=64, target=128, max=6, rounds=120)", build_churn},
+    {"serialized-churn", ScenarioKind::kPrimitive,
+     "one edge toggle at a time, each followed by a stabilization wait",
+     "serialized-churn(n=256, toggles=100)", build_serialized_churn},
+    {"planted-clique", ScenarioKind::kPrimitive,
+     "plants k-cliques edge by edge, churns and rebuilds them",
+     "planted-clique(n=64, k=4, plants=2, rounds=120)",
+     build_planted<dynamics::PlantedCliqueWorkload>},
+    {"planted-cycle", ScenarioKind::kPrimitive,
+     "plants k-cycles with randomized insertion orders",
+     "planted-cycle(n=64, k=5, plants=2, rounds=120)",
+     build_planted<dynamics::PlantedCycleWorkload>},
+    {"sessions", ScenarioKind::kPrimitive,
+     "heavy-tailed P2P session churn (Pareto online, geometric offline)",
+     "sessions(n=96, degree=4, closure=0.3, rounds=150)", build_sessions},
+    {"flicker", ScenarioKind::kPrimitive,
+     "the Section 1.3 flickering-witness counterexample schedule",
+     "flicker(n=12, repeats=3)", build_flicker},
+    {"membership-lb", ScenarioKind::kPrimitive,
+     "Theorem 2 adaptive adversary: churn a node between N_a and N_b",
+     "membership-lb(pattern=diamond, t=16)", build_membership_lb},
+    {"cycle-lb", ScenarioKind::kPrimitive,
+     "Theorem 4 adaptive adversary: column gadgets + bridge phases",
+     "cycle-lb(d=4)", build_cycle_lb},
+    // Combinators (src/scenario/compose.hpp).
+    {"seq", ScenarioKind::kCombinator,
+     "run children one after another (stabilize=1 inserts quiet gaps)",
+     "seq(churn(rounds=40), planted-clique(rounds=40), stabilize=1)",
+     build_seq},
+    {"overlay", ScenarioKind::kCombinator,
+     "merge children's batches, first-wins per edge per round",
+     "overlay(churn(rounds=40, seed=1), planted-clique(rounds=40, seed=2))",
+     build_overlay},
+    {"throttle", ScenarioKind::kCombinator,
+     "cap changes per round, spilling the remainder forward (cap=0: off)",
+     "throttle(churn(min=4, max=12, rounds=40), cap=3)", build_throttle},
+    {"jitter", ScenarioKind::kCombinator,
+     "seeded per-event delay/reorder of the child's batches",
+     "jitter(churn(rounds=40), delay=2)", build_jitter},
+    {"remap", ScenarioKind::kCombinator,
+     "shift the child into the id window [offset, offset + its n)",
+     "remap(churn(n=24, rounds=40), offset=8)", build_remap},
+};
+
+struct CompositeEntry {
+  const char* name;
+  const char* summary;
+  Expander expand;
+};
+
+const CompositeEntry kComposites[] = {
+    {"flash-crowd",
+     "calm P2P sessions, then a sudden crowd of joins plus churn, then calm",
+     expand_flash_crowd},
+    {"partition-heal",
+     "two isolated churning communities, then cross-community healing",
+     expand_partition_heal},
+    {"multi-community-churn",
+     "four independent churn communities in disjoint id windows",
+     expand_multi_community},
+    {"flicker-storm-over-planted-cliques",
+     "repeated flicker attacks in a corner window over planted-clique churn",
+     expand_flicker_storm},
+    {"bandwidth-crunch",
+     "heavy churn squeezed through a 4-changes/round pipe (backlog regime)",
+     expand_bandwidth_crunch},
+    {"jittered-sessions",
+     "session churn with per-event delivery delay/reorder (delay<=3)",
+     expand_jittered_sessions},
+};
+
+std::optional<ScenarioBuild> build_child(const SpecNode& child,
+                                         const ScenarioOptions& o,
+                                         std::string* error) {
+  return build_scenario(child, o, error);
+}
+
+}  // namespace
+
+const std::vector<ScenarioInfo>& scenario_catalog() {
+  static const std::vector<ScenarioInfo> catalog = [] {
+    std::vector<ScenarioInfo> infos;
+    for (const auto& e : kEntries) {
+      infos.push_back({e.name, e.kind, e.summary, e.example});
+    }
+    for (const auto& c : kComposites) {
+      infos.push_back(
+          {c.name, ScenarioKind::kComposite, c.summary, c.name});
+    }
+    std::sort(infos.begin(), infos.end(),
+              [](const ScenarioInfo& a, const ScenarioInfo& b) {
+                if (a.kind != b.kind) return a.kind < b.kind;
+                return a.name < b.name;
+              });
+    return infos;
+  }();
+  return catalog;
+}
+
+std::optional<ScenarioBuild> build_scenario(const SpecNode& node,
+                                            const ScenarioOptions& opts,
+                                            std::string* error) {
+  for (const auto& e : kEntries) {
+    if (node.name == e.name) {
+      auto built = e.build(node, opts, error);
+      if (built) built->spec = to_string(node);
+      return built;
+    }
+  }
+  for (const auto& c : kComposites) {
+    if (node.name != c.name) continue;
+    if (!node.params.empty() || !node.children.empty()) {
+      if (error != nullptr) {
+        *error = "composite scenario '" + node.name +
+                 "' takes no parameters (n/seed/quick come from the "
+                 "options; its expansion is: " +
+                 c.expand(opts) + ")";
+      }
+      return std::nullopt;
+    }
+    const std::string expansion = c.expand(opts);
+    auto built = build_scenario(expansion, opts, error);
+    if (built) built->spec = expansion;
+    return built;
+  }
+  if (error != nullptr) {
+    *error = "unknown scenario '" + node.name +
+             "' (dynsub_run --list shows the registry)";
+  }
+  return std::nullopt;
+}
+
+std::optional<ScenarioBuild> build_scenario(std::string_view spec_text,
+                                            const ScenarioOptions& opts,
+                                            std::string* error) {
+  const auto node = parse_spec(spec_text, error);
+  if (!node) return std::nullopt;
+  return build_scenario(*node, opts, error);
+}
+
+}  // namespace dynsub::scenario

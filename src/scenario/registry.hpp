@@ -1,0 +1,83 @@
+// The scenario registry: every workload in the repo under a stable name.
+//
+// Three kinds of entries:
+//
+//   * primitives  -- the hand-written adversaries of src/dynamics/
+//                    (churn, planted-clique, flicker, membership-lb, ...),
+//   * combinators -- the compose.hpp workload combinators (seq, overlay,
+//                    throttle, jitter, remap), which take child scenarios,
+//   * composites  -- named one-line scenarios pre-built from the above
+//                    (flash-crowd, partition-heal, ...); each expands to a
+//                    spec string parameterized by n / seed / quick.
+//
+// build_scenario() turns a spec string (spec.hpp grammar) or a bare
+// registered name into a ready-to-run net::Workload plus the node count the
+// simulator needs.  Parameter parsing is typed and strict: an unknown or
+// malformed parameter is an error naming the offender, never a silent
+// default.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/workload.hpp"
+#include "scenario/spec.hpp"
+
+namespace dynsub::scenario {
+
+/// Ceiling on any scenario's node count, enforced by every builder
+/// *before* it allocates O(n) state -- and by dynsub_run on the final
+/// simulator size (which also covers the trace-replay path).  One
+/// constant, so the two gates cannot drift apart.
+inline constexpr std::size_t kMaxScenarioNodes = 50000000;
+
+/// Knobs shared by every build: defaults a spec does not override.
+struct ScenarioOptions {
+  /// Default node count for scenarios that take one (0 = per-scenario
+  /// default).  A spec's explicit n parameter always wins.
+  std::size_t n = 0;
+  /// Default seed for stochastic scenarios; a spec's seed parameter wins.
+  std::uint64_t seed = 1;
+  /// Shrink default round counts for CI smoke runs (explicit `rounds`
+  /// parameters are never scaled).
+  bool quick = false;
+};
+
+struct ScenarioBuild {
+  std::unique_ptr<net::Workload> workload;
+  /// Node count the simulator must be constructed with.
+  std::size_t nodes = 0;
+  /// Canonical spec of what was actually built (composites expand here).
+  std::string spec;
+};
+
+enum class ScenarioKind : std::uint8_t { kPrimitive, kCombinator, kComposite };
+
+struct ScenarioInfo {
+  std::string name;
+  ScenarioKind kind;
+  std::string summary;
+  /// A runnable example spec (for composites, the bare name suffices).
+  std::string example;
+};
+
+/// Every registered scenario, sorted by (kind, name).
+[[nodiscard]] const std::vector<ScenarioInfo>& scenario_catalog();
+
+/// Builds a workload from a spec string or a bare registered name.
+/// Returns std::nullopt (and sets `error` when given) on parse or
+/// parameter errors.
+[[nodiscard]] std::optional<ScenarioBuild> build_scenario(
+    std::string_view spec_text, const ScenarioOptions& opts,
+    std::string* error = nullptr);
+
+/// Builds from an already-parsed spec tree.
+[[nodiscard]] std::optional<ScenarioBuild> build_scenario(
+    const SpecNode& node, const ScenarioOptions& opts,
+    std::string* error = nullptr);
+
+}  // namespace dynsub::scenario

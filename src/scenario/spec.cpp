@@ -1,0 +1,177 @@
+#include "scenario/spec.hpp"
+
+#include <cctype>
+
+namespace dynsub::scenario {
+
+const std::string* SpecNode::param(std::string_view key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 32;
+
+struct Parser {
+  std::string_view s;
+  std::size_t pos = 0;
+  std::string err;
+
+  [[nodiscard]] bool failed() const { return !err.empty(); }
+
+  void fail(const std::string& what) {
+    if (err.empty()) {
+      err = what + " at position " + std::to_string(pos);
+    }
+  }
+
+  void skip_ws() {
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos >= s.size();
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos < s.size() ? s[pos] : '\0';
+  }
+
+  static bool is_name_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-';
+  }
+  static bool is_value_char(char c) {
+    return c != ',' && c != '(' && c != ')' && c != '=' &&
+           !std::isspace(static_cast<unsigned char>(c));
+  }
+
+  std::string parse_name() {
+    skip_ws();
+    if (pos >= s.size() || !is_name_start(s[pos])) {
+      fail("expected a name");
+      return {};
+    }
+    const std::size_t start = pos;
+    while (pos < s.size() && is_name_char(s[pos])) ++pos;
+    return std::string(s.substr(start, pos - start));
+  }
+
+  std::string parse_value() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < s.size() && is_value_char(s[pos])) ++pos;
+    if (pos == start) {
+      fail("expected a value");
+      return {};
+    }
+    return std::string(s.substr(start, pos - start));
+  }
+
+  /// Parses `( arg, ... )` into `node`, assuming '(' is next.
+  void parse_args(SpecNode& node, int depth) {
+    ++pos;  // '('
+    if (peek() == ')') {
+      ++pos;
+      return;
+    }
+    while (true) {
+      if (failed()) return;
+      if (!is_name_start(peek())) {
+        fail("expected a parameter or child scenario");
+        return;
+      }
+      std::string name = parse_name();
+      if (peek() == '=') {
+        ++pos;  // '='
+        std::string value = parse_value();
+        if (failed()) return;
+        node.params.emplace_back(std::move(name), std::move(value));
+      } else {
+        SpecNode child;
+        child.name = std::move(name);
+        if (peek() == '(') {
+          if (depth + 1 >= kMaxDepth) {
+            fail("spec nested too deeply");
+            return;
+          }
+          parse_args(child, depth + 1);
+          if (failed()) return;
+        }
+        node.children.push_back(std::move(child));
+      }
+      const char c = peek();
+      if (c == ',') {
+        ++pos;
+        continue;
+      }
+      if (c == ')') {
+        ++pos;
+        return;
+      }
+      fail("expected ',' or ')'");
+      return;
+    }
+  }
+
+  std::optional<SpecNode> parse() {
+    SpecNode root;
+    root.name = parse_name();
+    if (failed()) return std::nullopt;
+    if (peek() == '(') parse_args(root, 0);
+    if (failed()) return std::nullopt;
+    if (!at_end()) {
+      fail("trailing characters after spec");
+      return std::nullopt;
+    }
+    return root;
+  }
+};
+
+void render(const SpecNode& node, std::string& out) {
+  out += node.name;
+  if (node.params.empty() && node.children.empty()) return;
+  out += '(';
+  bool first = true;
+  for (const auto& [k, v] : node.params) {
+    if (!first) out += ", ";
+    out += k;
+    out += '=';
+    out += v;
+    first = false;
+  }
+  for (const SpecNode& child : node.children) {
+    if (!first) out += ", ";
+    render(child, out);
+    first = false;
+  }
+  out += ')';
+}
+
+}  // namespace
+
+std::optional<SpecNode> parse_spec(std::string_view text, std::string* error) {
+  Parser parser{text, 0, {}};
+  auto node = parser.parse();
+  if (!node && error) *error = parser.err;
+  return node;
+}
+
+std::string to_string(const SpecNode& node) {
+  std::string out;
+  render(node, out);
+  return out;
+}
+
+}  // namespace dynsub::scenario

@@ -1,0 +1,54 @@
+// Scenario spec strings: a one-line language for composing adversaries.
+//
+// Grammar (whitespace-insensitive, nestable to depth 32):
+//
+//   spec   := name [ '(' arg (',' arg)* ')' ]
+//   arg    := key '=' value          -- a scalar parameter
+//           | spec                   -- a child workload (combinators)
+//   name   := [A-Za-z_][A-Za-z0-9_-]*
+//   value  := one token, e.g. 64, 0.35, p3   (no commas or parens)
+//
+// Examples:
+//
+//   churn(n=128, target=256, rounds=300)
+//   throttle(churn(n=64, max=12), cap=4)
+//   overlay(remap(churn(n=32), offset=0), remap(churn(n=32), offset=32))
+//
+// The parser produces a SpecNode tree; the scenario registry
+// (registry.hpp) maps names to workload builders with typed parameter
+// checking.  Parsing is total and side-effect free: malformed input yields
+// std::nullopt plus a position-annotated error message.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dynsub::scenario {
+
+struct SpecNode {
+  std::string name;
+  /// key=value parameters, in source order.
+  std::vector<std::pair<std::string, std::string>> params;
+  /// Positional child specs, in source order.
+  std::vector<SpecNode> children;
+
+  /// Value of a parameter; nullptr when absent.
+  [[nodiscard]] const std::string* param(std::string_view key) const;
+
+  friend bool operator==(const SpecNode&, const SpecNode&) = default;
+};
+
+/// Parses one complete spec; trailing junk is an error.  On failure returns
+/// std::nullopt and, when `error` is given, a message naming the offending
+/// position.
+[[nodiscard]] std::optional<SpecNode> parse_spec(std::string_view text,
+                                                 std::string* error = nullptr);
+
+/// Canonical rendering: `name(k=v, ..., child, ...)` -- parameters first,
+/// then children; parse_spec(to_string(x)) reproduces x exactly.
+[[nodiscard]] std::string to_string(const SpecNode& node);
+
+}  // namespace dynsub::scenario

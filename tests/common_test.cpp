@@ -15,6 +15,26 @@ namespace {
 
 // ---------------------------------------------------------------- Edge ----
 
+TEST(ParseU64Test, StrictDigitsOnlyAndNoWraparound) {
+  using dynsub::parse_u64;
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("007"), 7u);
+  // The exact 64-bit boundary.
+  EXPECT_EQ(parse_u64("18446744073709551615"), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());
+  EXPECT_FALSE(parse_u64("99999999999999999999999").has_value());
+  // Everything strtoull would quietly accept.
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("+1").has_value());
+  EXPECT_FALSE(parse_u64(" 1").has_value());
+  EXPECT_FALSE(parse_u64("1 ").has_value());
+  EXPECT_FALSE(parse_u64("0x10").has_value());
+  EXPECT_FALSE(parse_u64("1e3").has_value());
+  EXPECT_FALSE(parse_u64("10O0").has_value());
+}
+
 TEST(EdgeTest, NormalizesEndpointOrder) {
   const Edge a(5, 2);
   EXPECT_EQ(a.lo(), 2u);

@@ -402,5 +402,55 @@ TEST(WorkloadTest, RunWorkloadDrainsToConsistency) {
   EXPECT_EQ(sim.metrics().changes(), 2u);
 }
 
+/// A workload that never reports finished(): toggles edge {0,1} forever.
+class EndlessToggle final : public Workload {
+ public:
+  [[nodiscard]] std::vector<EdgeEvent> next_round(
+      const WorkloadObservation& obs) override {
+    ++calls;
+    const bool present = obs.graph.has_edge(Edge(0, 1));
+    return {present ? EdgeEvent::remove(0, 1) : EdgeEvent::insert(0, 1)};
+  }
+  [[nodiscard]] bool finished() const override { return false; }
+
+  std::size_t calls = 0;
+};
+
+TEST(WorkloadTest, MaxRoundsCutsOffNeverFinishedWorkloadThenDrains) {
+  // The cutoff path: a never-finished() workload is fed exactly max_rounds
+  // rounds, after which the trailing drain still runs (bounded by
+  // drain_cap) so the run ends on a settled network.
+  Simulator sim(4, probe_factory());
+  EndlessToggle wl;
+  const auto rounds = run_workload(sim, wl, /*max_rounds=*/50,
+                                   /*drain_cap=*/1000);
+  EXPECT_EQ(wl.calls, 50u);
+  EXPECT_GE(rounds, 50u);
+  EXPECT_LE(rounds, 50u + 1000u);
+  EXPECT_TRUE(sim.all_consistent());
+  EXPECT_EQ(sim.metrics().changes(), 50u);
+}
+
+TEST(WorkloadTest, DrainCapZeroCapsAtExactlyMaxRounds) {
+  Simulator sim(4, probe_factory());
+  EndlessToggle wl;
+  const auto rounds = run_workload(sim, wl, /*max_rounds=*/50,
+                                   /*drain_cap=*/0);
+  EXPECT_EQ(rounds, 50u);
+  EXPECT_EQ(wl.calls, 50u);
+}
+
+TEST(WorkloadTest, DrainCapBoundsTheTrailingDrain) {
+  // Force a perpetually inconsistent network: the drain must give up after
+  // exactly drain_cap quiet rounds instead of spinning forever.
+  Simulator sim(4, probe_factory());
+  dynamic_cast<ProbeNode&>(sim.node(0)).declare_busy_always = true;
+  ScriptedWorkload wl({{EdgeEvent::insert(0, 1)}});
+  const auto rounds = run_workload(sim, wl, /*max_rounds=*/100,
+                                   /*drain_cap=*/7);
+  EXPECT_EQ(rounds, 1u + 7u);
+  EXPECT_FALSE(sim.all_consistent());
+}
+
 }  // namespace
 }  // namespace dynsub::net

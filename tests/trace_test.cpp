@@ -10,6 +10,7 @@
 #include "dynamics/lb_membership.hpp"
 #include "dynamics/random_churn.hpp"
 #include "net/simulator.hpp"
+#include "common/rng.hpp"
 #include "net/trace.hpp"
 #include "sim_test_util.hpp"
 
@@ -48,10 +49,82 @@ TEST(TraceTest, ParsesCommentsAndEmptyRounds) {
 TEST(TraceTest, RejectsMalformedInput) {
   std::string error;
   for (const char* bad :
-       {"*0:1\n", "+01\n", "+0:\n", "+:1\n", "+3:3\n", "+0:1x\n"}) {
+       {"*0:1\n", "+01\n", "+0:\n", "+:1\n", "+3:3\n", "+0:1x\n",
+        // signs and hex smuggled past a naive stoul-based parser:
+        "+-1:2\n", "+1:-2\n", "+1:+2\n", "+0x1:2\n",
+        // out-of-range node ids (NodeId is 32-bit):
+        "+0:4294967296\n", "+18446744073709551616:1\n",
+        "+99999999999999999999:1\n"}) {
     std::istringstream is(bad);
     EXPECT_FALSE(net::read_trace(is, &error).has_value()) << bad;
     EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(TraceTest, AcceptsMaxNodeIdAndErrorsNameTheLine) {
+  {
+    std::istringstream is("+0:4294967295\n");
+    const auto rounds = net::read_trace(is);
+    ASSERT_TRUE(rounds.has_value());
+    EXPECT_EQ((*rounds)[0][0].edge.hi(), 4294967295u);
+  }
+  {
+    // The failing line number (1-based, comments counted) is in the error.
+    std::istringstream is("+0:1\n# comment\n\n+9:9\n");
+    std::string error;
+    EXPECT_FALSE(net::read_trace(is, &error).has_value());
+    EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+  }
+}
+
+TEST(TraceTest, FuzzRoundTripRandomBatches) {
+  // Property: write_trace followed by read_trace is the identity on any
+  // vector of event batches (including empty rounds, duplicate edges in a
+  // batch, and ids spanning the whole 32-bit range).
+  Rng rng(0xF00D5EED);
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::size_t n_rounds = rng.next_below(12);
+    std::vector<std::vector<EdgeEvent>> rounds(n_rounds);
+    for (auto& batch : rounds) {
+      const std::size_t m = rng.next_below(8);
+      for (std::size_t i = 0; i < m; ++i) {
+        const bool huge = rng.next_bool(0.1);
+        const std::uint64_t bound = huge ? 0xFFFFFFFFull : 1000ull;
+        const NodeId a = static_cast<NodeId>(rng.next_below(bound));
+        NodeId b = static_cast<NodeId>(rng.next_below(bound));
+        while (b == a) b = static_cast<NodeId>(rng.next_below(bound) + 1);
+        batch.push_back({Edge(a, b), rng.next_bool(0.5)
+                                         ? EventKind::kInsert
+                                         : EventKind::kDelete});
+      }
+    }
+    std::ostringstream os;
+    net::write_trace(os, rounds);
+    std::istringstream is(os.str());
+    std::string error;
+    const auto back = net::read_trace(is, &error);
+    ASSERT_TRUE(back.has_value()) << "iter " << iter << ": " << error;
+    EXPECT_EQ(*back, rounds) << "iter " << iter;
+  }
+}
+
+TEST(TraceTest, FuzzMutatedTracesNeverCrashTheParser) {
+  // Corrupt a valid trace one character at a time: the parser must either
+  // accept (some mutations stay well-formed) or fail cleanly with a
+  // message -- never crash or hang.
+  const std::string good = "+0:1 +2:3\n\n-0:1 +1:4\n+3:4\n";
+  Rng rng(0xBADF00D);
+  const char alphabet[] = "+-0123456789: #x\n";
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string mutated = good;
+    const auto pos = rng.next_below(mutated.size());
+    mutated[pos] = alphabet[rng.next_below(sizeof(alphabet) - 1)];
+    std::istringstream is(mutated);
+    std::string error;
+    const auto result = net::read_trace(is, &error);
+    if (!result.has_value()) {
+      EXPECT_FALSE(error.empty()) << "mutation '" << mutated << "'";
+    }
   }
 }
 

@@ -1,0 +1,403 @@
+// dynsub_run -- one CLI for every scenario in the registry.
+//
+// Runs any registered scenario (or any spec string in the scenario grammar)
+// against any detector at any n, prints a human summary, optionally writes
+// the standard RunSummary JSON, and can record the emitted event trace and
+// replay it bit-identically later:
+//
+//   dynsub_run --list
+//   dynsub_run --scenario flash-crowd --quick
+//   dynsub_run --scenario 'throttle(churn(n=64, max=12), cap=3)'
+//              --detector robust2hop --json out.json
+//   dynsub_run --scenario multi-community-churn --record crowd.trace
+//   dynsub_run --replay crowd.trace --n 128 --json replayed.json
+//
+// The JSON summary is produced without wall-clock timing, so a recorded run
+// and its replay emit byte-identical "summary" objects -- which is exactly
+// what the CI scenario-smoke job asserts.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baseline/floodkhop.hpp"
+#include "baseline/full2hop.hpp"
+#include "baseline/naive2hop.hpp"
+#include "common/format.hpp"
+#include "core/robust2hop.hpp"
+#include "core/robust3hop.hpp"
+#include "core/triangle.hpp"
+#include "harness/experiment.hpp"
+#include "harness/json.hpp"
+#include "net/simulator.hpp"
+#include "net/trace.hpp"
+#include "net/workload.hpp"
+#include "scenario/registry.hpp"
+
+namespace dynsub {
+namespace {
+
+struct Options {
+  std::string scenario;
+  std::string replay_path;
+  std::string record_path;
+  std::string json_path;
+  std::string detector = "triangle";
+  std::size_t n = 0;
+  std::uint64_t seed = 1;
+  bool quick = false;
+  bool list = false;
+  bool names_only = false;
+  std::size_t max_rounds = 1000000;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --scenario <name-or-spec> [options]\n"
+      "       %s --replay <trace-file> [options]\n"
+      "       %s --list [--names-only]\n"
+      "\n"
+      "  --scenario S    a registered scenario name or a spec string,\n"
+      "                  e.g. 'overlay(churn(n=32), planted-clique(n=32))'\n"
+      "  --replay PATH   drive the simulation from a recorded trace instead\n"
+      "  --detector D    triangle | robust2hop | robust3hop | naive2hop |\n"
+      "                  full2hop | flood2 | flood3   (default: triangle)\n"
+      "  --n N           default node count (a spec's n parameter wins;\n"
+      "                  the simulator is sized to fit the scenario)\n"
+      "  --seed S        default seed for stochastic scenarios (default 1)\n"
+      "  --quick         shrink default round counts (CI smoke)\n"
+      "  --max-rounds R  round cap for the run (default 1000000)\n"
+      "  --record PATH   write the emitted event trace for later --replay\n"
+      "  --json PATH     write the run document (summary is timing-free, so\n"
+      "                  record and replay emit identical summaries)\n"
+      "  --list          print the scenario registry and exit\n"
+      "  --names-only    with --list: one runnable scenario name per line\n",
+      argv0, argv0, argv0);
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options o;
+  bool parse_failed = false;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s requires an argument\n", argv[0],
+                   argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  // Strict: a typo like "--n 10O0" must be an error, not a silent 10.
+  auto parse_flag_u64 = [&](const char* flag,
+                            const char* text) -> std::uint64_t {
+    const auto v = parse_u64(text);
+    if (!v) {
+      std::fprintf(stderr, "%s: %s wants an unsigned integer, got '%s'\n",
+                   argv[0], flag, text);
+      parse_failed = true;
+      return 0;
+    }
+    return *v;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--scenario") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.scenario = v;
+    } else if (arg == "--replay") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.replay_path = v;
+    } else if (arg == "--record") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.record_path = v;
+    } else if (arg == "--json") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.json_path = v;
+    } else if (arg == "--detector") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.detector = v;
+    } else if (arg == "--n") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.n = static_cast<std::size_t>(parse_flag_u64("--n", v));
+    } else if (arg == "--seed") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.seed = parse_flag_u64("--seed", v);
+    } else if (arg == "--max-rounds") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.max_rounds =
+          static_cast<std::size_t>(parse_flag_u64("--max-rounds", v));
+    } else if (arg == "--quick") {
+      o.quick = true;
+    } else if (arg == "--list") {
+      o.list = true;
+    } else if (arg == "--names-only") {
+      o.names_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n",
+                   argv[0], argv[i]);
+      return std::nullopt;
+    }
+  }
+  if (parse_failed) return std::nullopt;
+  return o;
+}
+
+std::optional<net::NodeFactory> make_detector(std::string_view name) {
+  auto factory = [](auto maker) -> net::NodeFactory { return maker; };
+  if (name == "triangle") {
+    return factory([](NodeId v, std::size_t n) {
+      return std::unique_ptr<net::NodeProgram>(
+          std::make_unique<core::TriangleNode>(v, n));
+    });
+  }
+  if (name == "robust2hop") {
+    return factory([](NodeId v, std::size_t n) {
+      return std::unique_ptr<net::NodeProgram>(
+          std::make_unique<core::Robust2HopNode>(v, n));
+    });
+  }
+  if (name == "robust3hop") {
+    return factory([](NodeId v, std::size_t n) {
+      return std::unique_ptr<net::NodeProgram>(
+          std::make_unique<core::Robust3HopNode>(v, n));
+    });
+  }
+  if (name == "naive2hop") {
+    return factory([](NodeId v, std::size_t n) {
+      return std::unique_ptr<net::NodeProgram>(
+          std::make_unique<baseline::NaiveTwoHopNode>(v, n));
+    });
+  }
+  if (name == "full2hop") {
+    return factory([](NodeId v, std::size_t n) {
+      return std::unique_ptr<net::NodeProgram>(
+          std::make_unique<baseline::FullTwoHopNode>(v, n));
+    });
+  }
+  if (name == "flood2") {
+    return factory([](NodeId v, std::size_t n) {
+      return std::unique_ptr<net::NodeProgram>(
+          std::make_unique<baseline::FloodKHopNode>(v, n, 2));
+    });
+  }
+  if (name == "flood3") {
+    return factory([](NodeId v, std::size_t n) {
+      return std::unique_ptr<net::NodeProgram>(
+          std::make_unique<baseline::FloodKHopNode>(v, n, 3));
+    });
+  }
+  return std::nullopt;
+}
+
+const char* kind_label(scenario::ScenarioKind kind) {
+  switch (kind) {
+    case scenario::ScenarioKind::kPrimitive:
+      return "primitive";
+    case scenario::ScenarioKind::kCombinator:
+      return "combinator";
+    case scenario::ScenarioKind::kComposite:
+      return "composite";
+  }
+  return "?";
+}
+
+int list_registry(bool names_only) {
+  const auto& catalog = scenario::scenario_catalog();
+  if (names_only) {
+    // One runnable entry per line, for scripts (the CI smoke loop).
+    // Combinators cannot run bare, so their example spec stands in.
+    for (const auto& info : catalog) {
+      if (info.kind == scenario::ScenarioKind::kCombinator) {
+        std::printf("%s\n", info.example.c_str());
+      } else {
+        std::printf("%s\n", info.name.c_str());
+      }
+    }
+    return 0;
+  }
+  std::printf("registered scenarios (%zu):\n\n", catalog.size());
+  for (const auto& info : catalog) {
+    std::printf("  %-36s %-10s %s\n", info.name.c_str(),
+                kind_label(info.kind), info.summary.c_str());
+    std::printf("  %-36s %-10s e.g. %s\n", "", "", info.example.c_str());
+  }
+  std::printf(
+      "\nspec grammar: name(param=value, child, ...), nestable; see "
+      "src/scenario/spec.hpp\n");
+  return 0;
+}
+
+std::size_t max_node_in(
+    const std::vector<std::vector<EdgeEvent>>& rounds) {
+  std::size_t max_id = 0;
+  for (const auto& batch : rounds) {
+    for (const auto& ev : batch) {
+      max_id = std::max<std::size_t>(max_id, ev.edge.hi());
+    }
+  }
+  return max_id;
+}
+
+int run(const Options& o) {
+  const auto factory = make_detector(o.detector);
+  if (!factory) {
+    std::fprintf(stderr, "dynsub_run: unknown detector '%s' (try --help)\n",
+                 o.detector.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<net::Workload> workload;
+  std::size_t nodes = 0;
+  std::string spec_label;
+
+  if (!o.replay_path.empty()) {
+    std::ifstream in(o.replay_path);
+    if (!in) {
+      std::fprintf(stderr, "dynsub_run: cannot open trace '%s'\n",
+                   o.replay_path.c_str());
+      return 1;
+    }
+    std::stringstream buffered;
+    buffered << in.rdbuf();
+    const std::string text = buffered.str();
+    // Traces recorded by this tool carry "# n=<count>" in the header so a
+    // replay reproduces the exact simulator size (idle top ids included)
+    // without the user re-supplying --n -- the record/replay byte-equality
+    // contract depends on it.
+    std::size_t header_n = 0;
+    {
+      std::istringstream lines(text);
+      std::string line;
+      while (std::getline(lines, line) && !line.empty() && line[0] == '#') {
+        if (line.rfind("# n=", 0) == 0) {
+          if (const auto v = parse_u64(line.substr(4))) {
+            header_n = static_cast<std::size_t>(*v);
+          }
+        }
+      }
+    }
+    std::istringstream trace_in(text);
+    std::string error;
+    const auto rounds = net::read_trace(trace_in, &error);
+    if (!rounds) {
+      std::fprintf(stderr, "dynsub_run: %s: %s\n", o.replay_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    nodes = std::max({o.n, header_n, max_node_in(*rounds) + 1});
+    workload = std::make_unique<net::ScriptedWorkload>(*rounds);
+    spec_label = "replay:" + o.replay_path;
+  } else {
+    scenario::ScenarioOptions sopts{o.n, o.seed, o.quick};
+    std::string error;
+    auto built = scenario::build_scenario(o.scenario, sopts, &error);
+    if (!built) {
+      std::fprintf(stderr, "dynsub_run: %s\n", error.c_str());
+      return 1;
+    }
+    nodes = std::max(o.n, built->nodes);
+    workload = std::move(built->workload);
+    spec_label = built->spec;
+  }
+
+  // Covers the replay path too (trace node ids are only bounded by 32
+  // bits): refuse before the simulator allocates per-node state.
+  if (nodes > scenario::kMaxScenarioNodes) {
+    std::fprintf(stderr,
+                 "dynsub_run: scenario wants %zu nodes; refusing above %zu\n",
+                 nodes, scenario::kMaxScenarioNodes);
+    return 1;
+  }
+
+  net::Simulator sim(nodes, *factory,
+                     {.enforce_bandwidth = true,
+                      .track_prev_graph = false,
+                      .sparse_rounds = true,
+                      .collect_phase_timings = false});
+
+  std::size_t rounds_run = 0;
+  if (!o.record_path.empty()) {
+    net::RecordingWorkload recorder(*workload);
+    rounds_run = net::run_workload(sim, recorder, o.max_rounds);
+    std::ofstream out(o.record_path);
+    if (!out) {
+      std::fprintf(stderr, "dynsub_run: cannot write trace '%s'\n",
+                   o.record_path.c_str());
+      return 1;
+    }
+    out << "# dynsub_run trace of: " << spec_label << "\n";
+    out << "# n=" << nodes << "\n";
+    net::write_trace(out, recorder.rounds());
+    if (!out.good()) {
+      std::fprintf(stderr, "dynsub_run: failed writing trace '%s'\n",
+                   o.record_path.c_str());
+      return 1;
+    }
+  } else {
+    rounds_run = net::run_workload(sim, *workload, o.max_rounds);
+  }
+
+  const harness::RunSummary summary = harness::summarize(sim);
+  std::printf("scenario:   %s\n", spec_label.c_str());
+  std::printf("detector:   %s\n", o.detector.c_str());
+  std::printf("n:          %zu\n", nodes);
+  std::printf("rounds:     %zu (driver), %lld (simulated)\n", rounds_run,
+              static_cast<long long>(summary.rounds));
+  std::printf("changes:    %llu\n",
+              static_cast<unsigned long long>(summary.changes));
+  std::printf("messages:   %llu\n",
+              static_cast<unsigned long long>(summary.messages));
+  std::printf("amortized:  %.4f inconsistent rounds/change (sup %.4f)\n",
+              summary.amortized, summary.amortized_sup);
+  std::printf("settled:    %s\n", sim.all_consistent() ? "yes" : "no");
+  if (!o.record_path.empty()) {
+    std::printf("trace:      %s\n", o.record_path.c_str());
+  }
+
+  if (!o.json_path.empty()) {
+    harness::Json doc = harness::Json::object();
+    doc["schema_version"] = harness::Json::number(std::uint64_t{1});
+    doc["tool"] = harness::Json::string("dynsub_run");
+    doc["scenario"] = harness::Json::string(spec_label);
+    doc["detector"] = harness::Json::string(o.detector);
+    doc["n"] = harness::Json::number(static_cast<std::uint64_t>(nodes));
+    doc["settled"] = harness::Json::boolean(sim.all_consistent());
+    doc["summary"] = harness::to_json(summary);
+    if (!harness::write_json_file(o.json_path, doc)) {
+      std::fprintf(stderr, "dynsub_run: failed to write %s\n",
+                   o.json_path.c_str());
+      return 1;
+    }
+    std::printf("json:       %s\n", o.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dynsub
+
+int main(int argc, char** argv) {
+  const auto opts = dynsub::parse_args(argc, argv);
+  if (!opts) return 2;
+  if (opts->list) return dynsub::list_registry(opts->names_only);
+  if (opts->scenario.empty() && opts->replay_path.empty()) {
+    dynsub::usage(argv[0]);
+    return 2;
+  }
+  if (!opts->scenario.empty() && !opts->replay_path.empty()) {
+    std::fprintf(stderr,
+                 "dynsub_run: --scenario and --replay are exclusive\n");
+    return 2;
+  }
+  return dynsub::run(*opts);
+}

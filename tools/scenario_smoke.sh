@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Scenario registry smoke: runs every registered scenario at quick scale,
+# then records one composite's trace and replays it, asserting the
+# RunSummary JSON is byte-identical.  CI runs this so a registry
+# regression, a spec-parser break, or a record/replay divergence fails the
+# build.
+#
+#   tools/scenario_smoke.sh [path/to/dynsub_run]
+set -euo pipefail
+
+BIN="${1:-build/release/dynsub_run}"
+if [[ ! -x "$BIN" ]]; then
+  echo "scenario_smoke.sh: no runner at $BIN (build the release preset first)" >&2
+  exit 2
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== registry =="
+"$BIN" --list
+
+count=0
+while IFS= read -r spec; do
+  [[ -n "$spec" ]] || continue
+  echo "== $spec =="
+  "$BIN" --scenario "$spec" --quick --max-rounds 200000 > "$TMP/run.out"
+  grep -q '^settled:    yes' "$TMP/run.out" || {
+    echo "scenario_smoke.sh: '$spec' did not settle" >&2
+    cat "$TMP/run.out" >&2
+    exit 1
+  }
+  count=$((count + 1))
+done < <("$BIN" --list --names-only)
+
+echo "== record/replay =="
+"$BIN" --scenario multi-community-churn --quick \
+  --record "$TMP/t.trace" --json "$TMP/a.json" > /dev/null
+# No --n on purpose: the trace's "# n=" header must carry the simulator
+# size, or idle top node ids would shrink the replay and skew the summary.
+"$BIN" --replay "$TMP/t.trace" --json "$TMP/b.json" > /dev/null
+python3 - "$TMP/a.json" "$TMP/b.json" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+if a["summary"] != b["summary"]:
+    print("scenario_smoke.sh: record/replay summary mismatch", file=sys.stderr)
+    print("recorded:", json.dumps(a["summary"]), file=sys.stderr)
+    print("replayed:", json.dumps(b["summary"]), file=sys.stderr)
+    sys.exit(1)
+print("record/replay summaries identical")
+EOF
+
+echo "scenario_smoke.sh: $count scenario(s) ran clean"
