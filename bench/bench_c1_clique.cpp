@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "core/triangle.hpp"
+#include "detect/detector.hpp"
 #include "scenario/registry.hpp"
 
 namespace dynsub {
@@ -34,7 +34,12 @@ Cell run(std::size_t n, std::size_t k, std::size_t rounds,
       ", rounds=" + std::to_string(rounds) +
       ", seed=" + std::to_string(base_seed + n * 7 + k) + ")";
   auto built = bench::build_scenario_or_die(spec);
-  net::Simulator sim(n, bench::factory_of<core::TriangleNode>(),
+  // The algorithm comes from the detector registry, and the clique count
+  // from its uniform list() surface (clique size is the detector's typed
+  // k parameter) -- no concrete node type appears in this bench.
+  const auto detector = bench::build_detector_or_die(
+      "triangle(k=" + std::to_string(k) + ")");
+  net::Simulator sim(n, detector->factory(),
                      {.enforce_bandwidth = true,
                       .track_prev_graph = false,
                       .collect_phase_timings = true});
@@ -42,8 +47,11 @@ Cell run(std::size_t n, std::size_t k, std::size_t rounds,
   Cell cell;
   cell.amortized = sim.metrics().amortized();
   for (NodeId v = 0; v < n; ++v) {
-    const auto& node = dynamic_cast<const core::TriangleNode&>(sim.node(v));
-    cell.cliques_listed += node.list_cliques(static_cast<int>(k)).size();
+    // The drain leaves every node consistent; list() refuses (nullopt)
+    // otherwise rather than listing from an inconsistent snapshot.
+    if (const auto tuples = detector->list(sim, v, detect::QueryKind::kClique)) {
+      cell.cliques_listed += tuples->size();
+    }
   }
   return cell;
 }

@@ -6,20 +6,15 @@
 // picture of the complexity landscape for ultra fast graph finding" as an
 // executable table.
 //
-// Every workload is pulled from the scenario registry by spec string (the
-// same strings `dynsub_run --scenario` accepts), so the landscape and the
-// CLI can never drift apart -- and scaling a row to a new n is editing a
-// number in a string, which is what makes the n = 10^5 sparse-engine row
-// below cheap to express.
+// Every workload is pulled from the scenario registry and every algorithm
+// from the detector registry, both by spec string (the same strings
+// `dynsub_run --scenario` / `--detector` accept), so the landscape and the
+// CLI can never drift apart -- and scaling a row to a new n or swapping a
+// row's algorithm is editing a string.
 #include <cstdio>
 #include <string>
 
-#include "baseline/floodkhop.hpp"
-#include "baseline/full2hop.hpp"
 #include "bench_util.hpp"
-#include "core/robust2hop.hpp"
-#include "core/robust3hop.hpp"
-#include "core/triangle.hpp"
 #include "scenario/registry.hpp"
 
 namespace dynsub {
@@ -60,7 +55,7 @@ int main(int argc, char** argv) {
                         ", plants=2, noise=1, period=" + num(12 + k) +
                         ", rounds=" + num(rounds) + ", seed=" +
                         num(seed + 1) + ")",
-                    bench::factory_of<core::Robust3HopNode>());
+                    bench::detector_factory_or_die("robust3hop"));
   };
 
   std::printf("\n  %-34s %-22s %-10s\n",
@@ -87,15 +82,15 @@ int main(int argc, char** argv) {
   // One run serves both rows: k-clique membership is answered by the very
   // same triangle structure on the same event stream (Cor 1).
   const harness::RunSummary triangle_summary =
-      churn_run(bench::factory_of<core::TriangleNode>());
+      churn_run(bench::detector_factory_or_die("triangle"));
   perf_row("triangle membership (Thm 1)", "triangle_membership", "O(1)",
            triangle_summary);
   row("k-clique membership (Cor 1)", "clique_membership", "O(1)",
       triangle_summary.amortized);
   perf_row("robust 2-hop (Thm 7)", "robust_2hop", "O(1)",
-           churn_run(bench::factory_of<core::Robust2HopNode>()));
+           churn_run(bench::detector_factory_or_die("robust2hop")));
   perf_row("robust 3-hop (Thm 6)", "robust_3hop", "O(1)",
-           churn_run(bench::factory_of<core::Robust3HopNode>()));
+           churn_run(bench::detector_factory_or_die("robust3hop")));
   perf_row("4-cycle listing (Thm 5)", "cycle4_listing", "O(1)",
            planted_cycle_run(4));
   perf_row("5-cycle listing (Thm 5)", "cycle5_listing", "O(1)",
@@ -103,17 +98,17 @@ int main(int argc, char** argv) {
 
   row("P3 membership / 2-hop (Thm 2)", "p3_membership_lb", "Theta~(n)",
       run_spec("membership-lb(pattern=p3, t=" + num(n) + ")",
-               bench::factory_of<baseline::FullTwoHopNode>())
+               bench::detector_factory_or_die("full2hop"))
           .amortized);
   row("diamond membership (Thm 2)", "diamond_membership_lb",
       "Omega(n/log n)",
       run_spec("membership-lb(pattern=diamond, t=" + num(n) + ")",
-               bench::factory_of<baseline::FloodKHopNode>(2))
+               bench::detector_factory_or_die("flood2"))
           .amortized);
   row("6-cycle listing (Thm 4)", "cycle6_listing_lb", "Omega(sqrt n/log n)",
       run_spec("cycle-lb(d=" + num(bench.quick() ? 8 : 14) +
                    ", seed=" + num(seed + 2) + ")",
-               bench::factory_of<baseline::FloodKHopNode>(3))
+               bench::detector_factory_or_die("flood3"))
           .amortized);
 
   // --- Engine throughput on the sparse-churn regime. -----------------------
@@ -129,9 +124,9 @@ int main(int argc, char** argv) {
                              num(2 * sn) + ", toggles=" + num(toggles) +
                              ", seed=" + num(bench.seed_or(0x51AB)) + ")";
     const harness::RunSummary tri =
-        run_spec(spec, bench::factory_of<core::TriangleNode>());
+        run_spec(spec, bench::detector_factory_or_die("triangle"));
     const harness::RunSummary r2h =
-        run_spec(spec, bench::factory_of<core::Robust2HopNode>());
+        run_spec(spec, bench::detector_factory_or_die("robust2hop"));
     std::printf(
         "\n  sparse-churn engine throughput (n=%zu, %zu serialized "
         "toggles):\n"
@@ -156,7 +151,7 @@ int main(int argc, char** argv) {
         "serialized-churn(n=" + num(big_n) + ", target=" + num(2 * big_n) +
             ", toggles=" + num(toggles) + ", seed=" +
             num(bench.seed_or(0x51AB) + 1) + ")",
-        bench::factory_of<core::TriangleNode>());
+        bench::detector_factory_or_die("triangle"));
     std::printf(
         "    triangle   %12.0f rounds/sec at n=%zu (%zu toggles, "
         "amortized %.2f)\n",

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/format.hpp"
+#include "detect/registry.hpp"
 #include "harness/experiment.hpp"
 #include "harness/json.hpp"
 #include "net/simulator.hpp"
@@ -320,6 +321,27 @@ inline scenario::ScenarioBuild build_scenario_or_die(
     std::exit(1);
   }
   return std::move(*built);
+}
+
+/// Builds a registry detector or dies loudly -- the bench-side twin of
+/// build_scenario_or_die, so a bench row names its algorithm by the same
+/// spec string `dynsub_run --detector` accepts and the two can never
+/// drift apart.
+inline std::unique_ptr<detect::Detector> build_detector_or_die(
+    const std::string& spec) {
+  std::string error;
+  auto detector = detect::build_detector(spec, &error);
+  if (detector == nullptr) {
+    std::fprintf(stderr, "bench: bad detector '%s': %s\n", spec.c_str(),
+                 error.c_str());
+    std::exit(1);
+  }
+  return detector;
+}
+
+/// The node factory of a registry detector (build_detector_or_die).
+inline net::NodeFactory detector_factory_or_die(const std::string& spec) {
+  return build_detector_or_die(spec)->factory();
 }
 
 template <typename NodeT, typename... Extra>

@@ -1,15 +1,18 @@
 // Quickstart: the dynsub public API in sixty lines.
 //
-// Builds a 6-node highly dynamic network running the Theorem 1 triangle
-// membership structure, applies a few topology changes, and queries nodes
-// -- showing the three-valued answers (true / false / inconsistent) and
-// the zero-communication query discipline of the model.
+// Opens a Session -- the one-object facade bundling simulator + detector --
+// on a 6-node highly dynamic network running the Theorem 1 triangle
+// membership structure, applies a few topology changes, and queries it
+// through the uniform detector surface: three-valued answers (true / false
+// / inconsistent), canonical membership listings, and the
+// zero-communication query discipline of the model.
 //
 //   $ ./quickstart
 #include <cstdio>
+#include <utility>
+#include <vector>
 
-#include "core/triangle.hpp"
-#include "net/simulator.hpp"
+#include "detect/session.hpp"
 
 using namespace dynsub;
 
@@ -29,43 +32,53 @@ const char* show(net::Answer a) {
 }  // namespace
 
 int main() {
-  // One NodeProgram instance per node; the simulator enforces the model:
-  // O(log n)-bit messages, one payload per link per round, delivery only
-  // over current edges.
-  net::Simulator sim(6, [](NodeId v, std::size_t n) {
-    return std::make_unique<core::TriangleNode>(v, n);
-  });
+  // Detectors come from a registry by spec string ("robust3hop",
+  // "triangle(k=4)", ...); the Session sizes and wires the simulator,
+  // which enforces the model: O(log n)-bit messages, one payload per link
+  // per round, delivery only over current edges.
+  detect::SessionOptions options;
+  options.detector = "triangle";
+  options.n = 6;
+  auto session = detect::Session::open(std::move(options));
+  if (!session) return 1;
 
   // Round 1: the adversary may change any number of links at once.
-  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1),
-                                  EdgeEvent::insert(0, 2)});
+  session->step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1),
+                                       EdgeEvent::insert(0, 2)});
   // Round 2: close the triangle {0,1,2}.
-  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(1, 2)});
+  session->step(std::vector<EdgeEvent>{EdgeEvent::insert(1, 2)});
 
-  // Queries are local: a node answers from its own state, instantly.
-  const auto& node0 = dynamic_cast<const core::TriangleNode&>(sim.node(0));
+  // Queries are local: a node answers from its own state, instantly --
+  // and honestly: while its queues drain it says "inconsistent".
   std::printf("right after the change, node 0 says {0,1,2}: %s\n",
-              show(node0.query_triangle(1, 2)));
+              show(session->query(0, detect::TriangleQuery{1, 2})));
 
   // Let the per-link queues drain (O(1) amortized rounds per change).
-  sim.run_until_stable(/*max_rounds=*/100);
+  session->run_until_stable(/*max_rounds=*/100);
   std::printf("after stabilization,    node 0 says {0,1,2}: %s\n",
-              show(node0.query_triangle(1, 2)));
+              show(session->query(0, detect::TriangleQuery{1, 2})));
 
-  // Every corner of the triangle can list its memberships exactly.
+  // Every corner of the triangle lists its memberships exactly, as
+  // canonical member tuples (the listing refuses while inconsistent).
   for (NodeId v = 0; v < 3; ++v) {
-    const auto& node = dynamic_cast<const core::TriangleNode&>(sim.node(v));
+    const auto listed = session->list(v, detect::QueryKind::kTriangle);
     std::printf("node %u lists %zu triangle(s) through itself\n", v,
-                node.list_triangles().size());
+                listed ? listed->size() : 0);
   }
 
   // Deletions are just as cheap -- and answers flip everywhere.
-  sim.step(std::vector<EdgeEvent>{EdgeEvent::remove(1, 2)});
-  sim.run_until_stable(100);
+  session->step(std::vector<EdgeEvent>{EdgeEvent::remove(1, 2)});
+  session->run_until_stable(100);
   std::printf("after deleting {1,2},   node 0 says {0,1,2}: %s\n",
-              show(node0.query_triangle(1, 2)));
+              show(session->query(0, detect::TriangleQuery{1, 2})));
 
+  // The oracle audit cross-examines every consistent node's claims.
+  if (const auto violation = session->audit()) {
+    std::printf("audit violation: %s\n", violation->c_str());
+    return 1;
+  }
+  std::printf("oracle audit: clean\n");
   std::printf("amortized inconsistent rounds per change: %.2f\n",
-              sim.metrics().amortized());
+              session->summary().amortized);
   return 0;
 }

@@ -112,11 +112,17 @@ net::Answer FloodKHopNode::query_edge(Edge e) const {
 
 net::Answer FloodKHopNode::query_cycle(std::span<const NodeId> cycle) const {
   if (!consistent_) return net::Answer::kInconsistent;
+  bool self_in_cycle = false;
   for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (cycle[i] == view_.self()) self_in_cycle = true;
     for (std::size_t j = i + 1; j < cycle.size(); ++j) {
       if (cycle[i] == cycle[j]) return net::Answer::kFalse;
     }
   }
+  // Same contract as Robust3HopNode::query_cycle (and the uniform detector
+  // surface): membership queries ask a node about subgraphs through
+  // *itself* -- asking elsewhere is a caller bug, not a kFalse.
+  DYNSUB_CHECK_MSG(self_in_cycle, "query_cycle: self not on candidate cycle");
   for (std::size_t i = 0; i < cycle.size(); ++i) {
     const Edge e(cycle[i], cycle[(i + 1) % cycle.size()]);
     if (!known_.contains(e)) return net::Answer::kFalse;

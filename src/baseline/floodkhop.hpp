@@ -46,7 +46,8 @@ class FloodKHopNode final : public net::NodeProgram {
   /// Is e within the maintained r-hop knowledge?
   [[nodiscard]] net::Answer query_edge(Edge e) const;
 
-  /// Cycle-listing query on the flooded knowledge (any length).
+  /// Cycle-listing query on the flooded knowledge (any length).  As with
+  /// every membership query in the model, self must be on the cycle.
   [[nodiscard]] net::Answer query_cycle(std::span<const NodeId> cycle) const;
 
   /// Known edges with their hop estimates.

@@ -176,6 +176,11 @@ net::Answer TriangleNode::query_clique(std::span<const NodeId> others) const {
   return net::Answer::kTrue;
 }
 
+net::Answer TriangleNode::query_edge(Edge e) const {
+  if (!consistent_) return net::Answer::kInconsistent;
+  return knows_edge(e) ? net::Answer::kTrue : net::Answer::kFalse;
+}
+
 std::vector<oracle::TrianglePartners> TriangleNode::list_triangles() const {
   std::vector<oracle::TrianglePartners> out;
   const auto nbrs = view_.neighbors();

@@ -61,6 +61,11 @@ class TriangleNode final : public net::NodeProgram {
   /// k-clique membership query: `others` are the k-1 nodes besides self.
   [[nodiscard]] net::Answer query_clique(std::span<const NodeId> others) const;
 
+  /// Maintained-set query: is e in S_v (== T^{v,2}_i whenever consistent)?
+  /// This is the uniform edge-query surface of the detector API; for edges
+  /// incident to self it is exact presence.
+  [[nodiscard]] net::Answer query_edge(Edge e) const;
+
   /// Membership listing: all triangles through self (partner pairs,
   /// sorted).  Exact whenever consistent() -- the audit asserts equality
   /// with the oracle's enumeration.

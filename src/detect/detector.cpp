@@ -1,0 +1,68 @@
+#include "detect/detector.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dynsub::detect {
+
+QueryKind kind_of(const Query& q) {
+  if (std::holds_alternative<EdgeQuery>(q)) return QueryKind::kEdge;
+  if (std::holds_alternative<TriangleQuery>(q)) return QueryKind::kTriangle;
+  if (std::holds_alternative<CliqueQuery>(q)) return QueryKind::kClique;
+  const auto& cycle = std::get<CycleQuery>(q).cycle;
+  DYNSUB_CHECK_MSG(cycle.size() == 4 || cycle.size() == 5,
+                   "CycleQuery must name 4 or 5 vertices");
+  return cycle.size() == 4 ? QueryKind::kCycle4 : QueryKind::kCycle5;
+}
+
+std::string_view to_string(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kEdge:
+      return "edge";
+    case QueryKind::kTriangle:
+      return "triangle";
+    case QueryKind::kClique:
+      return "clique";
+    case QueryKind::kCycle4:
+      return "cycle4";
+    case QueryKind::kCycle5:
+      return "cycle5";
+  }
+  return "?";
+}
+
+std::string_view to_string(ProblemKind kind) {
+  switch (kind) {
+    case ProblemKind::kCliqueMembership:
+      return "k-clique membership listing";
+    case ProblemKind::kRobust2Hop:
+      return "robust 2-hop neighborhood listing";
+    case ProblemKind::kRobust3Hop:
+      return "robust 3-hop + 4-/5-cycle listing";
+    case ProblemKind::kFull2Hop:
+      return "full 2-hop neighborhood listing";
+    case ProblemKind::kNaive2Hop:
+      return "naive 2-hop tracking (strawman)";
+    case ProblemKind::kFloodKHop:
+      return "r-hop flooding baseline";
+  }
+  return "?";
+}
+
+std::optional<std::string> Detector::audit(const net::Simulator& sim) const {
+  (void)sim;
+  return std::nullopt;
+}
+
+bool Detector::supports_query(QueryKind kind) const {
+  const auto& qs = info().queries;
+  return std::find(qs.begin(), qs.end(), kind) != qs.end();
+}
+
+bool Detector::supports_list(QueryKind kind) const {
+  const auto& ls = info().listings;
+  return std::find(ls.begin(), ls.end(), kind) != ls.end();
+}
+
+}  // namespace dynsub::detect

@@ -570,6 +570,20 @@ Json make_bench_document(std::string_view bench, std::string_view exp_id,
   return doc;
 }
 
+Json make_run_document(std::string_view tool, std::string_view scenario,
+                       std::string_view detector, std::size_t n,
+                       bool settled, const RunSummary& summary) {
+  Json doc = Json::object();
+  doc["schema_version"] = Json::number(std::int64_t{kRunSchemaVersion});
+  doc["tool"] = Json::string(tool);
+  doc["scenario"] = Json::string(scenario);
+  doc["detector"] = Json::string(detector);
+  doc["n"] = Json::number(static_cast<std::uint64_t>(n));
+  doc["settled"] = Json::boolean(settled);
+  doc["summary"] = to_json(summary);
+  return doc;
+}
+
 void add_sweep(Json& doc, std::string_view x_name,
                const std::vector<Series>& series) {
   Json sweep = Json::object();

@@ -93,6 +93,23 @@ inline constexpr int kBenchSchemaVersion = 1;
                                        std::string_view exp_id,
                                        std::string_view artifact,
                                        std::string_view claim, bool quick);
+
+// ---------------------------------------------------------------------------
+// The run-document schema: what a runner (dynsub_run --json today; any
+// future session/sweep tool) emits for one scenario x detector run.
+// Version history:
+//   1 -- initial: schema_version, tool, scenario, detector, n, settled,
+//        summary (a to_json(RunSummary) object; timing-free fields only
+//        are meaningful for record/replay equality).
+// One builder so the schema cannot fork per tool.
+// ---------------------------------------------------------------------------
+inline constexpr int kRunSchemaVersion = 1;
+
+[[nodiscard]] Json make_run_document(std::string_view tool,
+                                     std::string_view scenario,
+                                     std::string_view detector,
+                                     std::size_t n, bool settled,
+                                     const RunSummary& summary);
 /// Appends one sweep (x parameter name + measured series) to `doc`.
 void add_sweep(Json& doc, std::string_view x_name,
                const std::vector<Series>& series);

@@ -111,6 +111,7 @@ class Simulator {
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] Round round() const { return round_; }
+  [[nodiscard]] const SimulatorConfig& config() const { return config_; }
 
   /// G_i: the graph after the last step's changes.
   [[nodiscard]] const oracle::TimestampedGraph& graph() const { return g_; }

@@ -1,0 +1,110 @@
+// Strict typed-parameter reading over a parsed SpecNode -- the shared half
+// of the spec grammar that both registries (scenario and detector) enforce.
+//
+// Every read records its key; finish() rejects parameters nobody asked for
+// and duplicated keys, so a typo (`round=` for `rounds=`) or a silently
+// shadowed override is an error naming the offender, never a default.  The
+// `noun` names the registry in error messages ("scenario" / "detector").
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/format.hpp"
+#include "scenario/spec.hpp"
+
+namespace dynsub::scenario {
+
+class Params {
+ public:
+  Params(const SpecNode& node, std::string* error,
+         std::string_view noun = "scenario")
+      : node_(node), error_(error), noun_(noun) {}
+
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  std::uint64_t u64(std::string_view key, std::uint64_t dflt) {
+    const std::string* raw = use(key);
+    if (raw == nullptr || failed_) return dflt;
+    const auto v = parse_u64(*raw);
+    if (!v) {
+      fail("parameter '" + std::string(key) + "' of '" + node_.name +
+           "' is not an unsigned integer: '" + *raw + "'");
+      return dflt;
+    }
+    return *v;
+  }
+
+  double real(std::string_view key, double dflt) {
+    const std::string* raw = use(key);
+    if (raw == nullptr || failed_) return dflt;
+    // Strict: digits with at most one '.', so nan/inf/negatives/hex-floats
+    // cannot slip a quietly wrong regime past the typed-parameter promise.
+    const bool shape_ok =
+        !raw->empty() && raw->front() != '.' && raw->back() != '.' &&
+        raw->find_first_not_of("0123456789.") == std::string::npos &&
+        std::count(raw->begin(), raw->end(), '.') <= 1;
+    char* end = nullptr;
+    const double v = shape_ok ? std::strtod(raw->c_str(), &end) : 0.0;
+    // !isfinite: a digits-only value past ~1e308 overflows to +inf.
+    if (!shape_ok || end == raw->c_str() || *end != '\0' ||
+        !std::isfinite(v)) {
+      fail("parameter '" + std::string(key) + "' of '" + node_.name +
+           "' is not a non-negative number: '" + *raw + "'");
+      return dflt;
+    }
+    return v;
+  }
+
+  std::string str(std::string_view key, std::string_view dflt) {
+    const std::string* raw = use(key);
+    return raw != nullptr ? *raw : std::string(dflt);
+  }
+
+  /// True when every parameter present in the spec was consumed by a read
+  /// and no key appears twice (param() reads only the first occurrence, so
+  /// a duplicate would be a silently ignored override).
+  bool finish() {
+    if (failed_) return false;
+    for (std::size_t i = 0; i < node_.params.size(); ++i) {
+      const std::string& k = node_.params[i].first;
+      if (std::find(used_.begin(), used_.end(), k) == used_.end()) {
+        fail("unknown parameter '" + k + "' for " + std::string(noun_) +
+             " '" + node_.name + "'");
+        return false;
+      }
+      for (std::size_t j = i + 1; j < node_.params.size(); ++j) {
+        if (node_.params[j].first == k) {
+          fail("duplicate parameter '" + k + "' for " + std::string(noun_) +
+               " '" + node_.name + "'");
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void fail(const std::string& what) {
+    if (!failed_ && error_ != nullptr) *error_ = what;
+    failed_ = true;
+  }
+
+ private:
+  const std::string* use(std::string_view key) {
+    used_.emplace_back(key);
+    return node_.param(key);
+  }
+
+  const SpecNode& node_;
+  std::string* error_;
+  std::string_view noun_;
+  std::vector<std::string> used_;
+  bool failed_ = false;
+};
+
+}  // namespace dynsub::scenario

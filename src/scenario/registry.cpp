@@ -15,6 +15,7 @@
 #include "dynamics/sessions.hpp"
 #include "net/trace.hpp"
 #include "scenario/compose.hpp"
+#include "scenario/params.hpp"
 
 namespace dynsub::scenario {
 namespace {
@@ -27,95 +28,8 @@ std::size_t scaled(bool quick, std::size_t full) {
   return quick ? std::max<std::size_t>(16, full / 5) : full;
 }
 
-// ------------------------------------------------ typed parameter reads ----
-
-/// Strict reader over one SpecNode's key=value parameters.  Every read
-/// records its key; finish() rejects parameters nobody asked for, so a typo
-/// (`round=` for `rounds=`) is an error instead of a silently ignored knob.
-class Params {
- public:
-  Params(const SpecNode& node, std::string* error)
-      : node_(node), error_(error) {}
-
-  [[nodiscard]] bool failed() const { return failed_; }
-
-  std::uint64_t u64(std::string_view key, std::uint64_t dflt) {
-    const std::string* raw = use(key);
-    if (raw == nullptr || failed_) return dflt;
-    const auto v = parse_u64(*raw);
-    if (!v) {
-      fail("parameter '" + std::string(key) + "' of '" + node_.name +
-           "' is not an unsigned integer: '" + *raw + "'");
-      return dflt;
-    }
-    return *v;
-  }
-
-  double real(std::string_view key, double dflt) {
-    const std::string* raw = use(key);
-    if (raw == nullptr || failed_) return dflt;
-    // Strict: digits with at most one '.', so nan/inf/negatives/hex-floats
-    // cannot slip a quietly wrong regime past the typed-parameter promise.
-    const bool shape_ok =
-        !raw->empty() && raw->front() != '.' && raw->back() != '.' &&
-        raw->find_first_not_of("0123456789.") == std::string::npos &&
-        std::count(raw->begin(), raw->end(), '.') <= 1;
-    char* end = nullptr;
-    const double v = shape_ok ? std::strtod(raw->c_str(), &end) : 0.0;
-    // !isfinite: a digits-only value past ~1e308 overflows to +inf.
-    if (!shape_ok || end == raw->c_str() || *end != '\0' ||
-        !std::isfinite(v)) {
-      fail("parameter '" + std::string(key) + "' of '" + node_.name +
-           "' is not a non-negative number: '" + *raw + "'");
-      return dflt;
-    }
-    return v;
-  }
-
-  std::string str(std::string_view key, std::string_view dflt) {
-    const std::string* raw = use(key);
-    return raw != nullptr ? *raw : std::string(dflt);
-  }
-
-  /// True when every parameter present in the spec was consumed by a read
-  /// and no key appears twice (param() reads only the first occurrence, so
-  /// a duplicate would be a silently ignored override).
-  bool finish() {
-    if (failed_) return false;
-    for (std::size_t i = 0; i < node_.params.size(); ++i) {
-      const std::string& k = node_.params[i].first;
-      if (std::find(used_.begin(), used_.end(), k) == used_.end()) {
-        fail("unknown parameter '" + k + "' for scenario '" + node_.name +
-             "'");
-        return false;
-      }
-      for (std::size_t j = i + 1; j < node_.params.size(); ++j) {
-        if (node_.params[j].first == k) {
-          fail("duplicate parameter '" + k + "' for scenario '" +
-               node_.name + "'");
-          return false;
-        }
-      }
-    }
-    return true;
-  }
-
-  void fail(const std::string& what) {
-    if (!failed_ && error_ != nullptr) *error_ = what;
-    failed_ = true;
-  }
-
- private:
-  const std::string* use(std::string_view key) {
-    used_.emplace_back(key);
-    return node_.param(key);
-  }
-
-  const SpecNode& node_;
-  std::string* error_;
-  std::vector<std::string> used_;
-  bool failed_ = false;
-};
+// Typed parameter reads: the shared strict Params reader lives in
+// scenario/params.hpp (the detector registry enforces the same grammar).
 
 // A fat-fingered n=10^18 must be a clean error before any builder
 // allocates O(n) state (shadow graphs, session tables, flicker scripts) --

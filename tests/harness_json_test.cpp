@@ -277,6 +277,45 @@ TEST(JsonSchema, BenchDocumentShapeIsStable) {
   }
 }
 
+TEST(JsonSchema, RunDocumentShapeIsStable) {
+  // The scenario x detector run document (dynsub_run --json).  The CI
+  // record/replay gate compares "summary" objects byte-for-byte, so the
+  // summary must round-trip and the member order must stay put.
+  RunSummary summary;
+  summary.n = 24;
+  summary.rounds = 41;
+  summary.changes = 74;
+  summary.inconsistent_rounds = 31;
+  summary.amortized = 0.4189;
+  summary.messages = 477;
+  Json doc = make_run_document("dynsub_run", "churn(n=24)", "triangle(k=4)",
+                               24, /*settled=*/true, summary);
+
+  ASSERT_NE(doc.find("schema_version"), nullptr);
+  EXPECT_EQ(static_cast<int>(doc.find("schema_version")->as_number()),
+            kRunSchemaVersion);
+  EXPECT_EQ(doc.find("tool")->as_string(), "dynsub_run");
+  EXPECT_EQ(doc.find("scenario")->as_string(), "churn(n=24)");
+  EXPECT_EQ(doc.find("detector")->as_string(), "triangle(k=4)");
+  EXPECT_EQ(static_cast<int>(doc.find("n")->as_number()), 24);
+  EXPECT_TRUE(doc.find("settled")->as_bool());
+  const Json* summary_json = doc.find("summary");
+  ASSERT_NE(summary_json, nullptr);
+  const auto back = run_summary_from_json(*summary_json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->changes, 74u);
+  EXPECT_EQ(back->messages, 477u);
+  EXPECT_DOUBLE_EQ(back->amortized, 0.4189);
+
+  const char* expected_order[] = {"schema_version", "tool", "scenario",
+                                  "detector",       "n",    "settled",
+                                  "summary"};
+  ASSERT_EQ(doc.members().size(), std::size(expected_order));
+  for (std::size_t i = 0; i < std::size(expected_order); ++i) {
+    EXPECT_EQ(doc.members()[i].first, expected_order[i]);
+  }
+}
+
 TEST(JsonSchema, WriteJsonFileProducesParseableDocument) {
   Json doc = make_bench_document("unit", "EXP-UNIT", "a", "c", false);
   add_metric(doc, "k", 1.5);

@@ -8,8 +8,10 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/triangle.hpp"
 #include "dynamics/planted.hpp"
 #include "dynamics/random_churn.hpp"
@@ -202,6 +204,41 @@ TEST(RegistryTest, UnknownScenarioAndUnknownParameterAreErrors) {
   EXPECT_FALSE(
       scenario::build_scenario("churn(n=8, n=16, rounds=4)", opts, &error));
   EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(RegistryTest, FuzzMutatedSpecsNeverCrashTheRegistry) {
+  // The spec-grammar fuzzer (the detector registry runs the same harness
+  // in detect_test.cpp): corrupt every catalog example one character at a
+  // time, the way the PR 3 trace fuzzer corrupts traces.  The registry
+  // must reject cleanly (parse or parameter error with a message) or
+  // build a workload whose canonical spec round-trips -- never crash.
+  scenario::ScenarioOptions opts;
+  opts.n = 16;
+  opts.quick = true;
+  Rng rng(0x5CEAF122);
+  const std::string_view alphabet = "()=,+-0123456789abkmnrstz_ .";
+  for (const auto& info : scenario::scenario_catalog()) {
+    for (int iter = 0; iter < 60; ++iter) {
+      const std::string mutated =
+          testing::mutate_one_char(rng, info.example, alphabet);
+      std::string error;
+      auto built = scenario::build_scenario(mutated, opts, &error);
+      if (!built.has_value()) {
+        EXPECT_FALSE(error.empty()) << "mutation '" << mutated << "'";
+        continue;
+      }
+      // The built spec must stay inside the grammar.  (Composite
+      // expansions are grammatical but not canonically ordered, so the
+      // invariant is to_string-idempotence, not string identity.)
+      const auto parsed = scenario::parse_spec(built->spec);
+      ASSERT_TRUE(parsed.has_value()) << "mutation '" << mutated << "'";
+      const std::string canonical = scenario::to_string(*parsed);
+      const auto reparsed = scenario::parse_spec(canonical);
+      ASSERT_TRUE(reparsed.has_value()) << "mutation '" << mutated << "'";
+      EXPECT_EQ(scenario::to_string(*reparsed), canonical)
+          << "mutation '" << mutated << "'";
+    }
+  }
 }
 
 TEST(RegistryTest, SameSpecSameSeedIsBitIdentical) {

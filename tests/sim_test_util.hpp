@@ -59,4 +59,16 @@ inline std::size_t run_script_audited(
   return run_audited(sim, wl, 100000 + extra_drain, audit);
 }
 
+/// One single-character corruption of `text`, drawn from `alphabet` -- the
+/// mutation step of the PR 3 trace-fuzz harness, shared so the spec-grammar
+/// fuzzers (scenario and detector) corrupt input the same way.
+template <typename RngT>
+std::string mutate_one_char(RngT& rng, std::string text,
+                            std::string_view alphabet) {
+  if (text.empty()) return text;
+  const auto pos = rng.next_below(text.size());
+  text[pos] = alphabet[rng.next_below(alphabet.size())];
+  return text;
+}
+
 }  // namespace dynsub::testing

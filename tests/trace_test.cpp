@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string_view>
 
 #include "baseline/full2hop.hpp"
 #include "core/audit.hpp"
@@ -114,11 +115,10 @@ TEST(TraceTest, FuzzMutatedTracesNeverCrashTheParser) {
   // message -- never crash or hang.
   const std::string good = "+0:1 +2:3\n\n-0:1 +1:4\n+3:4\n";
   Rng rng(0xBADF00D);
-  const char alphabet[] = "+-0123456789: #x\n";
+  const std::string_view alphabet = "+-0123456789: #x\n";
   for (int iter = 0; iter < 300; ++iter) {
-    std::string mutated = good;
-    const auto pos = rng.next_below(mutated.size());
-    mutated[pos] = alphabet[rng.next_below(sizeof(alphabet) - 1)];
+    const std::string mutated =
+        testing::mutate_one_char(rng, good, alphabet);
     std::istringstream is(mutated);
     std::string error;
     const auto result = net::read_trace(is, &error);

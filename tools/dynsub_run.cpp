@@ -1,20 +1,24 @@
-// dynsub_run -- one CLI for every scenario in the registry.
+// dynsub_run -- one CLI for every scenario and every detector.
 //
 // Runs any registered scenario (or any spec string in the scenario grammar)
-// against any detector at any n, prints a human summary, optionally writes
-// the standard RunSummary JSON, and can record the emitted event trace and
-// replay it bit-identically later:
+// against any registered detector (or any spec string in the detector
+// grammar) at any n, prints a human summary, optionally writes the standard
+// RunSummary JSON, and can record the emitted event trace and replay it
+// bit-identically later:
 //
 //   dynsub_run --list
 //   dynsub_run --scenario flash-crowd --quick
 //   dynsub_run --scenario 'throttle(churn(n=64, max=12), cap=3)'
-//              --detector robust2hop --json out.json
+//              --detector 'triangle(k=4)' --json out.json
 //   dynsub_run --scenario multi-community-churn --record crowd.trace
-//   dynsub_run --replay crowd.trace --n 128 --json replayed.json
+//   dynsub_run --replay crowd.trace --detector robust3hop --json replayed.json
 //
-// The JSON summary is produced without wall-clock timing, so a recorded run
-// and its replay emit byte-identical "summary" objects -- which is exactly
-// what the CI scenario-smoke job asserts.
+// Everything resolves through the registries: scenarios through
+// scenario::build_scenario, detectors through detect::build_detector, and
+// the whole stack is assembled by a detect::Session -- this tool wires no
+// components by hand.  The JSON summary is produced without wall-clock
+// timing, so a recorded run and its replay emit byte-identical "summary"
+// objects -- which is exactly what the CI scenario-smoke job asserts.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -27,16 +31,11 @@
 #include <string_view>
 #include <vector>
 
-#include "baseline/floodkhop.hpp"
-#include "baseline/full2hop.hpp"
-#include "baseline/naive2hop.hpp"
 #include "common/format.hpp"
-#include "core/robust2hop.hpp"
-#include "core/robust3hop.hpp"
-#include "core/triangle.hpp"
+#include "detect/registry.hpp"
+#include "detect/session.hpp"
 #include "harness/experiment.hpp"
 #include "harness/json.hpp"
-#include "net/simulator.hpp"
 #include "net/trace.hpp"
 #include "net/workload.hpp"
 #include "scenario/registry.hpp"
@@ -54,6 +53,7 @@ struct Options {
   std::uint64_t seed = 1;
   bool quick = false;
   bool list = false;
+  bool list_detectors = false;
   bool names_only = false;
   std::size_t max_rounds = 1000000;
 };
@@ -67,8 +67,9 @@ void usage(const char* argv0) {
       "  --scenario S    a registered scenario name or a spec string,\n"
       "                  e.g. 'overlay(churn(n=32), planted-clique(n=32))'\n"
       "  --replay PATH   drive the simulation from a recorded trace instead\n"
-      "  --detector D    triangle | robust2hop | robust3hop | naive2hop |\n"
-      "                  full2hop | flood2 | flood3   (default: triangle)\n"
+      "  --detector D    a registered detector name or a spec string,\n"
+      "                  e.g. 'triangle(k=4)' or 'flood(radius=3)'\n"
+      "                  (default: triangle; --list prints the registry)\n"
       "  --n N           default node count (a spec's n parameter wins;\n"
       "                  the simulator is sized to fit the scenario)\n"
       "  --seed S        default seed for stochastic scenarios (default 1)\n"
@@ -77,8 +78,9 @@ void usage(const char* argv0) {
       "  --record PATH   write the emitted event trace for later --replay\n"
       "  --json PATH     write the run document (summary is timing-free, so\n"
       "                  record and replay emit identical summaries)\n"
-      "  --list          print the scenario registry and exit\n"
-      "  --names-only    with --list: one runnable scenario name per line\n",
+      "  --list          print the scenario and detector registries and exit\n"
+      "  --names-only    with --list: one runnable scenario name per line\n"
+      "  --list-detectors  one runnable detector spec per line (scripts)\n",
       argv0, argv0, argv0);
 }
 
@@ -137,6 +139,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       o.quick = true;
     } else if (arg == "--list") {
       o.list = true;
+    } else if (arg == "--list-detectors") {
+      o.list_detectors = true;
     } else if (arg == "--names-only") {
       o.names_only = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -152,53 +156,6 @@ std::optional<Options> parse_args(int argc, char** argv) {
   return o;
 }
 
-std::optional<net::NodeFactory> make_detector(std::string_view name) {
-  auto factory = [](auto maker) -> net::NodeFactory { return maker; };
-  if (name == "triangle") {
-    return factory([](NodeId v, std::size_t n) {
-      return std::unique_ptr<net::NodeProgram>(
-          std::make_unique<core::TriangleNode>(v, n));
-    });
-  }
-  if (name == "robust2hop") {
-    return factory([](NodeId v, std::size_t n) {
-      return std::unique_ptr<net::NodeProgram>(
-          std::make_unique<core::Robust2HopNode>(v, n));
-    });
-  }
-  if (name == "robust3hop") {
-    return factory([](NodeId v, std::size_t n) {
-      return std::unique_ptr<net::NodeProgram>(
-          std::make_unique<core::Robust3HopNode>(v, n));
-    });
-  }
-  if (name == "naive2hop") {
-    return factory([](NodeId v, std::size_t n) {
-      return std::unique_ptr<net::NodeProgram>(
-          std::make_unique<baseline::NaiveTwoHopNode>(v, n));
-    });
-  }
-  if (name == "full2hop") {
-    return factory([](NodeId v, std::size_t n) {
-      return std::unique_ptr<net::NodeProgram>(
-          std::make_unique<baseline::FullTwoHopNode>(v, n));
-    });
-  }
-  if (name == "flood2") {
-    return factory([](NodeId v, std::size_t n) {
-      return std::unique_ptr<net::NodeProgram>(
-          std::make_unique<baseline::FloodKHopNode>(v, n, 2));
-    });
-  }
-  if (name == "flood3") {
-    return factory([](NodeId v, std::size_t n) {
-      return std::unique_ptr<net::NodeProgram>(
-          std::make_unique<baseline::FloodKHopNode>(v, n, 3));
-    });
-  }
-  return std::nullopt;
-}
-
 const char* kind_label(scenario::ScenarioKind kind) {
   switch (kind) {
     case scenario::ScenarioKind::kPrimitive:
@@ -209,6 +166,26 @@ const char* kind_label(scenario::ScenarioKind kind) {
       return "composite";
   }
   return "?";
+}
+
+const char* kind_label(detect::DetectorKind kind) {
+  switch (kind) {
+    case detect::DetectorKind::kCore:
+      return "core";
+    case detect::DetectorKind::kBaseline:
+      return "baseline";
+    case detect::DetectorKind::kAlias:
+      return "alias";
+  }
+  return "?";
+}
+
+int list_detector_specs() {
+  // One runnable detector spec per line, for scripts (the CI smoke loop).
+  for (const auto& info : detect::detector_catalog()) {
+    std::printf("%s\n", info.example.c_str());
+  }
+  return 0;
 }
 
 int list_registry(bool names_only) {
@@ -231,6 +208,13 @@ int list_registry(bool names_only) {
                 kind_label(info.kind), info.summary.c_str());
     std::printf("  %-36s %-10s e.g. %s\n", "", "", info.example.c_str());
   }
+  const auto& detectors = detect::detector_catalog();
+  std::printf("\nregistered detectors (%zu):\n\n", detectors.size());
+  for (const auto& info : detectors) {
+    std::printf("  %-36s %-10s %s\n", info.name.c_str(),
+                kind_label(info.kind), info.summary.c_str());
+    std::printf("  %-36s %-10s e.g. %s\n", "", "", info.example.c_str());
+  }
   std::printf(
       "\nspec grammar: name(param=value, child, ...), nestable; see "
       "src/scenario/spec.hpp\n");
@@ -249,15 +233,30 @@ std::size_t max_node_in(
 }
 
 int run(const Options& o) {
-  const auto factory = make_detector(o.detector);
-  if (!factory) {
-    std::fprintf(stderr, "dynsub_run: unknown detector '%s' (try --help)\n",
-                 o.detector.c_str());
-    return 2;
+  detect::SessionOptions sopts;
+  sopts.detector = o.detector;
+  sopts.n = o.n;
+  sopts.seed = o.seed;
+  sopts.quick = o.quick;
+  sopts.max_rounds = o.max_rounds;
+  sopts.record = !o.record_path.empty();
+  sopts.sim = {.enforce_bandwidth = true,
+               .track_prev_graph = false,
+               .sparse_rounds = true,
+               .collect_phase_timings = false};
+
+  // Resolve the detector spec first so an unknown name is a usage error
+  // (exit 2) carrying the registry, not a generic run failure.
+  {
+    std::string error;
+    if (detect::build_detector(o.detector, &error) == nullptr) {
+      std::fprintf(stderr, "dynsub_run: %s\n", error.c_str());
+      return 2;
+    }
   }
 
-  std::unique_ptr<net::Workload> workload;
-  std::size_t nodes = 0;
+  std::optional<detect::Session> session;
+  std::string error;
   std::string spec_label;
 
   if (!o.replay_path.empty()) {
@@ -287,48 +286,35 @@ int run(const Options& o) {
       }
     }
     std::istringstream trace_in(text);
-    std::string error;
     const auto rounds = net::read_trace(trace_in, &error);
     if (!rounds) {
       std::fprintf(stderr, "dynsub_run: %s: %s\n", o.replay_path.c_str(),
                    error.c_str());
       return 1;
     }
-    nodes = std::max({o.n, header_n, max_node_in(*rounds) + 1});
-    workload = std::make_unique<net::ScriptedWorkload>(*rounds);
+    // Trace node ids are only bounded by 32 bits; the Session's node-cap
+    // gate refuses before the simulator allocates per-node state.
+    const std::size_t trace_nodes =
+        std::max({o.n, header_n, max_node_in(*rounds) + 1});
+    session = detect::Session::open(
+        std::move(sopts), std::make_unique<net::ScriptedWorkload>(*rounds),
+        trace_nodes, &error);
     spec_label = "replay:" + o.replay_path;
   } else {
-    scenario::ScenarioOptions sopts{o.n, o.seed, o.quick};
-    std::string error;
-    auto built = scenario::build_scenario(o.scenario, sopts, &error);
-    if (!built) {
-      std::fprintf(stderr, "dynsub_run: %s\n", error.c_str());
-      return 1;
-    }
-    nodes = std::max(o.n, built->nodes);
-    workload = std::move(built->workload);
-    spec_label = built->spec;
+    sopts.scenario = o.scenario;
+    session = detect::Session::open(std::move(sopts), &error);
+    if (session) spec_label = session->scenario_spec();
   }
-
-  // Covers the replay path too (trace node ids are only bounded by 32
-  // bits): refuse before the simulator allocates per-node state.
-  if (nodes > scenario::kMaxScenarioNodes) {
-    std::fprintf(stderr,
-                 "dynsub_run: scenario wants %zu nodes; refusing above %zu\n",
-                 nodes, scenario::kMaxScenarioNodes);
+  if (!session) {
+    std::fprintf(stderr, "dynsub_run: %s\n", error.c_str());
     return 1;
   }
 
-  net::Simulator sim(nodes, *factory,
-                     {.enforce_bandwidth = true,
-                      .track_prev_graph = false,
-                      .sparse_rounds = true,
-                      .collect_phase_timings = false});
+  const std::size_t rounds_run = session->run();
+  const std::size_t nodes = session->nodes();
+  const detect::DetectorInfo& dinfo = session->detector().info();
 
-  std::size_t rounds_run = 0;
   if (!o.record_path.empty()) {
-    net::RecordingWorkload recorder(*workload);
-    rounds_run = net::run_workload(sim, recorder, o.max_rounds);
     std::ofstream out(o.record_path);
     if (!out) {
       std::fprintf(stderr, "dynsub_run: cannot write trace '%s'\n",
@@ -337,19 +323,25 @@ int run(const Options& o) {
     }
     out << "# dynsub_run trace of: " << spec_label << "\n";
     out << "# n=" << nodes << "\n";
-    net::write_trace(out, recorder.rounds());
+    net::write_trace(out, session->recorded());
     if (!out.good()) {
       std::fprintf(stderr, "dynsub_run: failed writing trace '%s'\n",
                    o.record_path.c_str());
       return 1;
     }
-  } else {
-    rounds_run = net::run_workload(sim, *workload, o.max_rounds);
   }
 
-  const harness::RunSummary summary = harness::summarize(sim);
+  std::string query_kinds;
+  for (const auto kind : dinfo.queries) {
+    if (!query_kinds.empty()) query_kinds += ", ";
+    query_kinds += to_string(kind);
+  }
+
+  const harness::RunSummary summary = session->summary();
   std::printf("scenario:   %s\n", spec_label.c_str());
-  std::printf("detector:   %s\n", o.detector.c_str());
+  std::printf("detector:   %s (%s)\n", dinfo.spec.c_str(),
+              std::string(to_string(dinfo.problem)).c_str());
+  std::printf("queries:    %s\n", query_kinds.c_str());
   std::printf("n:          %zu\n", nodes);
   std::printf("rounds:     %zu (driver), %lld (simulated)\n", rounds_run,
               static_cast<long long>(summary.rounds));
@@ -359,20 +351,15 @@ int run(const Options& o) {
               static_cast<unsigned long long>(summary.messages));
   std::printf("amortized:  %.4f inconsistent rounds/change (sup %.4f)\n",
               summary.amortized, summary.amortized_sup);
-  std::printf("settled:    %s\n", sim.all_consistent() ? "yes" : "no");
+  std::printf("settled:    %s\n", session->settled() ? "yes" : "no");
   if (!o.record_path.empty()) {
     std::printf("trace:      %s\n", o.record_path.c_str());
   }
 
   if (!o.json_path.empty()) {
-    harness::Json doc = harness::Json::object();
-    doc["schema_version"] = harness::Json::number(std::uint64_t{1});
-    doc["tool"] = harness::Json::string("dynsub_run");
-    doc["scenario"] = harness::Json::string(spec_label);
-    doc["detector"] = harness::Json::string(o.detector);
-    doc["n"] = harness::Json::number(static_cast<std::uint64_t>(nodes));
-    doc["settled"] = harness::Json::boolean(sim.all_consistent());
-    doc["summary"] = harness::to_json(summary);
+    const harness::Json doc = harness::make_run_document(
+        "dynsub_run", spec_label, dinfo.spec, nodes, session->settled(),
+        summary);
     if (!harness::write_json_file(o.json_path, doc)) {
       std::fprintf(stderr, "dynsub_run: failed to write %s\n",
                    o.json_path.c_str());
@@ -389,6 +376,7 @@ int run(const Options& o) {
 int main(int argc, char** argv) {
   const auto opts = dynsub::parse_args(argc, argv);
   if (!opts) return 2;
+  if (opts->list_detectors) return dynsub::list_detector_specs();
   if (opts->list) return dynsub::list_registry(opts->names_only);
   if (opts->scenario.empty() && opts->replay_path.empty()) {
     dynsub::usage(argv[0]);

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Scenario registry smoke: runs every registered scenario at quick scale,
-# then records one composite's trace and replays it, asserting the
-# RunSummary JSON is byte-identical.  CI runs this so a registry
-# regression, a spec-parser break, or a record/replay divergence fails the
-# build.
+# Registry smoke: runs every registered scenario at quick scale, runs one
+# scenario through every registered detector, then records one composite's
+# trace and replays it, asserting the RunSummary JSON is byte-identical.
+# CI runs this so a registry regression, a spec-parser break, or a
+# record/replay divergence fails the build.
 #
 #   tools/scenario_smoke.sh [path/to/dynsub_run]
 set -euo pipefail
@@ -33,6 +33,21 @@ while IFS= read -r spec; do
   count=$((count + 1))
 done < <("$BIN" --list --names-only)
 
+echo "== detectors =="
+dcount=0
+while IFS= read -r detector; do
+  [[ -n "$detector" ]] || continue
+  echo "== detector: $detector =="
+  "$BIN" --scenario 'churn(n=24, rounds=40)' --detector "$detector" \
+    --quick --max-rounds 200000 > "$TMP/run.out"
+  grep -q '^settled:    yes' "$TMP/run.out" || {
+    echo "scenario_smoke.sh: detector '$detector' did not settle" >&2
+    cat "$TMP/run.out" >&2
+    exit 1
+  }
+  dcount=$((dcount + 1))
+done < <("$BIN" --list-detectors)
+
 echo "== record/replay =="
 "$BIN" --scenario multi-community-churn --quick \
   --record "$TMP/t.trace" --json "$TMP/a.json" > /dev/null
@@ -51,4 +66,4 @@ if a["summary"] != b["summary"]:
 print("record/replay summaries identical")
 EOF
 
-echo "scenario_smoke.sh: $count scenario(s) ran clean"
+echo "scenario_smoke.sh: $count scenario(s), $dcount detector(s) ran clean"
