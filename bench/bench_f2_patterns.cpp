@@ -9,6 +9,7 @@
 // regenerating the figures as numbers (and double-checking the oracle
 // decompositions sum up).
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -34,12 +35,14 @@ struct Fig3Census {
 };
 
 template <typename NodeT>
-net::Simulator run_churn(std::size_t n, std::uint64_t seed,
-                         std::size_t rounds) {
-  net::Simulator sim(n, bench::factory_of<NodeT>(),
-                     {.enforce_bandwidth = true,
-                      .track_prev_graph = false,
-                      .collect_phase_timings = true});
+std::unique_ptr<net::Simulator> run_churn(std::size_t n,
+                                          std::uint64_t seed,
+                                          std::size_t rounds) {
+  auto sim = std::make_unique<net::Simulator>(
+      n, bench::factory_of<NodeT>(),
+      net::SimulatorConfig{.enforce_bandwidth = true,
+                           .track_prev_graph = false,
+                           .collect_phase_timings = true});
   dynamics::RandomChurnParams cp;
   cp.n = n;
   cp.target_edges = 3 * n;
@@ -47,7 +50,7 @@ net::Simulator run_churn(std::size_t n, std::uint64_t seed,
   cp.rounds = rounds;
   cp.seed = seed;
   dynamics::RandomChurnWorkload wl(cp);
-  bench::run_timed(sim, wl, 1000000);
+  bench::run_timed(*sim, wl, 1000000);
   return sim;
 }
 
@@ -69,9 +72,9 @@ int main(int argc, char** argv) {
     Fig2Census census;
     std::size_t mismatch = 0;
     for (NodeId v = 0; v < n; ++v) {
-      const auto r2 = oracle::robust_2hop(sim.graph(), v);
-      const auto t2 = oracle::triangle_pattern_set(sim.graph(), v);
-      const auto& node = dynamic_cast<const core::TriangleNode&>(sim.node(v));
+      const auto r2 = oracle::robust_2hop(sim->graph(), v);
+      const auto t2 = oracle::triangle_pattern_set(sim->graph(), v);
+      const auto& node = dynamic_cast<const core::TriangleNode&>(sim->node(v));
       const auto known = node.known_edges();
       for (const auto& [e, ts] : known) {
         (void)ts;
@@ -113,7 +116,7 @@ int main(int argc, char** argv) {
     std::size_t robust_missing = 0;
     for (NodeId v = 0; v < n; ++v) {
       const auto& node =
-          dynamic_cast<const core::Robust3HopNode&>(sim.node(v));
+          dynamic_cast<const core::Robust3HopNode&>(sim->node(v));
       for (const auto& [e, pset] : node.path_table()) {
         (void)e;
         for (const auto& pk : pset) {
@@ -122,7 +125,7 @@ int main(int argc, char** argv) {
           if (pk.len == 3) ++census.len3;
         }
       }
-      const auto r3 = oracle::robust_3hop(sim.graph(), v);
+      const auto r3 = oracle::robust_3hop(sim->graph(), v);
       const auto known = node.known_edges();
       for (const Edge& e : r3) robust_missing += !known.contains(e);
     }

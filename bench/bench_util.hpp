@@ -74,7 +74,9 @@ struct BenchOptions {
   bool quick = false;
   bool list = false;
   bool has_seed = false;
+  bool has_threads = false;
   std::uint64_t seed = 0;
+  std::size_t threads = 0;
   std::string json_path;
 };
 
@@ -91,12 +93,33 @@ inline BenchOptions parse_options(int argc, char** argv) {
     opts.seed = *v;
     opts.has_seed = true;
   };
+  auto parse_threads = [&](std::string_view text) {
+    const auto v = parse_u64(text);
+    if (!v || *v > 256) {
+      std::fprintf(stderr,
+                   "%s: --threads wants an unsigned integer <= 256, got "
+                   "'%s'\n",
+                   argv[0], std::string(text).c_str());
+      std::exit(2);
+    }
+    opts.threads = static_cast<std::size_t>(*v);
+    opts.has_threads = true;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--quick") {
       opts.quick = true;
     } else if (arg == "--list") {
       opts.list = true;
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --threads requires a value argument\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      parse_threads(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      parse_threads(arg.substr(10));
     } else if (arg == "--json") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s: --json requires a path argument\n", argv[0]);
@@ -115,11 +138,15 @@ inline BenchOptions parse_options(int argc, char** argv) {
     } else if (arg.rfind("--seed=", 0) == 0) {
       parse_seed(arg.substr(7));
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--quick] [--seed <u64>] [--json <path>] [--list]\n",
+      std::printf("usage: %s [--quick] [--seed <u64>] [--threads <T>] "
+                  "[--json <path>] [--list]\n",
                   argv[0]);
       std::printf("  --quick        run a reduced sweep (CI smoke)\n");
       std::printf("  --seed <u64>   override the bench's base seed (reruns\n");
       std::printf("                 with the same seed are bit-identical)\n");
+      std::printf("  --threads <T>  override the lane count of the bench's\n");
+      std::printf("                 parallel-engine rows (results are\n");
+      std::printf("                 bit-identical at every T)\n");
       std::printf("  --json <path>  write results as a JSON document\n");
       std::printf("  --list         describe what this bench measures, then exit\n");
       std::exit(0);
@@ -168,6 +195,12 @@ class Bench {
   /// reproduces the exact event streams.
   [[nodiscard]] std::uint64_t seed_or(std::uint64_t dflt) const {
     return opts_.has_seed ? opts_.seed : dflt;
+  }
+
+  /// The --threads override when given, else the bench's own default lane
+  /// count for its parallel-engine rows.
+  [[nodiscard]] std::size_t threads_or(std::size_t dflt) const {
+    return opts_.has_threads ? opts_.threads : dflt;
   }
 
   /// Picks the full or reduced sweep depending on --quick.
@@ -275,11 +308,13 @@ inline void print_results(const std::string& x_name,
 inline harness::RunSummary run_experiment(std::size_t n,
                                           const net::NodeFactory& factory,
                                           net::Workload& workload,
-                                          std::size_t max_rounds = 10000000) {
+                                          std::size_t max_rounds = 10000000,
+                                          std::size_t threads = 0) {
   net::Simulator sim(n, factory, {.enforce_bandwidth = true,
                                   .track_prev_graph = false,
                                   .sparse_rounds = true,
-                                  .collect_phase_timings = true});
+                                  .collect_phase_timings = true,
+                                  .threads = threads});
   const auto start = std::chrono::steady_clock::now();
   net::run_workload(sim, workload, max_rounds);
   const double wall =

@@ -7,6 +7,12 @@ guarded metric regresses more than the tolerance (default 30%):
 
     effective_floor = baseline_value * (1 - tolerance)
 
+Every guarded metric must be *present and a finite number*: a missing
+result file, a missing or non-numeric or NaN metric, an empty floors
+section, or a run that checked nothing at all is a hard failure -- a
+guard that silently guards nothing is worse than no guard
+(bench/check_regression_selftest.py locks these exit codes).
+
 The baseline values are deliberately *conservative floors* (a few times
 below what a developer machine measures), so the check catches an engine
 falling off an asymptotic cliff -- a quiescent round going Theta(n) again,
@@ -19,6 +25,7 @@ usage: check_regression.py [--results-dir DIR] [--baseline FILE]
 
 import argparse
 import json
+import math
 import os
 import sys
 
@@ -52,6 +59,10 @@ def main():
     for bench, floors in sorted(baseline.items()):
         if bench.startswith("__"):  # documentation keys
             continue
+        if not isinstance(floors, dict) or not floors:
+            failures.append(f"{bench}: baseline section is empty or not an "
+                            f"object -- it guards nothing")
+            continue
         path = os.path.join(args.results_dir, f"BENCH_{bench}.json")
         if not os.path.exists(path):
             failures.append(f"{bench}: missing result file {path}")
@@ -65,9 +76,17 @@ def main():
             effective = floor * (1.0 - args.tolerance)
             value = metrics.get(key)
             checked += 1
+            # A missing, non-numeric, or NaN metric is a hard failure, never
+            # a skip: NaN in particular compares False against the floor and
+            # used to sail through as "ok".
             if value is None:
                 failures.append(f"{bench}: metric '{key}' missing "
                                 f"(expected >= {effective:.0f})")
+            elif (isinstance(value, bool)
+                  or not isinstance(value, (int, float))
+                  or not math.isfinite(value)):
+                failures.append(f"{bench}: metric '{key}' is not a finite "
+                                f"number: {value!r}")
             elif value < effective:
                 failures.append(
                     f"{bench}: {key} = {value:.0f} regressed below "
@@ -77,6 +96,9 @@ def main():
                 print(f"ok  {bench}: {key} = {value:.0f} "
                       f">= {effective:.0f}")
 
+    if checked == 0 and not failures:
+        failures.append("baseline guards no metrics at all "
+                        f"({args.baseline})")
     if failures:
         print(f"\ncheck_regression: {len(failures)} failure(s):",
               file=sys.stderr)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Locks check_regression.py's exit-code contract.
+
+The guard is only useful if every way of guarding nothing is a hard
+failure: a key listed in perf_baseline.json but missing from the produced
+BENCH_*.json, a NaN or non-numeric value, an empty floors section, a
+missing result file, or a baseline that checks zero metrics must all exit
+nonzero.  This selftest runs the real script against synthetic fixtures
+and is registered as a CTest (see CMakeLists.txt), so the contract rides
+in tier-1.
+
+usage: check_regression_selftest.py  (no arguments)
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_regression.py")
+
+
+def run_case(name, baseline, results, expect_ok):
+    """Runs check_regression.py on one fixture; returns True on pass."""
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline_path = os.path.join(tmp, "baseline.json")
+        with open(baseline_path, "w", encoding="utf-8") as f:
+            f.write(baseline)
+        for bench, doc in results.items():
+            with open(os.path.join(tmp, f"BENCH_{bench}.json"), "w",
+                      encoding="utf-8") as f:
+                f.write(doc)
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "--results-dir", tmp,
+             "--baseline", baseline_path],
+            capture_output=True, text=True, check=False)
+    ok = (proc.returncode == 0) == expect_ok
+    verdict = "ok  " if ok else "FAIL"
+    wanted = "exit 0" if expect_ok else "nonzero exit"
+    print(f"{verdict} {name}: wanted {wanted}, got {proc.returncode}")
+    if not ok:
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+    return ok
+
+
+def metrics_doc(**metrics):
+    return json.dumps({"metrics": metrics})
+
+
+def main():
+    base = json.dumps({"landscape": {"perf.rounds_per_sec": 10000}})
+    cases = [
+        ("healthy metric passes", base,
+         {"landscape": metrics_doc(**{"perf.rounds_per_sec": 12000})}, True),
+        ("regressed metric fails", base,
+         {"landscape": metrics_doc(**{"perf.rounds_per_sec": 100})}, False),
+        ("missing key is a hard failure", base,
+         {"landscape": metrics_doc(**{"unrelated": 1.0})}, False),
+        ("missing result file fails", base, {}, False),
+        # json.dumps refuses NaN by default; emit the literal the json
+        # module *parses* (and the C++ writer must never produce).
+        ("NaN value fails", base,
+         {"landscape": '{"metrics": {"perf.rounds_per_sec": NaN}}'}, False),
+        ("non-numeric value fails", base,
+         {"landscape": '{"metrics": {"perf.rounds_per_sec": "fast"}}'},
+         False),
+        ("boolean value fails", base,
+         {"landscape": '{"metrics": {"perf.rounds_per_sec": true}}'}, False),
+        ("empty floors section fails", json.dumps({"landscape": {}}),
+         {"landscape": metrics_doc(**{"perf.rounds_per_sec": 12000})}, False),
+        ("baseline guarding nothing fails",
+         json.dumps({"__comment": ["docs only"]}), {}, False),
+        ("unreadable results fail", base, {"landscape": "not json"}, False),
+    ]
+    passed = sum(run_case(*case) for case in cases)
+    print(f"check_regression_selftest: {passed}/{len(cases)} case(s) passed")
+    return 0 if passed == len(cases) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

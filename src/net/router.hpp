@@ -34,7 +34,19 @@ class DestBuckets {
   void begin_round() {
     staged_.clear();
     touched_.clear();
-    ++epoch_;
+    if (++epoch_ == 0) {
+      // std::uint64_t wrap: stamps from the first life of these epoch
+      // values would alias fresh ones, serving stale buckets and skipping
+      // count resets in add().  Re-zero every stamp and restart above 0.
+      std::fill(mark_.begin(), mark_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  /// Test hook: primes the epoch counter to within `steps` increments of
+  /// the std::uint64_t wrap (regression coverage for the reset above).
+  void debug_prime_epoch_wrap(std::uint64_t steps) {
+    epoch_ = ~std::uint64_t{0} - steps;
   }
 
   /// Stages one item for `dst`.  Per-destination item order is staging

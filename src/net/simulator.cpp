@@ -39,6 +39,14 @@ Simulator::Simulator(std::size_t n, NodeFactory factory,
     nodes_.push_back(factory(v, n));
     DYNSUB_CHECK(nodes_.back() != nullptr);
   }
+  if (config_.threads > 0) {
+    pool_ = std::make_unique<WorkerPool>(config_.threads,
+                                         config_.threads_inline_cutoff);
+    react_task_ = [this](std::size_t b, std::size_t e) { react_shard(b, e); };
+    receive_task_ = [this](std::size_t b, std::size_t e) {
+      receive_shard(b, e);
+    };
+  }
 }
 
 const oracle::TimestampedGraph& Simulator::prev_graph() const {
@@ -51,6 +59,58 @@ void Simulator::mark_active(NodeId v) {
   if (active_mark_[v] != active_epoch_) {
     active_mark_[v] = active_epoch_;
     active_.push_back(v);
+  }
+}
+
+void Simulator::bump_active_epoch() {
+  if (++active_epoch_ == 0) {
+    // std::uint64_t wrap: stamps left over from the first life of epoch
+    // values would alias fresh ones, silently dropping nodes from the
+    // active set.  Re-zero every stamp and restart above the zero value
+    // the stamps now hold.
+    std::fill(active_mark_.begin(), active_mark_.end(), 0);
+    active_epoch_ = 1;
+  }
+}
+
+void Simulator::set_sparse_rounds(bool enabled) {
+  if (enabled && !config_.sparse_rounds) bootstrap_ = true;
+  config_.sparse_rounds = enabled;
+}
+
+void Simulator::debug_prime_epoch_wrap(std::uint64_t steps) {
+  const std::uint64_t brink = ~std::uint64_t{0} - steps;
+  active_epoch_ = brink;
+  sent_epoch_ = brink;
+  events_by_node_.debug_prime_epoch_wrap(steps);
+  payloads_.debug_prime_epoch_wrap(steps);
+  busy_flags_.debug_prime_epoch_wrap(steps);
+  two_hop_flags_.debug_prime_epoch_wrap(steps);
+}
+
+void Simulator::react_shard(std::size_t begin, std::size_t end) {
+  const std::size_t n = nodes_.size();
+  for (std::size_t i = begin; i < end; ++i) {
+    const NodeId v = active_[i];
+    Outbox& out = outbox_pool_[i];
+    out.reset();
+    NodeContext ctx{v, n, round_};
+    nodes_[v]->react_and_send(ctx, events_by_node_.bucket(v), out);
+  }
+}
+
+void Simulator::receive_shard_node(NodeId v) {
+  NodeContext ctx{v, nodes_.size(), round_};
+  Inbox in;
+  in.payloads = payloads_.bucket(v);
+  in.busy_neighbors = busy_flags_.bucket(v);
+  in.busy_two_hop = two_hop_flags_.bucket(v);
+  nodes_[v]->receive_and_update(ctx, in);
+}
+
+void Simulator::receive_shard(std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    receive_shard_node(stepped_[i]);
   }
 }
 
@@ -70,12 +130,15 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   DYNSUB_CHECK_MSG(g_.batch_applicable(events),
                    "round " << round_ << ": workload batch not applicable");
   events_by_node_.begin_round();
-  ++active_epoch_;
+  bump_active_epoch();
   active_.clear();
   // Round 1 bootstraps densely: every program runs once and declares its
   // intent through wants_to_act(); from then on the carryover + events +
   // traffic exactly cover every node that can act (node.hpp contract).
-  const bool dense = !config_.sparse_rounds || round_ == 1;
+  // set_sparse_rounds(true) after dense rounds re-runs the bootstrap
+  // (bootstrap_), because dense rounds do not maintain the carry set.
+  const bool dense = !config_.sparse_rounds || round_ == 1 || bootstrap_;
+  bootstrap_ = false;
   if (dense) {
     for (NodeId v = 0; v < n; ++v) {
       active_mark_[v] = active_epoch_;
@@ -103,16 +166,17 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
     timings_.apply_ns += elapsed_ns(t0, t1);
   }
 
-  // --- Phase 1: react & send (first half of the communication round). ---
+  // --- Phase 1: react & send (first half of the communication round).
+  // Parallel-safe: node i touches only its own program, its (read-only)
+  // event bucket, and outbox slot i.  Slot assignment is positional, so
+  // the sequential and sharded runs fill identical outboxes. ---
   if (outbox_pool_.size() < active_.size()) {
     outbox_pool_.resize(active_.size());
   }
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    const NodeId v = active_[i];
-    Outbox& out = outbox_pool_[i];
-    out.reset();
-    NodeContext ctx{v, n, round_};
-    nodes_[v]->react_and_send(ctx, events_by_node_.bucket(v), out);
+  if (pool_ != nullptr) {
+    pool_->run_sharded(active_.size(), react_task_);
+  } else {
+    react_shard(0, active_.size());
   }
   Clock::time_point t2;
   if (timed) {
@@ -132,7 +196,13 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   for (std::size_t i = 0; i < active_.size(); ++i) {
     const NodeId v = active_[i];
     Outbox& out = outbox_pool_[i];
-    ++sent_epoch_;  // one epoch per sender: O(1) duplicate-destination check
+    // One epoch per sender: O(1) duplicate-destination check.  On
+    // std::uint64_t wrap, stale stamps would alias fresh epochs and
+    // either flag phantom duplicates or miss real ones -- re-zero.
+    if (++sent_epoch_ == 0) {
+      std::fill(sent_mark_.begin(), sent_mark_.end(), 0);
+      sent_epoch_ = 1;
+    }
     for (auto& dm : out.directed_mut()) {
       DYNSUB_CHECK_MSG(dm.dst < n, "node " << v << " sent to bad id");
       DYNSUB_CHECK_MSG(g_.has_edge(Edge(v, dm.dst)),
@@ -185,15 +255,25 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   }
 
   // --- Phase 3: receive & update (second half of the round), over the
-  // ascending merge of active_ and receive_extra_. ---
+  // ascending merge of active_ and receive_extra_.  The receive calls are
+  // parallel-safe (a node reads only its own inbox buckets and writes only
+  // its own program); the consistency counter, metrics, and carry set are
+  // order-sensitive shared state, so that bookkeeping always walks the
+  // stepped set sequentially in ascending id order. ---
   carry_.clear();
-  auto receive_one = [&](NodeId v) {
-    NodeContext ctx{v, n, round_};
-    Inbox in;
-    in.payloads = payloads_.bucket(v);
-    in.busy_neighbors = busy_flags_.bucket(v);
-    in.busy_two_hop = two_hop_flags_.bucket(v);
-    nodes_[v]->receive_and_update(ctx, in);
+  stepped_.clear();
+  {
+    std::size_t a = 0, e = 0;
+    while (a < active_.size() || e < receive_extra_.size()) {
+      if (e >= receive_extra_.size() ||
+          (a < active_.size() && active_[a] < receive_extra_[e])) {
+        stepped_.push_back(active_[a++]);
+      } else {
+        stepped_.push_back(receive_extra_[e++]);
+      }
+    }
+  }
+  auto book_keep = [&](NodeId v) {
     const bool ok = nodes_[v]->consistent();
     if (ok != consistent_[v]) {
       consistent_[v] = ok;
@@ -208,15 +288,15 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
       carry_.push_back(v);
     }
   };
-  {
-    std::size_t a = 0, e = 0;
-    while (a < active_.size() || e < receive_extra_.size()) {
-      if (e >= receive_extra_.size() ||
-          (a < active_.size() && active_[a] < receive_extra_[e])) {
-        receive_one(active_[a++]);
-      } else {
-        receive_one(receive_extra_[e++]);
-      }
+  if (pool_ != nullptr) {
+    pool_->run_sharded(stepped_.size(), receive_task_);
+    for (NodeId v : stepped_) book_keep(v);
+  } else {
+    // Sequential: fuse receive + bookkeeping into one pass (the node's
+    // state is hot); identical observable order either way.
+    for (NodeId v : stepped_) {
+      receive_shard_node(v);
+      book_keep(v);
     }
   }
 

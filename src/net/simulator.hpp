@@ -31,6 +31,19 @@
 // built by a stable counting sort on destination, and WireMessage payloads
 // are inline (SmallBlob) -- steady-state rounds perform no heap allocation.
 //
+// Parallel rounds (SimulatorConfig::threads > 0): Phase 1 and Phase 3 are
+// embarrassingly parallel -- a node's react/receive touches only its own
+// program state, its (read-only) event/inbox buckets, and its private
+// outbox slot -- so the engine shards the active set into contiguous
+// ranges and runs them on a persistent WorkerPool (net/worker_pool.hpp).
+// Everything order-sensitive stays sequential and unchanged: routing
+// stages outbox slots in ascending active order (so per-destination
+// inboxes stay sender-sorted), and the consistency/metrics/carry
+// bookkeeping walks the stepped set in ascending id order after the
+// parallel receive completes.  Every result, metric, audit, and recorded
+// trace is therefore bit-identical to the sequential engine for any
+// thread count -- locked by the ParallelEquivalence suite.
+//
 // The engine also maintains G_{i-1} (needed because the paper's 3-hop and
 // cycle-listing guarantees are stated against the previous round's graph).
 // Determinism: active nodes execute in id order and see inboxes sorted by
@@ -48,6 +61,7 @@
 #include "net/metrics.hpp"
 #include "net/node.hpp"
 #include "net/router.hpp"
+#include "net/worker_pool.hpp"
 #include "oracle/timestamped_graph.hpp"
 
 namespace dynsub::net {
@@ -69,6 +83,16 @@ struct SimulatorConfig {
   /// Accumulate per-phase wall-clock timings (four steady_clock reads per
   /// round; off by default so unit tests measure nothing).
   bool collect_phase_timings = false;
+  /// Execution lanes for the parallel round engine.  0 = the sequential
+  /// engine (today's behavior, the reference).  T >= 1 shards Phase 1 and
+  /// Phase 3 across T lanes (the calling thread plus T - 1 persistent
+  /// pool threads); results are bit-identical to sequential for every T.
+  std::size_t threads = 0;
+  /// Batches at or below this size skip the fork-join and run inline on
+  /// the calling thread (microseconds of dispatch vs nanoseconds of node
+  /// work; identical results either way).  The equivalence/tsan suites
+  /// set 0 to race every dispatch.
+  std::size_t threads_inline_cutoff = WorkerPool::kInlineCutoff;
 };
 
 struct RoundResult {
@@ -96,6 +120,13 @@ class Simulator {
  public:
   Simulator(std::size_t n, NodeFactory factory, SimulatorConfig config = {});
 
+  // Not movable: the parallel engine's persistent shard tasks capture
+  // `this` (heap-allocate a Simulator to hand it around, as Session does).
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  Simulator(Simulator&&) = delete;
+  Simulator& operator=(Simulator&&) = delete;
+
   /// Executes one round with the given topology events.  Events must be
   /// applicable as a batch (each edge at most once per round; inserts of
   /// absent, deletes of present edges) -- a workload handing the simulator
@@ -112,6 +143,21 @@ class Simulator {
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] Round round() const { return round_; }
   [[nodiscard]] const SimulatorConfig& config() const { return config_; }
+
+  /// Switches between sparse and dense round semantics mid-run.  Dense
+  /// rounds do not maintain the wants_to_act() carry set, so enabling
+  /// sparse after dense rounds forces one dense bootstrap round (exactly
+  /// like round 1) in which every program re-declares itself -- without
+  /// it the sparse engine would resume from a stale, empty carry set and
+  /// skip nodes that still want to act.
+  void set_sparse_rounds(bool enabled);
+
+  /// Test hook: primes every internal epoch counter (active-set dedup,
+  /// per-destination duplicate checks, and all router buckets) to within
+  /// `steps` increments of the std::uint64_t wrap, so a short run crosses
+  /// it.  Locks the wrap-reset paths with a regression test; harmless to
+  /// call at any round boundary.
+  void debug_prime_epoch_wrap(std::uint64_t steps = 4);
 
   /// G_i: the graph after the last step's changes.
   [[nodiscard]] const oracle::TimestampedGraph& graph() const { return g_; }
@@ -144,6 +190,12 @@ class Simulator {
 
  private:
   void mark_active(NodeId v);
+  void bump_active_epoch();
+  // Shard bodies for the parallel engine (also the sequential loop bodies,
+  // called with the full range).
+  void react_shard(std::size_t begin, std::size_t end);
+  void receive_shard(std::size_t begin, std::size_t end);
+  void receive_shard_node(NodeId v);
 
   SimulatorConfig config_;
   oracle::TimestampedGraph g_;
@@ -165,11 +217,18 @@ class Simulator {
   std::vector<Outbox> outbox_pool_;   // slot i belongs to active_[i]
   std::vector<NodeId> active_;        // this round's send-half set, ascending
   std::vector<NodeId> receive_extra_; // pure receivers, ascending
+  std::vector<NodeId> stepped_;       // ascending merge of the two, reused
   std::vector<NodeId> carry_;         // wants_to_act() carryover to next round
   std::vector<std::uint64_t> active_mark_;  // epoch stamps for active_ dedup
   std::uint64_t active_epoch_ = 0;
   std::vector<std::uint64_t> sent_mark_;  // per-destination duplicate check
   std::uint64_t sent_epoch_ = 0;
+  bool bootstrap_ = false;  // dense round pending after set_sparse_rounds
+  std::unique_ptr<WorkerPool> pool_;  // non-null iff config_.threads > 0
+  // Persistent type-erased shard tasks (built once; a per-round
+  // std::function construction would allocate in steady state).
+  WorkerPool::ShardFn react_task_;
+  WorkerPool::ShardFn receive_task_;
 };
 
 }  // namespace dynsub::net

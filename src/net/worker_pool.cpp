@@ -1,0 +1,89 @@
+#include "net/worker_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace dynsub::net {
+
+namespace {
+
+/// Shard s of `lanes` over [0, count): deterministic contiguous split with
+/// sizes differing by at most one.
+constexpr std::size_t shard_bound(std::size_t count, std::size_t lanes,
+                                  std::size_t s) {
+  return count * s / lanes;
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(std::size_t lanes, std::size_t inline_cutoff)
+    : inline_cutoff_(inline_cutoff) {
+  DYNSUB_CHECK(lanes >= 1);
+  workers_.reserve(lanes - 1);
+  for (std::size_t lane = 1; lane < lanes; ++lane) {
+    // lanes rides in by value: a worker must not read workers_.size()
+    // while the constructor is still appending threads to it.
+    workers_.emplace_back([this, lane, lanes] { worker_loop(lane, lanes); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkerPool::run_sharded(std::size_t count, const ShardFn& fn) {
+  const std::size_t lanes = workers_.size() + 1;
+  // Tiny batches run inline on the calling thread: a fork-join dispatch
+  // costs microseconds, which dwarfs a handful of node steps (the
+  // quiescent/sparse regime).  Identical results either way -- shard
+  // layout only affects which thread executes a slot, never the slots.
+  if (workers_.empty() || count <= inline_cutoff_) {
+    if (count > 0) fn(0, count);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &fn;
+    task_count_ = count;
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  // Lane 0 runs on the calling thread -- the pool never idles the caller.
+  const std::size_t end0 = shard_bound(count, lanes, 1);
+  if (end0 > 0) fn(0, end0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+  task_ = nullptr;
+}
+
+void WorkerPool::worker_loop(std::size_t lane, std::size_t lanes) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const ShardFn* task = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+      count = task_count_;
+    }
+    const std::size_t begin = shard_bound(count, lanes, lane);
+    const std::size_t end = shard_bound(count, lanes, lane + 1);
+    if (begin < end) (*task)(begin, end);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+      if (pending_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace dynsub::net

@@ -1,0 +1,80 @@
+// A persistent, fixed-size fork-join pool for the parallel round engine.
+//
+// The round engine's Phase 1 (react_and_send) and Phase 3
+// (receive_and_update) are embarrassingly parallel -- each node touches
+// only its own program state and read-only routing buffers -- but they run
+// up to millions of times per second, so the pool is built for cheap
+// repeated dispatch rather than generality:
+//
+//   * `lanes` execution lanes are fixed at construction: lane 0 is the
+//     calling thread, lanes 1..lanes-1 are worker threads parked on a
+//     condition variable between dispatches (no per-round thread spawn),
+//   * run_sharded(count, fn) splits [0, count) into `lanes` *contiguous*
+//     shards (shard s = [count*s/lanes, count*(s+1)/lanes)) and blocks
+//     until every shard finished -- the barrier's mutex hand-off is the
+//     happens-before edge that lets the caller read worker-written state,
+//   * the shard layout is a pure function of (count, lanes), so which lane
+//     executes which node is deterministic -- the engine relies on this to
+//     keep per-slot outbox assignment identical run to run.
+//
+// The pool deliberately has no queue: exactly one task is in flight, which
+// is all a lockstep round engine can use and keeps dispatch to one lock +
+// one broadcast.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dynsub::net {
+
+class WorkerPool {
+ public:
+  /// A shard body: processes indices [begin, end).  Must tolerate
+  /// concurrent invocation on disjoint ranges.
+  using ShardFn = std::function<void(std::size_t begin, std::size_t end)>;
+
+  /// Spawns lanes - 1 worker threads (lanes >= 1; lanes == 1 degenerates
+  /// to running everything on the calling thread).
+  explicit WorkerPool(std::size_t lanes,
+                      std::size_t inline_cutoff = kInlineCutoff);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t lanes() const { return workers_.size() + 1; }
+
+  /// Default for the constructor's `inline_cutoff`: batches at or below
+  /// this size run inline on the calling thread -- a condvar fork-join
+  /// costs microseconds, a few dozen node steps cost nanoseconds each.
+  /// Results are identical either way (shard layout only picks which
+  /// thread executes a slot, never the slots), so tests that want to
+  /// *race* every dispatch pass 0.
+  static constexpr std::size_t kInlineCutoff = 32;
+
+  /// Runs fn over [0, count) split into lanes() contiguous shards, lane 0
+  /// on the calling thread, and returns only after every shard completed.
+  /// Empty shards are skipped; counts <= the inline cutoff run entirely
+  /// on the calling thread.
+  void run_sharded(std::size_t count, const ShardFn& fn);
+
+ private:
+  void worker_loop(std::size_t lane, std::size_t lanes);
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const ShardFn* task_ = nullptr;  // valid while generation_ is current
+  std::size_t task_count_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::size_t inline_cutoff_ = kInlineCutoff;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dynsub::net

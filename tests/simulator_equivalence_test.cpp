@@ -20,6 +20,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
+#include <utility>
 #include <vector>
 
 #include "baseline/floodkhop.hpp"
@@ -32,7 +34,9 @@
 #include "dynamics/flicker.hpp"
 #include "dynamics/planted.hpp"
 #include "dynamics/random_churn.hpp"
+#include "detect/session.hpp"
 #include "net/simulator.hpp"
+#include "net/trace.hpp"
 #include "net/workload.hpp"
 #include "sim_test_util.hpp"
 
@@ -109,6 +113,78 @@ auto known_edges_of() {
   return [](const net::Simulator& sim, NodeId v) {
     return dynamic_cast<const NodeT&>(sim.node(v)).known_edges();
   };
+}
+
+/// The tentpole's equivalence matrix: a sequential reference engine driven
+/// in lockstep against the parallel engine at 1, 2, and 4 lanes, asserting
+/// after every round identical RoundResults, consistency flags, and audited
+/// node state, then identical Metrics trajectories at the end.  `dense`
+/// runs the whole matrix under the seed engine's dense semantics (the
+/// parallel path must be bit-identical under both).
+template <typename StateFn>
+void drive_lockstep_parallel(std::size_t n, const net::NodeFactory& f,
+                             net::Workload& wl, const StateFn& state_of,
+                             bool dense = false,
+                             const testing::RoundAudit& audit = {},
+                             std::size_t max_rounds = 100000) {
+  net::SimulatorConfig base;
+  base.sparse_rounds = !dense;
+  net::Simulator seq(n, f, base);
+  std::vector<std::unique_ptr<net::Simulator>> par;
+  for (const std::size_t threads : {1, 2, 4}) {
+    net::SimulatorConfig cfg = base;
+    cfg.threads = threads;
+    // Race every dispatch: without this the small-n suites would fall
+    // under the pool's inline cutoff and never leave the calling thread.
+    cfg.threads_inline_cutoff = 0;
+    par.push_back(std::make_unique<net::Simulator>(n, f, cfg));
+  }
+  std::size_t rounds = 0;
+  while (rounds < max_rounds && !(wl.finished() && seq.all_consistent())) {
+    net::WorkloadObservation obs{seq.graph(), seq.round() + 1,
+                                 seq.all_consistent()};
+    const std::vector<EdgeEvent> batch =
+        wl.finished() ? std::vector<EdgeEvent>{} : wl.next_round(obs);
+    const net::RoundResult rs = seq.step(batch);
+    for (auto& p : par) {
+      const net::RoundResult rp = p->step(batch);
+      ASSERT_EQ(rs, rp) << "threads=" << p->config().threads
+                        << " diverged at round " << rs.round;
+      ASSERT_EQ(seq.consistency(), p->consistency())
+          << "threads=" << p->config().threads
+          << " consistency flags diverged at round " << rs.round;
+      for (NodeId v = 0; v < n; ++v) {
+        ASSERT_TRUE(state_of(seq, v) == state_of(*p, v))
+            << "threads=" << p->config().threads << " node " << v
+            << " state diverged at round " << rs.round;
+      }
+    }
+    ++rounds;
+  }
+  ASSERT_TRUE(seq.all_consistent())
+      << "failed to stabilize in " << max_rounds << " rounds";
+  for (auto& p : par) {
+    expect_metrics_equal(seq.metrics(), p->metrics());
+    EXPECT_EQ(seq.last_round_active(), p->last_round_active());
+    EXPECT_EQ(seq.last_round_stepped(), p->last_round_stepped());
+  }
+  if (audit) {
+    EXPECT_EQ(audit(seq), std::nullopt);
+    for (auto& p : par) {
+      EXPECT_EQ(audit(*p), std::nullopt)
+          << "audit failed at threads=" << p->config().threads;
+    }
+  }
+  // Quiescent parity: the sparse perf contract holds per lane count too.
+  for (int i = 0; i < 3; ++i) {
+    const net::RoundResult rs = seq.step({});
+    for (auto& p : par) {
+      ASSERT_EQ(rs, p->step({}));
+      if (!dense) {
+        EXPECT_EQ(p->last_round_stepped(), 0u);
+      }
+    }
+  }
 }
 
 TEST(SimulatorEquivalence, TriangleUnderRandomChurn) {
@@ -208,6 +284,225 @@ TEST(SimulatorEquivalence, FloodBaselineUnderRandomChurn) {
     return dynamic_cast<const baseline::FloodKHopNode&>(sim.node(v))
         .known_edges();
   });
+}
+
+// ---------------------------------------------------------------------------
+// The parallel round engine (SimulatorConfig::threads): bit-identical to the
+// sequential engine at every lane count, across the same adversary spread
+// the sparse/dense suite uses.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEquivalence, TriangleUnderRandomChurn) {
+  dynamics::RandomChurnParams cp;
+  cp.n = 32;
+  cp.target_edges = 64;
+  cp.max_changes = 5;
+  cp.rounds = 150;
+  cp.seed = 0xF0u;
+  dynamics::RandomChurnWorkload wl(cp);
+  drive_lockstep_parallel(cp.n, testing::factory_of<core::TriangleNode>(),
+                          wl, known_edges_of<core::TriangleNode>(),
+                          /*dense=*/false, core::audit_triangle);
+}
+
+TEST(ParallelEquivalence, Robust2HopUnderRandomChurn) {
+  dynamics::RandomChurnParams cp;
+  cp.n = 40;
+  cp.target_edges = 80;
+  cp.max_changes = 6;
+  cp.rounds = 150;
+  cp.seed = 0xF1u;
+  dynamics::RandomChurnWorkload wl(cp);
+  drive_lockstep_parallel(cp.n, testing::factory_of<core::Robust2HopNode>(),
+                          wl, known_edges_of<core::Robust2HopNode>(),
+                          /*dense=*/false, core::audit_robust2hop);
+}
+
+TEST(ParallelEquivalence, Robust3HopUnderPlantedCycles) {
+  dynamics::PlantedParams pp;
+  pp.n = 28;
+  pp.k = 4;
+  pp.plants = 2;
+  pp.noise_per_round = 1;
+  pp.rebuild_period = 14;
+  pp.rounds = 120;
+  pp.seed = 0xF2u;
+  dynamics::PlantedCycleWorkload wl(pp);
+  drive_lockstep_parallel(pp.n, testing::factory_of<core::Robust3HopNode>(),
+                          wl, known_edges_of<core::Robust3HopNode>(),
+                          /*dense=*/false, core::audit_robust3hop);
+}
+
+TEST(ParallelEquivalence, TriangleUnderFlickerAdversary) {
+  const auto scenario = dynamics::make_repeated_flicker_scenario(12, 3);
+  net::ScriptedWorkload wl(scenario.script);
+  drive_lockstep_parallel(12, testing::factory_of<core::TriangleNode>(), wl,
+                          known_edges_of<core::TriangleNode>());
+}
+
+TEST(ParallelEquivalence, FullTwoHopUnderRandomChurn) {
+  // Heaviest traffic + pure receivers: the receive half's shard split and
+  // sequential bookkeeping must agree with the sequential engine exactly.
+  dynamics::RandomChurnParams cp;
+  cp.n = 20;
+  cp.target_edges = 30;
+  cp.max_changes = 3;
+  cp.rounds = 80;
+  cp.seed = 0xF3u;
+  dynamics::RandomChurnWorkload wl(cp);
+  drive_lockstep_parallel(
+      cp.n, testing::factory_of<baseline::FullTwoHopNode>(), wl,
+      [](const net::Simulator& sim, NodeId v) {
+        return dynamic_cast<const baseline::FullTwoHopNode&>(sim.node(v))
+            .known_edges();
+      });
+}
+
+TEST(ParallelEquivalence, DenseEngineAlsoShards) {
+  // threads combines with sparse_rounds = false: the dense reference
+  // semantics shard identically.
+  dynamics::RandomChurnParams cp;
+  cp.n = 24;
+  cp.target_edges = 48;
+  cp.max_changes = 4;
+  cp.rounds = 100;
+  cp.seed = 0xF4u;
+  dynamics::RandomChurnWorkload wl(cp);
+  drive_lockstep_parallel(cp.n, testing::factory_of<core::TriangleNode>(),
+                          wl, known_edges_of<core::TriangleNode>(),
+                          /*dense=*/true);
+}
+
+TEST(ParallelEquivalence, RecordedTraceBytesIdentical) {
+  // The record/replay contract across engines: the same scenario recorded
+  // under the sequential and the 4-lane engine emits byte-equal traces and
+  // identical timing-free summaries.  (Adaptive workloads observe the
+  // graph and the consistency flags, so this is a real end-to-end gate,
+  // not a tautology.)
+  auto run_one = [](std::size_t threads) {
+    detect::SessionOptions opts;
+    opts.detector = "triangle";
+    opts.scenario = "multi-community-churn";
+    opts.quick = true;
+    opts.record = true;
+    opts.sim.track_prev_graph = false;
+    opts.sim.threads = threads;
+    std::string error;
+    auto session = detect::Session::open(std::move(opts), &error);
+    EXPECT_TRUE(session.has_value()) << error;
+    session->run();
+    std::ostringstream trace;
+    net::write_trace(trace, session->recorded());
+    return std::make_pair(trace.str(), session->summary());
+  };
+  const auto [trace_seq, sum_seq] = run_one(0);
+  const auto [trace_par, sum_par] = run_one(4);
+  EXPECT_FALSE(trace_seq.empty());
+  EXPECT_EQ(trace_seq, trace_par);
+  EXPECT_EQ(sum_seq.rounds, sum_par.rounds);
+  EXPECT_EQ(sum_seq.changes, sum_par.changes);
+  EXPECT_EQ(sum_seq.inconsistent_rounds, sum_par.inconsistent_rounds);
+  EXPECT_EQ(sum_seq.messages, sum_par.messages);
+  EXPECT_EQ(sum_seq.payload_bits, sum_par.payload_bits);
+  EXPECT_DOUBLE_EQ(sum_seq.amortized, sum_par.amortized);
+  EXPECT_DOUBLE_EQ(sum_seq.amortized_sup, sum_par.amortized_sup);
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix sweep regressions: epoch wrap and mid-run sparse toggling.
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorEquivalence, EpochWrapIsInvisible) {
+  // Prime every epoch counter to the brink of std::uint64_t wrap *mid-run*:
+  // the stamps then hold small epoch values from the first life of the
+  // counters, and the post-wrap epochs count straight back into them.
+  // Without the wrap resets that aliasing drops event-touched nodes from
+  // the active set, flags phantom duplicate payloads, and serves stale
+  // router buckets.  (Priming at construction would not catch this: the
+  // round-1 dense bootstrap stamps every mark with a near-max epoch that
+  // small post-wrap epochs never reach.)  A wrapped engine must stay in
+  // lockstep with a fresh one.
+  // The alias needs a node whose pre-wrap stamp is revisited by a
+  // post-wrap epoch at the exact round it is touched again, and the
+  // stamp-to-revisit gap is fixed by the priming point -- so sweep the
+  // priming point over a window of rounds to cover many gaps.
+  const auto factory = testing::factory_of<core::TriangleNode>();
+  const auto state_of = known_edges_of<core::TriangleNode>();
+  for (std::size_t prime_round = 4; prime_round <= 20; ++prime_round) {
+    dynamics::RandomChurnParams cp;
+    cp.n = 32;
+    cp.target_edges = 64;
+    cp.max_changes = 5;
+    cp.rounds = 80;
+    cp.seed = 0xF5u;
+    dynamics::RandomChurnWorkload wl(cp);
+    net::Simulator fresh(cp.n, factory, {});
+    net::Simulator wrapped(cp.n, factory, {});
+    std::size_t rounds = 0;
+    while (rounds < 100000 && !(wl.finished() && fresh.all_consistent())) {
+      if (rounds == prime_round) {
+        wrapped.debug_prime_epoch_wrap(/*steps=*/3);
+      }
+      net::WorkloadObservation obs{fresh.graph(), fresh.round() + 1,
+                                   fresh.all_consistent()};
+      const std::vector<EdgeEvent> batch =
+          wl.finished() ? std::vector<EdgeEvent>{} : wl.next_round(obs);
+      const net::RoundResult rf = fresh.step(batch);
+      const net::RoundResult rw = wrapped.step(batch);
+      ASSERT_EQ(rf, rw) << "prime_round=" << prime_round
+                        << ": wrapped engine diverged at round " << rf.round;
+      ASSERT_EQ(fresh.consistency(), wrapped.consistency())
+          << "prime_round=" << prime_round;
+      for (NodeId v = 0; v < cp.n; ++v) {
+        ASSERT_TRUE(state_of(fresh, v) == state_of(wrapped, v))
+            << "prime_round=" << prime_round << " node " << v
+            << " diverged at round " << rf.round;
+      }
+      ++rounds;
+    }
+    ASSERT_TRUE(fresh.all_consistent());
+    expect_metrics_equal(fresh.metrics(), wrapped.metrics());
+    EXPECT_EQ(core::audit_triangle(wrapped), std::nullopt);
+  }
+}
+
+TEST(SimulatorEquivalence, SparseToggleMidRunStaysEquivalent) {
+  // set_sparse_rounds: dense rounds do not maintain the carry set, so
+  // re-enabling sparse must re-bootstrap densely -- the toggling engine
+  // stays in lockstep with an always-dense reference through two toggles.
+  dynamics::RandomChurnParams cp;
+  cp.n = 32;
+  cp.target_edges = 64;
+  cp.max_changes = 5;
+  cp.rounds = 120;
+  cp.seed = 0xF6u;
+  dynamics::RandomChurnWorkload wl(cp);
+  const auto factory = testing::factory_of<core::TriangleNode>();
+  net::Simulator reference(cp.n, factory, {.sparse_rounds = false});
+  net::Simulator toggling(cp.n, factory, {.sparse_rounds = true});
+  const auto state_of = known_edges_of<core::TriangleNode>();
+  std::size_t rounds = 0;
+  while (rounds < 100000 &&
+         !(wl.finished() && reference.all_consistent())) {
+    if (rounds == 40) toggling.set_sparse_rounds(false);
+    if (rounds == 80) toggling.set_sparse_rounds(true);
+    net::WorkloadObservation obs{reference.graph(), reference.round() + 1,
+                                 reference.all_consistent()};
+    const std::vector<EdgeEvent> batch =
+        wl.finished() ? std::vector<EdgeEvent>{} : wl.next_round(obs);
+    const net::RoundResult rr = reference.step(batch);
+    const net::RoundResult rt = toggling.step(batch);
+    ASSERT_EQ(rr, rt) << "toggling engine diverged at round " << rr.round;
+    ASSERT_EQ(reference.consistency(), toggling.consistency());
+    for (NodeId v = 0; v < cp.n; ++v) {
+      ASSERT_TRUE(state_of(reference, v) == state_of(toggling, v))
+          << "node " << v << " diverged at round " << rr.round;
+    }
+    ++rounds;
+  }
+  ASSERT_TRUE(reference.all_consistent());
+  expect_metrics_equal(reference.metrics(), toggling.metrics());
+  EXPECT_EQ(core::audit_triangle(toggling), std::nullopt);
 }
 
 }  // namespace

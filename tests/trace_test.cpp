@@ -2,6 +2,7 @@
 // query layer on the Lemma 1 structure.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 #include <string_view>
 
@@ -179,14 +180,16 @@ TEST(TraceTest, RecorderCapturesRandomChurnExactly) {
 
 // ----------------------------------------------- Remark 2 pattern query ----
 
-/// Builds a stable graph and returns a simulator of FullTwoHopNodes.
-net::Simulator stable_graph(
+/// Builds a stable graph and returns a simulator of FullTwoHopNodes
+/// (heap-allocated: Simulator is pinned by the parallel engine's tasks).
+std::unique_ptr<net::Simulator> stable_graph(
     std::size_t n, std::initializer_list<std::pair<NodeId, NodeId>> edges) {
-  net::Simulator sim(n, factory_of<baseline::FullTwoHopNode>());
+  auto sim = std::make_unique<net::Simulator>(
+      n, factory_of<baseline::FullTwoHopNode>());
   std::vector<EdgeEvent> batch;
   for (const auto& [a, b] : edges) batch.push_back(EdgeEvent::insert(a, b));
-  sim.step(batch);
-  sim.run_until_stable(100000);
+  sim->step(batch);
+  sim->run_until_stable(100000);
   return sim;
 }
 
@@ -195,13 +198,13 @@ TEST(PatternQueryTest, DiamondMembership) {
   auto sim = stable_graph(
       6, {{0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
   const auto& node =
-      dynamic_cast<const baseline::FullTwoHopNode&>(sim.node(0));
+      dynamic_cast<const baseline::FullTwoHopNode&>(sim->node(0));
   const auto pat = dynamics::pattern_diamond();
   const NodeId verts[] = {0, 1, 2, 3};  // a=0, b=1, core 2,3
   EXPECT_EQ(node.query_pattern(verts, pat.edges), net::Answer::kTrue);
   // Adding the {a,b} edge breaks *induced* membership.
-  sim.step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1)});
-  sim.run_until_stable(100000);
+  sim->step(std::vector<EdgeEvent>{EdgeEvent::insert(0, 1)});
+  sim->run_until_stable(100000);
   EXPECT_EQ(node.query_pattern(verts, pat.edges), net::Answer::kFalse);
 }
 
@@ -211,13 +214,13 @@ TEST(PatternQueryTest, P3MembershipFromEveryVertex) {
   const NodeId verts[] = {0, 1, 2};
   for (NodeId v : {0u, 1u, 2u}) {
     const auto& node =
-        dynamic_cast<const baseline::FullTwoHopNode&>(sim.node(v));
+        dynamic_cast<const baseline::FullTwoHopNode&>(sim->node(v));
     EXPECT_EQ(node.query_pattern(verts, pat.edges), net::Answer::kTrue)
         << "v=" << v;
   }
   // A non-member cannot claim membership (vertices must contain self).
   const auto& node0 =
-      dynamic_cast<const baseline::FullTwoHopNode&>(sim.node(0));
+      dynamic_cast<const baseline::FullTwoHopNode&>(sim->node(0));
   const NodeId wrong[] = {0, 1, 3};  // 3 is not the middle
   EXPECT_EQ(node0.query_pattern(wrong, pat.edges), net::Answer::kFalse);
 }
@@ -227,11 +230,11 @@ TEST(PatternQueryTest, C4MembershipAndRotation) {
   const auto pat = dynamics::pattern_c4();  // 0-2-1-3-0
   const NodeId verts[] = {0, 1, 2, 3};
   const auto& node =
-      dynamic_cast<const baseline::FullTwoHopNode&>(sim.node(0));
+      dynamic_cast<const baseline::FullTwoHopNode&>(sim->node(0));
   EXPECT_EQ(node.query_pattern(verts, pat.edges), net::Answer::kTrue);
   // Break one cycle edge: membership gone.
-  sim.step(std::vector<EdgeEvent>{EdgeEvent::remove(1, 3)});
-  sim.run_until_stable(100000);
+  sim->step(std::vector<EdgeEvent>{EdgeEvent::remove(1, 3)});
+  sim->run_until_stable(100000);
   EXPECT_EQ(node.query_pattern(verts, pat.edges), net::Answer::kFalse);
 }
 

@@ -50,6 +50,7 @@ struct Options {
   std::string json_path;
   std::string detector = "triangle";
   std::size_t n = 0;
+  std::size_t threads = 0;
   std::uint64_t seed = 1;
   bool quick = false;
   bool list = false;
@@ -72,6 +73,8 @@ void usage(const char* argv0) {
       "                  (default: triangle; --list prints the registry)\n"
       "  --n N           default node count (a spec's n parameter wins;\n"
       "                  the simulator is sized to fit the scenario)\n"
+      "  --threads T     parallel round engine with T lanes (0 = the\n"
+      "                  sequential engine; results are bit-identical)\n"
       "  --seed S        default seed for stochastic scenarios (default 1)\n"
       "  --quick         shrink default round counts (CI smoke)\n"
       "  --max-rounds R  round cap for the run (default 1000000)\n"
@@ -128,6 +131,14 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (arg == "--n") {
       if ((v = value(i)) == nullptr) return std::nullopt;
       o.n = static_cast<std::size_t>(parse_flag_u64("--n", v));
+    } else if (arg == "--threads") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.threads = static_cast<std::size_t>(parse_flag_u64("--threads", v));
+      if (o.threads > 256) {
+        std::fprintf(stderr, "%s: --threads %zu is out of range (max 256)\n",
+                     argv[0], o.threads);
+        parse_failed = true;
+      }
     } else if (arg == "--seed") {
       if ((v = value(i)) == nullptr) return std::nullopt;
       o.seed = parse_flag_u64("--seed", v);
@@ -243,7 +254,8 @@ int run(const Options& o) {
   sopts.sim = {.enforce_bandwidth = true,
                .track_prev_graph = false,
                .sparse_rounds = true,
-               .collect_phase_timings = false};
+               .collect_phase_timings = false,
+               .threads = o.threads};
 
   // Resolve the detector spec first so an unknown name is a usage error
   // (exit 2) carrying the registry, not a generic run failure.
@@ -272,18 +284,36 @@ int run(const Options& o) {
     // Traces recorded by this tool carry "# n=<count>" in the header so a
     // replay reproduces the exact simulator size (idle top ids included)
     // without the user re-supplying --n -- the record/replay byte-equality
-    // contract depends on it.
+    // contract depends on it.  A header that disagrees with the trace body
+    // or with the CLI flags means the replay would silently simulate
+    // something other than what was recorded, so every mismatch is a hard
+    // error, not a best-effort fallback.
     std::size_t header_n = 0;
     {
       std::istringstream lines(text);
       std::string line;
       while (std::getline(lines, line) && !line.empty() && line[0] == '#') {
         if (line.rfind("# n=", 0) == 0) {
-          if (const auto v = parse_u64(line.substr(4))) {
-            header_n = static_cast<std::size_t>(*v);
+          const auto v = parse_u64(line.substr(4));
+          if (!v || *v == 0) {
+            std::fprintf(stderr,
+                         "dynsub_run: %s: corrupt trace header '%s' (want "
+                         "'# n=<count>')\n",
+                         o.replay_path.c_str(), line.c_str());
+            return 1;
           }
+          header_n = static_cast<std::size_t>(*v);
         }
       }
+    }
+    if (o.n != 0 && header_n != 0 && o.n != header_n) {
+      std::fprintf(stderr,
+                   "dynsub_run: %s was recorded at n=%zu but --n %zu was "
+                   "given; a mismatched size changes the simulation "
+                   "(bandwidth budget, summary), so replay refuses.  Drop "
+                   "--n or re-record.\n",
+                   o.replay_path.c_str(), header_n, o.n);
+      return 1;
     }
     std::istringstream trace_in(text);
     const auto rounds = net::read_trace(trace_in, &error);
@@ -292,10 +322,19 @@ int run(const Options& o) {
                    error.c_str());
       return 1;
     }
+    const std::size_t max_id_plus_1 = max_node_in(*rounds) + 1;
+    if (header_n != 0 && max_id_plus_1 > header_n) {
+      std::fprintf(stderr,
+                   "dynsub_run: %s: trace events reference node %zu but the "
+                   "header says n=%zu; the trace is corrupt or "
+                   "hand-edited.\n",
+                   o.replay_path.c_str(), max_id_plus_1 - 1, header_n);
+      return 1;
+    }
     // Trace node ids are only bounded by 32 bits; the Session's node-cap
     // gate refuses before the simulator allocates per-node state.
     const std::size_t trace_nodes =
-        std::max({o.n, header_n, max_node_in(*rounds) + 1});
+        std::max({o.n, header_n, max_id_plus_1});
     session = detect::Session::open(
         std::move(sopts), std::make_unique<net::ScriptedWorkload>(*rounds),
         trace_nodes, &error);

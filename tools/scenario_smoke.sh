@@ -66,4 +66,46 @@ if a["summary"] != b["summary"]:
 print("record/replay summaries identical")
 EOF
 
+echo "== record/replay with the parallel engine (--threads 4) =="
+# The parallel engine must be bit-identical: recording the same scenario
+# at 4 lanes yields a byte-equal trace, and replaying it (again at 4
+# lanes) reproduces the sequential run's summary exactly.
+"$BIN" --scenario multi-community-churn --quick --threads 4 \
+  --record "$TMP/t4.trace" --json "$TMP/c.json" > /dev/null
+cmp "$TMP/t.trace" "$TMP/t4.trace" || {
+  echo "scenario_smoke.sh: threads=4 recorded trace differs from sequential" >&2
+  exit 1
+}
+"$BIN" --replay "$TMP/t4.trace" --threads 4 --json "$TMP/d.json" > /dev/null
+python3 - "$TMP/a.json" "$TMP/c.json" "$TMP/d.json" <<'EOF'
+import json, sys
+docs = [json.load(open(p)) for p in sys.argv[1:]]
+if not (docs[0]["summary"] == docs[1]["summary"] == docs[2]["summary"]):
+    print("scenario_smoke.sh: parallel-engine summary mismatch",
+          file=sys.stderr)
+    for label, d in zip(["sequential", "t4-record", "t4-replay"], docs):
+        print(label + ":", json.dumps(d["summary"]), file=sys.stderr)
+    sys.exit(1)
+print("sequential / t4-record / t4-replay summaries identical")
+EOF
+
+echo "== replay validation failures are loud =="
+# A replay whose CLI flags or header disagree with the trace must exit
+# nonzero with a message, never run a mismatched simulation.
+if "$BIN" --replay "$TMP/t.trace" --n 99999 > /dev/null 2>&1; then
+  echo "scenario_smoke.sh: mismatched --n replay should have failed" >&2
+  exit 1
+fi
+sed 's/^# n=.*/# n=banana/' "$TMP/t.trace" > "$TMP/corrupt.trace"
+if "$BIN" --replay "$TMP/corrupt.trace" > /dev/null 2>&1; then
+  echo "scenario_smoke.sh: corrupt trace header should have failed" >&2
+  exit 1
+fi
+sed 's/^# n=.*/# n=2/' "$TMP/t.trace" > "$TMP/small.trace"
+if "$BIN" --replay "$TMP/small.trace" > /dev/null 2>&1; then
+  echo "scenario_smoke.sh: undersized trace header should have failed" >&2
+  exit 1
+fi
+echo "replay mismatches fail loudly"
+
 echo "scenario_smoke.sh: $count scenario(s), $dcount detector(s) ran clean"
