@@ -11,8 +11,10 @@
 // `dynsub_run --scenario` / `--detector` accept), so the landscape and the
 // CLI can never drift apart -- and scaling a row to a new n or swapping a
 // row's algorithm is editing a string.
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "scenario/registry.hpp"
@@ -174,13 +176,19 @@ int main(int argc, char** argv) {
   // measurement.  The serialized-toggle rows above stay sequential on
   // purpose: O(1)-active rounds have nothing to shard.
   {
-    // Lane count: --threads overrides the default of 4 (clamped to >= 1 so
-    // --threads 0 still measures a real parallel engine).  The metric keys
-    // are lane-count independent (`.seq.` / `.par.` + `.par.threads`), so
-    // the perf gate's required keys exist for every override -- a knob
-    // that makes the bench emit a document the project's own gate rejects
-    // would be a trap.
-    const std::size_t lanes = std::max<std::size_t>(1, bench.threads_or(4));
+    // Lane count: --threads overrides the default, which is 4 clamped to
+    // the machine's core count (oversubscribing a 1-core runner would
+    // measure context-switch thrash, not the engine; at 1 lane the
+    // parallel engine runs the identical code path inline).  Clamped to
+    // >= 1 so --threads 0 still measures a real parallel engine.  The
+    // metric keys are lane-count independent (`.seq.` / `.par.` +
+    // `.par.threads`), so the perf gate's required keys exist for every
+    // override -- a knob that makes the bench emit a document the
+    // project's own gate rejects would be a trap.
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    const std::size_t lanes = std::max<std::size_t>(
+        1, bench.threads_or(std::min<std::size_t>(4, hw)));
     std::printf("\n  parallel engine, heavy churn (threads=%zu):\n", lanes);
     auto parallel_row = [&](const char* key, std::size_t pn,
                             std::size_t per_round, std::size_t rounds_p) {
@@ -188,10 +196,24 @@ int main(int argc, char** argv) {
           "churn(n=" + num(pn) + ", target=" + num(2 * pn) + ", max=" +
           num(per_round) + ", rounds=" + num(rounds_p) + ", seed=" +
           num(bench.seed_or(0x51AB) + 2) + ")";
-      const harness::RunSummary seq =
-          run_spec(spec, bench::detector_factory_or_die("triangle"), 0);
-      const harness::RunSummary par =
-          run_spec(spec, bench::detector_factory_or_die("triangle"), lanes);
+      // Best-of-2, alternating seq/par: shared runners throttle over a
+      // bench's lifetime, so a single seq-then-par pass systematically
+      // penalizes whichever engine runs second.  Alternating cancels the
+      // order bias; taking the max filters throttle dips.  Both engines
+      // are bit-identical at every lane count (ParallelEquivalence), so
+      // repeats measure speed only, never behavior.
+      auto measure = [&](std::size_t threads) {
+        return run_spec(spec, bench::detector_factory_or_die("triangle"),
+                        threads);
+      };
+      auto better = [](const harness::RunSummary& a,
+                       const harness::RunSummary& b) {
+        return a.rounds_per_sec >= b.rounds_per_sec ? a : b;
+      };
+      harness::RunSummary seq = measure(0);
+      harness::RunSummary par = measure(lanes);
+      seq = better(seq, measure(0));
+      par = better(par, measure(lanes));
       const double speedup = par.rounds_per_sec > 0.0 && seq.rounds_per_sec > 0.0
                                  ? par.rounds_per_sec / seq.rounds_per_sec
                                  : 0.0;
@@ -210,6 +232,13 @@ int main(int argc, char** argv) {
                  bench.quick() ? 25 : 60);
     parallel_row("churn_1m", 1000000, bench.quick() ? 1000 : 5000,
                  bench.quick() ? 10 : 30);
+    // The n = 10^7 row the sharded routing fabric was built to reach: the
+    // dense bootstrap alone stages 10^7 outboxes through the Router, and
+    // the heavy-churn rounds keep tens of thousands of nodes active.
+    // Emitted in quick mode too (with fewer, lighter rounds) because the
+    // perf gate treats a missing guarded metric as a hard failure.
+    parallel_row("churn_10m", 10000000, bench.quick() ? 2000 : 10000,
+                 bench.quick() ? 3 : 8);
   }
 
   std::printf(

@@ -3,11 +3,16 @@
 # BENCH_<name>.json per bench -- the machine-readable perf trajectory.
 #
 #   bench/run_all.sh [--quick] [--build-dir DIR] [--out-dir DIR]
+#                    [--threads LIST]
 #
 #   --quick       reduced sweeps (CI smoke; seconds instead of minutes)
 #   --build-dir   where the bench binaries live (default: build/release,
 #                 configured+built via the release preset if missing)
 #   --out-dir     where to write BENCH_*.json (default: the repo root)
+#   --threads     comma-separated lane counts (e.g. 1,2,4,8): re-runs
+#                 bench_landscape once per count, emitting a per-thread
+#                 BENCH_landscape_t<T>.json row set -- the threads-vs-
+#                 speedup curve of the sharded routing fabric
 #
 # Every emitted file is validated as JSON; the script fails if any bench
 # exits non-zero or writes an invalid document.
@@ -17,14 +22,16 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 QUICK=0
 BUILD_DIR=""
 OUT_DIR="$ROOT"
+THREAD_SWEEP=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) QUICK=1; shift ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out-dir) OUT_DIR="$2"; shift 2 ;;
+    --threads) THREAD_SWEEP="$2"; shift 2 ;;
     -h|--help)
-      sed -n '2,13p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
+      sed -n '2,18p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "run_all.sh: unknown argument '$1' (try --help)" >&2; exit 2 ;;
   esac
@@ -78,6 +85,38 @@ for bin in "$BUILD_DIR"/bench_*; do
   fi
   emitted+=("$out")
 done
+
+# --threads sweep: per-lane-count landscape rows for the speedup curve.
+if [[ -n "$THREAD_SWEEP" ]]; then
+  if [[ ! -x "$BUILD_DIR/bench_landscape" ]]; then
+    echo "run_all.sh: --threads needs $BUILD_DIR/bench_landscape" >&2
+    exit 2
+  fi
+  IFS=',' read -ra sweep <<< "$THREAD_SWEEP"
+  for t in "${sweep[@]}"; do
+    if ! [[ "$t" =~ ^[0-9]+$ ]]; then
+      echo "run_all.sh: --threads wants a comma-separated integer list," \
+           "got '$t'" >&2
+      exit 2
+    fi
+    out="$OUT_DIR/BENCH_landscape_t${t}.json"
+    echo
+    echo "### bench_landscape --threads $t -> $out"
+    args=(--json "$out" --threads "$t")
+    [[ "$QUICK" -eq 1 ]] && args+=(--quick)
+    if ! "$BUILD_DIR/bench_landscape" "${args[@]}"; then
+      echo "run_all.sh: bench_landscape --threads $t FAILED" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! validate_json "$out"; then
+      echo "run_all.sh: $out is not valid JSON" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    emitted+=("$out")
+  done
+fi
 
 echo
 echo "run_all.sh: ${#emitted[@]} bench result file(s) in $OUT_DIR"

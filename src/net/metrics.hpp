@@ -18,6 +18,25 @@
 
 namespace dynsub::net {
 
+/// Traffic accounting one worker lane accumulates while staging its shard
+/// of the round's outboxes.  Lanes write their own instance (no shared
+/// state during the parallel phase); the router reduces them at the round
+/// barrier in lane order.  uint64 addition is associative, so the reduced
+/// totals are bit-identical to the sequential engine's running sums at
+/// every lane count.
+struct LaneTraffic {
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bits = 0;
+
+  LaneTraffic& operator+=(const LaneTraffic& o) {
+    messages += o.messages;
+    payload_bits += o.payload_bits;
+    return *this;
+  }
+
+  friend bool operator==(const LaneTraffic&, const LaneTraffic&) = default;
+};
+
 class Metrics {
  public:
   explicit Metrics(std::size_t n) : node_inconsistent_(n), node_changes_(n) {}
@@ -35,6 +54,10 @@ class Metrics {
 
   /// Called once per round for each inconsistent node (every inconsistent
   /// node is in the active set, so the sparse engine visits them all).
+  /// Parallel contract: a round's stepped set is partitioned across lanes
+  /// and each node belongs to exactly one lane, so concurrent calls from
+  /// worker lanes always target distinct vector elements -- data-race
+  /// free without locks, and order-independent (each slot is a counter).
   void record_node_inconsistent(NodeId v) { ++node_inconsistent_[v]; }
 
   [[nodiscard]] Round rounds() const { return rounds_; }

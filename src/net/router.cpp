@@ -1,0 +1,298 @@
+#include "net/router.hpp"
+
+#include <cstring>
+
+#include "net/message.hpp"
+#include "oracle/timestamped_graph.hpp"
+
+namespace dynsub::net {
+
+namespace {
+
+// --- little-endian wire primitives (v1 lane-batch format) ------------------
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Bounds-checked little-endian reader over the batch bytes.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool read_u8(std::uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    *v = bytes_[pos_++];
+    return true;
+  }
+  [[nodiscard]] bool read_u16(std::uint16_t* v) {
+    if (pos_ + 2 > bytes_.size()) return false;
+    *v = static_cast<std::uint16_t>(bytes_[pos_] |
+                                    (std::uint16_t{bytes_[pos_ + 1]} << 8));
+    pos_ += 2;
+    return true;
+  }
+  [[nodiscard]] bool read_u32(std::uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    std::uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) r |= std::uint32_t{bytes_[pos_ + i]} << (8 * i);
+    pos_ += 4;
+    *v = r;
+    return true;
+  }
+  [[nodiscard]] bool read_u64(std::uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    std::uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) r |= std::uint64_t{bytes_[pos_ + i]} << (8 * i);
+    pos_ += 8;
+    *v = r;
+    return true;
+  }
+  [[nodiscard]] bool read_bytes(std::uint8_t* dst, std::size_t count) {
+    if (pos_ + count > bytes_.size()) return false;
+    std::memcpy(dst, bytes_.data() + pos_, count);
+    pos_ += count;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void encode_message(std::vector<std::uint8_t>& out, const WireMessage& m) {
+  out.push_back(static_cast<std::uint8_t>(m.kind));
+  out.push_back(m.path_len);
+  out.push_back(m.ttl);
+  for (NodeId id : m.nodes) put_u32(out, id);
+  put_u32(out, m.aux);
+  put_u32(out, m.aux2);
+  put_u32(out, static_cast<std::uint32_t>(m.blob.size()));
+  const auto bytes = m.blob.bytes();
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+bool decode_message(Reader& r, WireMessage* m) {
+  std::uint8_t kind = 0;
+  if (!r.read_u8(&kind) || !r.read_u8(&m->path_len) || !r.read_u8(&m->ttl)) {
+    return false;
+  }
+  if (kind > static_cast<std::uint8_t>(WireMessage::Kind::kNotice)) {
+    return false;
+  }
+  m->kind = static_cast<WireMessage::Kind>(kind);
+  for (NodeId& id : m->nodes) {
+    if (!r.read_u32(&id)) return false;
+  }
+  std::uint32_t blob_len = 0;
+  if (!r.read_u32(&m->aux) || !r.read_u32(&m->aux2) || !r.read_u32(&blob_len)) {
+    return false;
+  }
+  m->blob.resize(blob_len);
+  return r.read_bytes(m->blob.data(), blob_len);
+}
+
+bool fail(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+Router::Router(std::size_t n, std::size_t lanes, RouterConfig config)
+    : config_(config),
+      n_(n),
+      budget_bits_(bandwidth_bits(n)),
+      payloads_(n, lanes),
+      busy_(n, lanes),
+      two_hop_(n, lanes),
+      lane_traffic_(lanes),
+      lane_dst_scratch_(lanes) {
+  DYNSUB_CHECK(lanes >= 1);
+}
+
+void Router::begin_round(Round round) {
+  round_ = round;
+  payloads_.begin_round();
+  busy_.begin_round();
+  two_hop_.begin_round();
+  for (auto& t : lane_traffic_) t = LaneTraffic{};
+}
+
+void Router::stage_outbox(std::size_t lane, NodeId sender, Outbox& out,
+                          const oracle::TimestampedGraph& graph) {
+  DYNSUB_DCHECK(lane < lane_traffic_.size());
+  LaneTraffic& traffic = lane_traffic_[lane];
+  for (auto& dm : out.directed_mut()) {
+    DYNSUB_CHECK_MSG(dm.dst < n_, "node " << sender << " sent to bad id");
+    DYNSUB_CHECK_MSG(graph.has_edge(Edge(sender, dm.dst)),
+                     "round " << round_ << ": node " << sender
+                              << " sent over absent link to " << dm.dst);
+    if (config_.enforce_bandwidth) {
+      const std::size_t sz = dm.msg.payload_bits(n_);
+      DYNSUB_CHECK_MSG(sz <= budget_bits_,
+                       "round " << round_ << ": node " << sender
+                                << " payload of " << sz
+                                << " bits exceeds budget " << budget_bits_);
+      traffic.payload_bits += sz;
+    }
+    payloads_.stage(lane, dm.dst, Inbox::Item{sender, std::move(dm.msg)});
+    ++traffic.messages;
+  }
+  // Duplicate-destination rule (at most one payload per directed link per
+  // round): a sender's whole outbox is staged by this one lane, so a sort
+  // over its destinations is a complete check even though no cross-lane
+  // state is shared.
+  if (config_.enforce_bandwidth && out.directed().size() > 1) {
+    auto& dsts = lane_dst_scratch_[lane];
+    dsts.clear();
+    for (const auto& dm : out.directed()) dsts.push_back(dm.dst);
+    std::sort(dsts.begin(), dsts.end());
+    const auto dup = std::adjacent_find(dsts.begin(), dsts.end());
+    DYNSUB_CHECK_MSG(dup == dsts.end(), "round " << round_ << ": node "
+                                                 << sender
+                                                 << " sent two payloads to "
+                                                 << *dup);
+  }
+  // Control bits are broadcast to all current neighbors.
+  if (!out.is_empty_flag() || !out.are_neighbors_empty_flag()) {
+    for (NodeId u : graph.neighbors(sender)) {
+      if (!out.is_empty_flag()) busy_.stage(lane, u, sender);
+      if (!out.are_neighbors_empty_flag()) two_hop_.stage(lane, u, sender);
+    }
+  }
+}
+
+LaneTraffic Router::merge() {
+  payloads_.merge();
+  busy_.merge();
+  two_hop_.merge();
+  LaneTraffic total;
+  for (const auto& t : lane_traffic_) total += t;
+  return total;
+}
+
+LaneBatchHeader Router::lane_header(std::size_t lane) const {
+  DYNSUB_DCHECK(lane < lane_traffic_.size());
+  LaneBatchHeader h;
+  h.lane = static_cast<std::uint16_t>(lane);
+  h.round = round_;
+  h.payload_count = payloads_.lane_staged(lane).size();
+  h.busy_count = busy_.lane_staged(lane).size();
+  h.two_hop_count = two_hop_.lane_staged(lane).size();
+  h.messages = lane_traffic_[lane].messages;
+  h.payload_bits = lane_traffic_[lane].payload_bits;
+  std::uint64_t bytes = 0;
+  for (const auto& [dst, item] : payloads_.lane_staged(lane)) {
+    (void)dst;
+    // dst + from + kind/path_len/ttl + 4 node ids + aux + aux2 + blob len.
+    bytes += 4 + 4 + 3 + 16 + 4 + 4 + 4 + item.msg.blob.size();
+  }
+  h.payload_bytes = bytes;
+  return h;
+}
+
+void Router::encode_lane(std::size_t lane,
+                         std::vector<std::uint8_t>& out) const {
+  const LaneBatchHeader h = lane_header(lane);
+  out.reserve(out.size() + LaneBatchHeader::kWireBytes + h.payload_bytes +
+              8 * (h.busy_count + h.two_hop_count));
+  put_u32(out, h.magic);
+  put_u16(out, h.version);
+  put_u16(out, h.lane);
+  put_u64(out, static_cast<std::uint64_t>(h.round));
+  put_u64(out, h.payload_count);
+  put_u64(out, h.busy_count);
+  put_u64(out, h.two_hop_count);
+  put_u64(out, h.payload_bytes);
+  put_u64(out, h.messages);
+  put_u64(out, h.payload_bits);
+  for (const auto& [dst, item] : payloads_.lane_staged(lane)) {
+    put_u32(out, dst);
+    put_u32(out, item.from);
+    encode_message(out, item.msg);
+  }
+  for (const auto& [dst, sender] : busy_.lane_staged(lane)) {
+    put_u32(out, dst);
+    put_u32(out, sender);
+  }
+  for (const auto& [dst, sender] : two_hop_.lane_staged(lane)) {
+    put_u32(out, dst);
+    put_u32(out, sender);
+  }
+}
+
+bool Router::decode_lane(std::span<const std::uint8_t> bytes,
+                         LaneBatch* batch, std::string* error) {
+  Reader r(bytes);
+  LaneBatchHeader& h = batch->header;
+  std::uint64_t round = 0;
+  if (!r.read_u32(&h.magic) || !r.read_u16(&h.version) ||
+      !r.read_u16(&h.lane) || !r.read_u64(&round) ||
+      !r.read_u64(&h.payload_count) || !r.read_u64(&h.busy_count) ||
+      !r.read_u64(&h.two_hop_count) || !r.read_u64(&h.payload_bytes) ||
+      !r.read_u64(&h.messages) || !r.read_u64(&h.payload_bits)) {
+    return fail(error, "lane batch: truncated header");
+  }
+  h.round = static_cast<Round>(round);
+  if (h.magic != LaneBatchHeader::kMagic) {
+    return fail(error, "lane batch: bad magic");
+  }
+  if (h.version != LaneBatchHeader::kVersion) {
+    return fail(error, "lane batch: unsupported version");
+  }
+  const std::size_t payload_start = r.pos();
+  batch->payloads.clear();
+  batch->payloads.reserve(h.payload_count);
+  for (std::uint64_t i = 0; i < h.payload_count; ++i) {
+    NodeId dst = 0;
+    Inbox::Item item{};
+    if (!r.read_u32(&dst) || !r.read_u32(&item.from) ||
+        !decode_message(r, &item.msg)) {
+      return fail(error, "lane batch: truncated payload section");
+    }
+    batch->payloads.emplace_back(dst, std::move(item));
+  }
+  if (r.pos() - payload_start != h.payload_bytes) {
+    return fail(error, "lane batch: payload section size mismatch");
+  }
+  auto read_flags = [&](std::uint64_t count,
+                        std::vector<std::pair<NodeId, NodeId>>& flags) {
+    flags.clear();
+    flags.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      NodeId dst = 0, sender = 0;
+      if (!r.read_u32(&dst) || !r.read_u32(&sender)) return false;
+      flags.emplace_back(dst, sender);
+    }
+    return true;
+  };
+  if (!read_flags(h.busy_count, batch->busy) ||
+      !read_flags(h.two_hop_count, batch->two_hop)) {
+    return fail(error, "lane batch: truncated control-bit section");
+  }
+  return true;
+}
+
+void Router::debug_prime_epoch_wrap(std::uint64_t steps) {
+  payloads_.debug_prime_epoch_wrap(steps);
+  busy_.debug_prime_epoch_wrap(steps);
+  two_hop_.debug_prime_epoch_wrap(steps);
+}
+
+}  // namespace dynsub::net

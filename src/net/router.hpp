@@ -1,27 +1,66 @@
-// Pooled, allocation-free per-destination routing buffers.
+// The sharded routing fabric: pooled per-destination buffers, lane-local
+// staging batches, and the first-class Router layer the round engine's
+// message path runs on.
 //
-// The round engine needs three (destination -> items) multimaps per round
-// (payloads, IsEmpty flags, AreNeighborsEmpty flags) plus one for incident
-// topology events.  The seed engine materialized them as n per-inbox
-// vectors cleared and std::sort-ed every round -- Theta(n) work and
-// allocation churn even in quiescent rounds.  DestBuckets replaces that
-// with one flat staged buffer scattered into contiguous per-destination
-// ranges by a *stable counting sort on destination*: a round costs
-// O(items staged) regardless of n, every buffer persists across rounds
-// (capacity is retained), and because senders stage in ascending id order
-// the per-destination ranges come out sender-sorted for free -- the three
-// per-inbox sorts of the seed engine disappear.
+// Three layers, bottom up:
+//
+//   * DestBuckets<T> -- the single-lane (destination -> items) multimap the
+//     engine has used since the sparse rewrite: one flat staged buffer
+//     scattered into contiguous per-destination ranges by a stable counting
+//     sort on destination.  Still used for the sequential Phase 0 event
+//     fan-out.
+//
+//   * ShardedBuckets<T> -- the multi-lane variant.  Each worker lane appends
+//     to its own staging vector with no shared state (stage() is data-race
+//     free across lanes by construction), and merge() runs the counting
+//     sort over all lanes in *lane-major order* at the round barrier.
+//     Because the engine hands lanes contiguous ascending shards of the
+//     active set, lane-major order IS ascending sender order, so
+//     per-destination ranges come out sender-sorted exactly as the
+//     single-lane code produced them -- the bit-identical guarantee the
+//     ParallelEquivalence suite locks holds at every lane count.
+//
+//   * Router -- the routing layer itself.  Lanes validate and stage their
+//     shard's outbox traffic (payloads, bandwidth bits, duplicate-
+//     destination checks, IsEmpty/AreNeighborsEmpty control-bit broadcasts)
+//     during Phase 1 via stage_outbox(); merge() at the barrier produces
+//     the per-destination inboxes plus the round's traffic totals reduced
+//     from per-lane counters.  Each lane batch also has a sized,
+//     serializable wire form (LaneBatchHeader + encode_lane/decode_lane),
+//     so the same path can later carry cross-process shard traffic.
+//
+// All buffers persist across rounds (capacity is retained), previously
+// built buckets are invalidated in O(1) by an epoch bump, and a decay
+// policy periodically returns capacity after a traffic burst so one heavy
+// round (e.g. a dense bootstrap at large n) does not pin its high-water
+// memory forever.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "net/metrics.hpp"
+#include "net/node.hpp"
+
+namespace dynsub::oracle {
+class TimestampedGraph;
+}  // namespace dynsub::oracle
 
 namespace dynsub::net {
+
+/// Largest staged-item count the 32-bit bucket index space (count_ /
+/// offset_ / cursor_ entries) can address.  Staging more in one round
+/// would silently wrap the counters and corrupt every bucket; both bucket
+/// variants abort loudly instead.
+inline constexpr std::size_t kMaxBucketItems =
+    std::numeric_limits<std::uint32_t>::max();
 
 template <typename T>
 class DestBuckets {
@@ -68,6 +107,10 @@ class DestBuckets {
   /// place with sequential push_backs (no default construction of T, no
   /// reallocation in steady state).
   void build() {
+    DYNSUB_CHECK_MSG(staged_.size() <= kMaxBucketItems,
+                     "DestBuckets: " << staged_.size()
+                                     << " staged items overflow the 32-bit "
+                                        "bucket index space");
     std::uint32_t running = 0;
     for (NodeId dst : touched_) {
       offset_[dst] = running;
@@ -104,6 +147,299 @@ class DestBuckets {
   std::vector<std::pair<NodeId, T>> staged_;
   std::vector<std::uint32_t> perm_;
   std::vector<T> items_;
+};
+
+/// Multi-lane DestBuckets: lanes stage concurrently into lane-private
+/// buffers, the barrier merges them with one deterministic lane-major
+/// counting sort.  See the header comment for the ordering guarantee.
+template <typename T>
+class ShardedBuckets {
+ public:
+  /// Rounds between capacity-decay sweeps, and the headroom factor kept
+  /// above the rolling peak.  One burst round (dense bootstrap, flash
+  /// crowd) grows the staging buffers to its size; without decay that
+  /// high-water capacity is pinned forever.  Every kDecayWindow rounds the
+  /// buffers are shrunk to 2x the window's peak usage (never below
+  /// kDecayFloor items), so steady-state rounds stay allocation-free while
+  /// burst memory is returned within two windows.
+  static constexpr std::size_t kDecayWindow = 64;
+  static constexpr std::size_t kDecayFloor = 256;
+
+  ShardedBuckets(std::size_t n, std::size_t lanes)
+      : mark_(n, 0),
+        count_(n, 0),
+        offset_(n, 0),
+        cursor_(n, 0),
+        staged_(lanes) {
+    DYNSUB_CHECK(lanes >= 1);
+  }
+
+  [[nodiscard]] std::size_t lanes() const { return staged_.size(); }
+
+  /// Starts a new round: O(lanes) clears plus an O(1) epoch bump; runs the
+  /// capacity-decay sweep when its window elapsed.
+  void begin_round() {
+    window_peak_ = std::max(window_peak_, last_total_);
+    last_total_ = 0;
+    for (auto& lane : staged_) lane.clear();
+    touched_.clear();
+    if (++epoch_ == 0) {
+      // Same std::uint64_t wrap hazard as DestBuckets: re-zero the stamps.
+      std::fill(mark_.begin(), mark_.end(), 0);
+      epoch_ = 1;
+    }
+    if (++rounds_since_decay_ >= kDecayWindow) {
+      decay();
+      rounds_since_decay_ = 0;
+      window_peak_ = 0;
+    }
+  }
+
+  /// Test hook: primes the epoch counter to within `steps` increments of
+  /// the std::uint64_t wrap.
+  void debug_prime_epoch_wrap(std::uint64_t steps) {
+    epoch_ = ~std::uint64_t{0} - steps;
+  }
+
+  /// Stages one item for `dst` on `lane`.  Touches only lane-private
+  /// state: concurrent stage() calls on distinct lanes never race.
+  void stage(std::size_t lane, NodeId dst, T item) {
+    DYNSUB_DCHECK(lane < staged_.size());
+    DYNSUB_DCHECK(dst < mark_.size());
+    staged_[lane].emplace_back(dst, std::move(item));
+  }
+
+  /// Barrier-side merge: one stable counting sort over every lane's staged
+  /// items, walked in lane-major order (lane 0's items first, in staging
+  /// order, then lane 1's, ...).  Not safe concurrently with stage().
+  void merge() {
+    std::size_t total = 0;
+    for (const auto& lane : staged_) total += lane.size();
+    DYNSUB_CHECK_MSG(total <= kMaxBucketItems,
+                     "ShardedBuckets: " << total
+                                        << " staged items overflow the "
+                                           "32-bit bucket index space");
+    last_total_ = total;
+    for (const auto& lane : staged_) {
+      for (const auto& [dst, item] : lane) {
+        if (mark_[dst] != epoch_) {
+          mark_[dst] = epoch_;
+          count_[dst] = 0;
+          touched_.push_back(dst);
+        }
+        ++count_[dst];
+      }
+    }
+    std::uint32_t running = 0;
+    for (NodeId dst : touched_) {
+      offset_[dst] = running;
+      cursor_[dst] = running;
+      running += count_[dst];
+    }
+    items_.resize(total);
+    for (auto& lane : staged_) {
+      for (auto& [dst, item] : lane) {
+        items_[cursor_[dst]++] = std::move(item);
+      }
+    }
+  }
+
+  /// Items merged for `dst` this round (empty span when none); valid after
+  /// merge().
+  [[nodiscard]] std::span<const T> bucket(NodeId dst) const {
+    if (dst >= mark_.size() || mark_[dst] != epoch_) return {};
+    return {items_.data() + offset_[dst], count_[dst]};
+  }
+
+  /// Destinations that received at least one item this round, in first-
+  /// touch lane-major order (not sorted); valid after merge().
+  [[nodiscard]] const std::vector<NodeId>& touched() const { return touched_; }
+
+  /// Items merged this round; valid after merge().
+  [[nodiscard]] std::size_t total() const { return last_total_; }
+
+  /// Lane `lane`'s staged items in staging order (for wire encoding);
+  /// valid between the last stage() and merge(), which moves items out.
+  [[nodiscard]] std::span<const std::pair<NodeId, T>> lane_staged(
+      std::size_t lane) const {
+    DYNSUB_DCHECK(lane < staged_.size());
+    return staged_[lane];
+  }
+
+  /// Total item capacity currently retained by the staging and merge
+  /// buffers -- the quantity the decay policy bounds (regression-tested).
+  [[nodiscard]] std::size_t retained_capacity() const {
+    std::size_t cap = items_.capacity();
+    for (const auto& lane : staged_) cap += lane.capacity();
+    return cap;
+  }
+
+ private:
+  void decay() {
+    const std::size_t keep = std::max(window_peak_ * 2, kDecayFloor);
+    for (auto& lane : staged_) {
+      if (lane.capacity() > keep) {
+        // lane is empty here (begin_round cleared it): swap in a fresh
+        // buffer with bounded capacity instead of shrink_to_fit's zero.
+        std::vector<std::pair<NodeId, T>> shrunk;
+        shrunk.reserve(keep);
+        lane.swap(shrunk);
+      }
+    }
+    if (items_.capacity() > keep) {
+      std::vector<T> shrunk;
+      shrunk.reserve(keep);
+      items_.swap(shrunk);
+    }
+  }
+
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> mark_;    // epoch stamp per destination
+  std::vector<std::uint32_t> count_;   // valid when mark_ == epoch_
+  std::vector<std::uint32_t> offset_;  // valid after merge()
+  std::vector<std::uint32_t> cursor_;  // merge() scratch (write position)
+  std::vector<NodeId> touched_;
+  std::vector<std::vector<std::pair<NodeId, T>>> staged_;  // per lane
+  std::vector<T> items_;
+  std::size_t last_total_ = 0;
+  std::size_t window_peak_ = 0;
+  std::uint32_t rounds_since_decay_ = 0;
+};
+
+/// Sized wire header of one lane's staged routing batch (format v1).
+/// Every count and byte length a reader needs to skip or slice the batch
+/// is in the fixed-size header, so the same framing works for in-process
+/// tests today and cross-process shard exchange later.  All fields are
+/// serialized little-endian by Router::encode_lane.
+struct LaneBatchHeader {
+  static constexpr std::uint32_t kMagic = 0x424c5344u;  // "DSLB"
+  static constexpr std::uint16_t kVersion = 1;
+  static constexpr std::size_t kWireBytes = 64;
+
+  std::uint32_t magic = kMagic;
+  std::uint16_t version = kVersion;
+  std::uint16_t lane = 0;
+  std::int64_t round = 0;
+  std::uint64_t payload_count = 0;
+  std::uint64_t busy_count = 0;
+  std::uint64_t two_hop_count = 0;
+  /// Byte length of the variable-size payload section that follows the
+  /// header (the busy / two-hop sections are fixed 8 bytes per entry).
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bits = 0;
+
+  friend bool operator==(const LaneBatchHeader&,
+                         const LaneBatchHeader&) = default;
+};
+
+/// A decoded lane batch: the header plus the staged traffic, exactly as
+/// the staging lane ordered it.
+struct LaneBatch {
+  LaneBatchHeader header;
+  std::vector<std::pair<NodeId, Inbox::Item>> payloads;  // (dst, {from, msg})
+  std::vector<std::pair<NodeId, NodeId>> busy;           // (dst, sender)
+  std::vector<std::pair<NodeId, NodeId>> two_hop;        // (dst, sender)
+};
+
+struct RouterConfig {
+  /// Assert the per-link O(log n) budget and the one-payload-per-link rule
+  /// while staging (disable only for baselines intentionally exceeding it).
+  bool enforce_bandwidth = true;
+};
+
+/// The routing layer of the round engine.  Lanes stage their shard of the
+/// active set's traffic concurrently during Phase 1 (stage_outbox), the
+/// barrier merges deterministically (merge), the receive half reads the
+/// per-destination inboxes (inbox / *_touched).  See the header comment.
+class Router {
+ public:
+  Router(std::size_t n, std::size_t lanes, RouterConfig config = {});
+
+  [[nodiscard]] std::size_t lanes() const { return lane_traffic_.size(); }
+
+  /// Starts a new round; `round` is stamped into check messages and lane
+  /// batch headers.
+  void begin_round(Round round);
+
+  /// Validates and stages one sender's outbox on `lane`: destination and
+  /// current-edge checks, the per-link bandwidth budget, the duplicate-
+  /// destination rule, and the control-bit broadcast to `graph` neighbors.
+  /// Payloads are moved out of the outbox.  Touches only lane-local router
+  /// state and the read-only graph -- safe to call concurrently on
+  /// distinct lanes while the graph is quiescent (Phase 1).  A sender's
+  /// traffic must be staged by exactly one lane (the engine's contiguous
+  /// shards guarantee it), which is what makes the duplicate-destination
+  /// check lane-local yet complete.
+  void stage_outbox(std::size_t lane, NodeId sender, Outbox& out,
+                    const oracle::TimestampedGraph& graph);
+
+  /// Barrier-side deterministic merge of every lane batch (lane-major:
+  /// senders ascend within a lane, lanes ascend by shard, so
+  /// per-destination ranges stay sender-sorted when lanes hold contiguous
+  /// ascending sender shards).  Returns the round's traffic totals reduced
+  /// from the per-lane counters.
+  LaneTraffic merge();
+
+  /// The merged inbox of `v` (valid after merge(), until the next
+  /// begin_round()).
+  [[nodiscard]] Inbox inbox(NodeId v) const {
+    Inbox in;
+    in.payloads = payloads_.bucket(v);
+    in.busy_neighbors = busy_.bucket(v);
+    in.busy_two_hop = two_hop_.bucket(v);
+    return in;
+  }
+
+  /// Destinations receiving payloads / control bits this round (valid
+  /// after merge(); first-touch order, not sorted).
+  [[nodiscard]] const std::vector<NodeId>& payload_touched() const {
+    return payloads_.touched();
+  }
+  [[nodiscard]] const std::vector<NodeId>& busy_touched() const {
+    return busy_.touched();
+  }
+  [[nodiscard]] const std::vector<NodeId>& two_hop_touched() const {
+    return two_hop_.touched();
+  }
+
+  /// The header lane `lane`'s batch would serialize under right now
+  /// (valid between staging and merge()).
+  [[nodiscard]] LaneBatchHeader lane_header(std::size_t lane) const;
+
+  /// Appends lane `lane`'s batch -- header + payload/busy/two-hop
+  /// sections -- to `out` in the v1 wire format (call between staging and
+  /// merge(); merge() moves the staged payloads out).
+  void encode_lane(std::size_t lane, std::vector<std::uint8_t>& out) const;
+
+  /// Decodes one v1 lane batch.  Returns false (with `*error` set when
+  /// non-null) on a bad magic/version, a truncated buffer, or section
+  /// counts that do not match the header.
+  [[nodiscard]] static bool decode_lane(std::span<const std::uint8_t> bytes,
+                                        LaneBatch* batch,
+                                        std::string* error = nullptr);
+
+  /// Test hook: primes every internal epoch counter to within `steps`
+  /// increments of the std::uint64_t wrap.
+  void debug_prime_epoch_wrap(std::uint64_t steps);
+
+  /// Total item capacity retained across all routing buffers (the decay
+  /// policy's regression surface).
+  [[nodiscard]] std::size_t retained_capacity() const {
+    return payloads_.retained_capacity() + busy_.retained_capacity() +
+           two_hop_.retained_capacity();
+  }
+
+ private:
+  RouterConfig config_;
+  std::size_t n_;
+  std::size_t budget_bits_;
+  Round round_ = 0;
+  ShardedBuckets<Inbox::Item> payloads_;
+  ShardedBuckets<NodeId> busy_;
+  ShardedBuckets<NodeId> two_hop_;
+  std::vector<LaneTraffic> lane_traffic_;           // reduced by merge()
+  std::vector<std::vector<NodeId>> lane_dst_scratch_;  // duplicate check
 };
 
 }  // namespace dynsub::net

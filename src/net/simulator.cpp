@@ -28,11 +28,11 @@ Simulator::Simulator(std::size_t n, NodeFactory factory,
       consistent_(n, true),
       metrics_(n),
       events_by_node_(n),
-      payloads_(n),
-      busy_flags_(n),
-      two_hop_flags_(n),
-      active_mark_(n, 0),
-      sent_mark_(n, 0) {
+      router_(n, std::max<std::size_t>(1, config.threads),
+              RouterConfig{config.enforce_bandwidth}),
+      lane_outbox_(std::max<std::size_t>(1, config.threads)),
+      lane_books_(std::max<std::size_t>(1, config.threads)),
+      active_mark_(n, 0) {
   DYNSUB_CHECK(n >= 1);
   nodes_.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
@@ -42,9 +42,11 @@ Simulator::Simulator(std::size_t n, NodeFactory factory,
   if (config_.threads > 0) {
     pool_ = std::make_unique<WorkerPool>(config_.threads,
                                          config_.threads_inline_cutoff);
-    react_task_ = [this](std::size_t b, std::size_t e) { react_shard(b, e); };
-    receive_task_ = [this](std::size_t b, std::size_t e) {
-      receive_shard(b, e);
+    react_task_ = [this](std::size_t lane, std::size_t b, std::size_t e) {
+      react_shard(lane, b, e);
+    };
+    receive_task_ = [this](std::size_t lane, std::size_t b, std::size_t e) {
+      receive_shard(lane, b, e);
     };
   }
 }
@@ -79,38 +81,50 @@ void Simulator::set_sparse_rounds(bool enabled) {
 }
 
 void Simulator::debug_prime_epoch_wrap(std::uint64_t steps) {
-  const std::uint64_t brink = ~std::uint64_t{0} - steps;
-  active_epoch_ = brink;
-  sent_epoch_ = brink;
+  active_epoch_ = ~std::uint64_t{0} - steps;
   events_by_node_.debug_prime_epoch_wrap(steps);
-  payloads_.debug_prime_epoch_wrap(steps);
-  busy_flags_.debug_prime_epoch_wrap(steps);
-  two_hop_flags_.debug_prime_epoch_wrap(steps);
+  router_.debug_prime_epoch_wrap(steps);
 }
 
-void Simulator::react_shard(std::size_t begin, std::size_t end) {
+void Simulator::react_shard(std::size_t lane, std::size_t begin,
+                            std::size_t end) {
   const std::size_t n = nodes_.size();
+  Outbox& out = lane_outbox_[lane];
   for (std::size_t i = begin; i < end; ++i) {
     const NodeId v = active_[i];
-    Outbox& out = outbox_pool_[i];
     out.reset();
     NodeContext ctx{v, n, round_};
     nodes_[v]->react_and_send(ctx, events_by_node_.bucket(v), out);
+    // Validate and stage straight into the lane's router batch while the
+    // node's traffic is hot -- one scratch outbox per lane replaces the
+    // old per-active-node pool, and Phase 2's sequential scatter becomes
+    // the Router's deterministic lane-major merge at the barrier.
+    router_.stage_outbox(lane, v, out, g_);
   }
 }
 
 void Simulator::receive_shard_node(NodeId v) {
   NodeContext ctx{v, nodes_.size(), round_};
-  Inbox in;
-  in.payloads = payloads_.bucket(v);
-  in.busy_neighbors = busy_flags_.bucket(v);
-  in.busy_two_hop = two_hop_flags_.bucket(v);
-  nodes_[v]->receive_and_update(ctx, in);
+  nodes_[v]->receive_and_update(ctx, router_.inbox(v));
 }
 
-void Simulator::receive_shard(std::size_t begin, std::size_t end) {
+void Simulator::receive_shard(std::size_t lane, std::size_t begin,
+                              std::size_t end) {
+  LaneBook& book = lane_books_[lane];
   for (std::size_t i = begin; i < end; ++i) {
-    receive_shard_node(stepped_[i]);
+    const NodeId v = stepped_[i];
+    receive_shard_node(v);
+    // Lane-local bookkeeping: consistency transitions and the carry set
+    // are recorded in this lane's book (reduced at the barrier in lane
+    // order); the per-node inconsistency meter is written directly --
+    // stepped nodes are partitioned across lanes, so concurrent calls
+    // always target distinct counters (metrics.hpp contract).
+    const bool ok = nodes_[v]->consistent();
+    if (ok != consistent_[v]) book.flips.emplace_back(v, ok);
+    if (!ok) metrics_.record_node_inconsistent(v);
+    if (config_.sparse_rounds && nodes_[v]->wants_to_act()) {
+      book.carry.push_back(v);
+    }
   }
 }
 
@@ -166,17 +180,17 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
     timings_.apply_ns += elapsed_ns(t0, t1);
   }
 
-  // --- Phase 1: react & send (first half of the communication round).
-  // Parallel-safe: node i touches only its own program, its (read-only)
-  // event bucket, and outbox slot i.  Slot assignment is positional, so
-  // the sequential and sharded runs fill identical outboxes. ---
-  if (outbox_pool_.size() < active_.size()) {
-    outbox_pool_.resize(active_.size());
-  }
+  // --- Phase 1: react & send (first half of the communication round),
+  // fused with routing validation + staging.  Parallel-safe: node i
+  // touches only its own program, its (read-only) event bucket, its
+  // lane's scratch outbox, and its lane's router batch.  Shards are
+  // contiguous ascending ranges of active_, so lane-major staging order
+  // is ascending sender order -- exactly the sequential engine's. ---
+  router_.begin_round(round_);
   if (pool_ != nullptr) {
     pool_->run_sharded(active_.size(), react_task_);
   } else {
-    react_shard(0, active_.size());
+    react_shard(0, 0, active_.size());
   }
   Clock::time_point t2;
   if (timed) {
@@ -184,57 +198,10 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
     timings_.react_ns += elapsed_ns(t1, t2);
   }
 
-  // --- Phase 2: routing.  Payloads and control bits are staged into the
-  // pooled buckets; per-destination ranges come out sender-sorted because
-  // active_ is ascending. ---
-  payloads_.begin_round();
-  busy_flags_.begin_round();
-  two_hop_flags_.begin_round();
-  std::size_t messages = 0;
-  std::uint64_t bits = 0;
-  const std::size_t budget = bandwidth_bits(n);
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    const NodeId v = active_[i];
-    Outbox& out = outbox_pool_[i];
-    // One epoch per sender: O(1) duplicate-destination check.  On
-    // std::uint64_t wrap, stale stamps would alias fresh epochs and
-    // either flag phantom duplicates or miss real ones -- re-zero.
-    if (++sent_epoch_ == 0) {
-      std::fill(sent_mark_.begin(), sent_mark_.end(), 0);
-      sent_epoch_ = 1;
-    }
-    for (auto& dm : out.directed_mut()) {
-      DYNSUB_CHECK_MSG(dm.dst < n, "node " << v << " sent to bad id");
-      DYNSUB_CHECK_MSG(g_.has_edge(Edge(v, dm.dst)),
-                       "round " << round_ << ": node " << v
-                                << " sent over absent link to " << dm.dst);
-      if (config_.enforce_bandwidth) {
-        DYNSUB_CHECK_MSG(sent_mark_[dm.dst] != sent_epoch_,
-                         "round " << round_ << ": node " << v
-                                  << " sent two payloads to " << dm.dst);
-        const std::size_t sz = dm.msg.payload_bits(n);
-        DYNSUB_CHECK_MSG(sz <= budget, "round "
-                                           << round_ << ": node " << v
-                                           << " payload of " << sz
-                                           << " bits exceeds budget "
-                                           << budget);
-        bits += sz;
-      }
-      sent_mark_[dm.dst] = sent_epoch_;
-      payloads_.add(dm.dst, Inbox::Item{v, std::move(dm.msg)});
-      ++messages;
-    }
-    // Control bits are broadcast to all current neighbors.
-    if (!out.is_empty_flag() || !out.are_neighbors_empty_flag()) {
-      for (NodeId u : g_.neighbors(v)) {
-        if (!out.is_empty_flag()) busy_flags_.add(u, v);
-        if (!out.are_neighbors_empty_flag()) two_hop_flags_.add(u, v);
-      }
-    }
-  }
-  payloads_.build();
-  busy_flags_.build();
-  two_hop_flags_.build();
+  // --- Phase 2: the round barrier's deterministic lane-major merge --
+  // per-destination inboxes come out sender-sorted -- plus the lane-order
+  // reduction of the per-lane traffic counters. ---
+  const LaneTraffic traffic = router_.merge();
 
   // Pure receivers join the receive half of the round.
   receive_extra_.clear();
@@ -244,9 +211,9 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
       receive_extra_.push_back(u);
     }
   };
-  for (NodeId u : payloads_.touched()) note_receiver(u);
-  for (NodeId u : busy_flags_.touched()) note_receiver(u);
-  for (NodeId u : two_hop_flags_.touched()) note_receiver(u);
+  for (NodeId u : router_.payload_touched()) note_receiver(u);
+  for (NodeId u : router_.busy_touched()) note_receiver(u);
+  for (NodeId u : router_.two_hop_touched()) note_receiver(u);
   std::sort(receive_extra_.begin(), receive_extra_.end());
   Clock::time_point t3;
   if (timed) {
@@ -255,11 +222,11 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   }
 
   // --- Phase 3: receive & update (second half of the round), over the
-  // ascending merge of active_ and receive_extra_.  The receive calls are
-  // parallel-safe (a node reads only its own inbox buckets and writes only
-  // its own program); the consistency counter, metrics, and carry set are
-  // order-sensitive shared state, so that bookkeeping always walks the
-  // stepped set sequentially in ascending id order. ---
+  // ascending merge of active_ and receive_extra_.  Each lane records its
+  // shard's consistency flips and carry nodes in its own book; the
+  // barrier reduces the books in lane order, which over contiguous
+  // ascending shards is ascending id order -- identical to the old
+  // sequential bookkeeping walk. ---
   carry_.clear();
   stepped_.clear();
   {
@@ -273,9 +240,17 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
       }
     }
   }
-  auto book_keep = [&](NodeId v) {
-    const bool ok = nodes_[v]->consistent();
-    if (ok != consistent_[v]) {
+  for (auto& book : lane_books_) {
+    book.flips.clear();
+    book.carry.clear();
+  }
+  if (pool_ != nullptr) {
+    pool_->run_sharded(stepped_.size(), receive_task_);
+  } else {
+    receive_shard(0, 0, stepped_.size());
+  }
+  for (const auto& book : lane_books_) {
+    for (const auto& [v, ok] : book.flips) {
       consistent_[v] = ok;
       if (ok) {
         --inconsistent_count_;
@@ -283,32 +258,18 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
         ++inconsistent_count_;
       }
     }
-    if (!ok) metrics_.record_node_inconsistent(v);
-    if (config_.sparse_rounds && nodes_[v]->wants_to_act()) {
-      carry_.push_back(v);
-    }
-  };
-  if (pool_ != nullptr) {
-    pool_->run_sharded(stepped_.size(), receive_task_);
-    for (NodeId v : stepped_) book_keep(v);
-  } else {
-    // Sequential: fuse receive + bookkeeping into one pass (the node's
-    // state is hot); identical observable order either way.
-    for (NodeId v : stepped_) {
-      receive_shard_node(v);
-      book_keep(v);
-    }
+    carry_.insert(carry_.end(), book.carry.begin(), book.carry.end());
   }
 
   // --- Metering. ---
-  metrics_.record_round(round_, events.size(), inconsistent_count_, messages,
-                        bits);
+  metrics_.record_round(round_, events.size(), inconsistent_count_,
+                        traffic.messages, traffic.payload_bits);
   if (timed) timings_.receive_ns += elapsed_ns(t3, Clock::now());
 
   RoundResult result;
   result.round = round_;
   result.changes = events.size();
-  result.messages = messages;
+  result.messages = static_cast<std::size_t>(traffic.messages);
   result.inconsistent_nodes = inconsistent_count_;
   return result;
 }

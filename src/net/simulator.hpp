@@ -26,23 +26,29 @@
 // semantics (every node stepped every round); the golden-trace equivalence
 // suite drives both engines in lockstep and asserts identical results.
 //
-// Routing uses pooled flat buffers (net/router.hpp): outboxes are reused
-// slot-indexed objects, inboxes are spans into a per-destination buffer
-// built by a stable counting sort on destination, and WireMessage payloads
-// are inline (SmallBlob) -- steady-state rounds perform no heap allocation.
+// Routing runs on the sharded fabric (net/router.hpp): each lane stages
+// its shard's validated outbox traffic -- payloads, bandwidth bits,
+// duplicate-destination checks, control-bit broadcasts -- into lane-local
+// batches *during Phase 1*, immediately after each node's react_and_send
+// (one scratch Outbox per lane, not one per node).  Inboxes are spans into
+// per-destination buffers produced by the Router's deterministic lane-major
+// merge at the round barrier, and WireMessage payloads are inline
+// (SmallBlob) -- steady-state rounds perform no heap allocation.
 //
 // Parallel rounds (SimulatorConfig::threads > 0): Phase 1 and Phase 3 are
-// embarrassingly parallel -- a node's react/receive touches only its own
-// program state, its (read-only) event/inbox buckets, and its private
-// outbox slot -- so the engine shards the active set into contiguous
-// ranges and runs them on a persistent WorkerPool (net/worker_pool.hpp).
-// Everything order-sensitive stays sequential and unchanged: routing
-// stages outbox slots in ascending active order (so per-destination
-// inboxes stay sender-sorted), and the consistency/metrics/carry
-// bookkeeping walks the stepped set in ascending id order after the
-// parallel receive completes.  Every result, metric, audit, and recorded
-// trace is therefore bit-identical to the sequential engine for any
-// thread count -- locked by the ParallelEquivalence suite.
+// sharded across a persistent WorkerPool (net/worker_pool.hpp) of
+// execution lanes.  A node's react/receive touches only its own program
+// state, its (read-only) event/inbox buckets, its lane's scratch outbox,
+// and its lane's router batch and accounting books, so shards never share
+// mutable state.  Determinism comes from structure rather than
+// sequencing: lanes hold contiguous ascending shards of the active set,
+// so the Router's lane-major merge (senders ascend within a lane, lanes
+// ascend by shard) reproduces exactly the ascending-sender staging order
+// of the sequential engine, and the per-lane consistency/metrics/carry
+// books are reduced at the round barrier in lane order, which is likewise
+// ascending id order.  Every result, metric, audit, and recorded trace is
+// therefore bit-identical to the sequential engine for any thread count
+// -- locked by the ParallelEquivalence suite at threads in {1, 2, 4, 8}.
 //
 // The engine also maintains G_{i-1} (needed because the paper's 3-hop and
 // cycle-listing guarantees are stated against the previous round's graph).
@@ -188,13 +194,32 @@ class Simulator {
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] const PhaseTimings& phase_timings() const { return timings_; }
 
+  /// The routing fabric (for tests / memory instrumentation).
+  [[nodiscard]] const Router& router() const { return router_; }
+
+  /// Outbox scratch slots currently held -- one per execution lane, never
+  /// one per node (the regression surface for the old pool's dense-
+  /// bootstrap high-water retention).
+  [[nodiscard]] std::size_t outbox_pool_slots() const {
+    return lane_outbox_.size();
+  }
+
  private:
+  /// Per-lane Phase 3 accounting book: everything order-sensitive a lane
+  /// observes while receiving its shard, reduced at the round barrier in
+  /// lane order (= ascending id order, since shards are contiguous and
+  /// ascending).
+  struct LaneBook {
+    std::vector<std::pair<NodeId, bool>> flips;  // consistency transitions
+    std::vector<NodeId> carry;  // wants_to_act() carryover
+  };
+
   void mark_active(NodeId v);
   void bump_active_epoch();
   // Shard bodies for the parallel engine (also the sequential loop bodies,
-  // called with the full range).
-  void react_shard(std::size_t begin, std::size_t end);
-  void receive_shard(std::size_t begin, std::size_t end);
+  // called as lane 0 with the full range).
+  void react_shard(std::size_t lane, std::size_t begin, std::size_t end);
+  void receive_shard(std::size_t lane, std::size_t begin, std::size_t end);
   void receive_shard_node(NodeId v);
 
   SimulatorConfig config_;
@@ -208,21 +233,19 @@ class Simulator {
   Round round_ = 0;
   PhaseTimings timings_;
 
-  // Persistent, reused round state: the pooled router (O(n) memory once,
-  // O(active + messages) work per round, no steady-state allocation).
+  // Persistent, reused round state: the event fan-out buckets plus the
+  // sharded routing fabric (O(n) memory once, O(active + messages) work
+  // per round, no steady-state allocation).
   DestBuckets<EdgeEvent> events_by_node_;
-  DestBuckets<Inbox::Item> payloads_;
-  DestBuckets<NodeId> busy_flags_;
-  DestBuckets<NodeId> two_hop_flags_;
-  std::vector<Outbox> outbox_pool_;   // slot i belongs to active_[i]
+  Router router_;                      // the sharded message path
+  std::vector<Outbox> lane_outbox_;    // one scratch outbox per lane
+  std::vector<LaneBook> lane_books_;   // Phase 3 accounting, per lane
   std::vector<NodeId> active_;        // this round's send-half set, ascending
   std::vector<NodeId> receive_extra_; // pure receivers, ascending
   std::vector<NodeId> stepped_;       // ascending merge of the two, reused
   std::vector<NodeId> carry_;         // wants_to_act() carryover to next round
   std::vector<std::uint64_t> active_mark_;  // epoch stamps for active_ dedup
   std::uint64_t active_epoch_ = 0;
-  std::vector<std::uint64_t> sent_mark_;  // per-destination duplicate check
-  std::uint64_t sent_epoch_ = 0;
   bool bootstrap_ = false;  // dense round pending after set_sparse_rounds
   std::unique_ptr<WorkerPool> pool_;  // non-null iff config_.threads > 0
   // Persistent type-erased shard tasks (built once; a per-round

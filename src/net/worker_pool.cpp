@@ -42,7 +42,7 @@ void WorkerPool::run_sharded(std::size_t count, const ShardFn& fn) {
   // quiescent/sparse regime).  Identical results either way -- shard
   // layout only affects which thread executes a slot, never the slots.
   if (workers_.empty() || count <= inline_cutoff_) {
-    if (count > 0) fn(0, count);
+    if (count > 0) fn(0, 0, count);
     return;
   }
   {
@@ -55,7 +55,7 @@ void WorkerPool::run_sharded(std::size_t count, const ShardFn& fn) {
   work_ready_.notify_all();
   // Lane 0 runs on the calling thread -- the pool never idles the caller.
   const std::size_t end0 = shard_bound(count, lanes, 1);
-  if (end0 > 0) fn(0, end0);
+  if (end0 > 0) fn(0, 0, end0);
   std::unique_lock<std::mutex> lock(mutex_);
   work_done_.wait(lock, [this] { return pending_ == 0; });
   task_ = nullptr;
@@ -77,7 +77,7 @@ void WorkerPool::worker_loop(std::size_t lane, std::size_t lanes) {
     }
     const std::size_t begin = shard_bound(count, lanes, lane);
     const std::size_t end = shard_bound(count, lanes, lane + 1);
-    if (begin < end) (*task)(begin, end);
+    if (begin < end) (*task)(lane, begin, end);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --pending_;

@@ -33,9 +33,12 @@ namespace dynsub::net {
 
 class WorkerPool {
  public:
-  /// A shard body: processes indices [begin, end).  Must tolerate
-  /// concurrent invocation on disjoint ranges.
-  using ShardFn = std::function<void(std::size_t begin, std::size_t end)>;
+  /// A shard body: processes indices [begin, end) on execution lane
+  /// `lane` (0 = the calling thread).  Must tolerate concurrent invocation
+  /// on disjoint ranges; the lane index lets bodies use lane-local state
+  /// (outbox scratch, staging batches, accounting books) with no sharing.
+  using ShardFn =
+      std::function<void(std::size_t lane, std::size_t begin, std::size_t end)>;
 
   /// Spawns lanes - 1 worker threads (lanes >= 1; lanes == 1 degenerates
   /// to running everything on the calling thread).

@@ -1,0 +1,463 @@
+// Unit tests for the sharded routing fabric (net/router.hpp): lane-major
+// merge determinism, cross-lane duplicate-destination semantics, epoch-wrap
+// resets, the capacity-decay policy, and the lane batch wire format.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/router.hpp"
+#include "net/simulator.hpp"
+#include "oracle/timestamped_graph.hpp"
+
+namespace dynsub::net {
+namespace {
+
+// ----------------------------------------------------- ShardedBuckets ----
+
+/// Stages the same (dst, value) stream into a single-lane DestBuckets and a
+/// multi-lane ShardedBuckets (split into contiguous shards) and asserts
+/// identical per-destination buckets and touched order.
+TEST(ShardedBucketsTest, LaneMajorMergeMatchesSingleLaneReference) {
+  const std::size_t n = 16;
+  const std::vector<std::pair<NodeId, int>> stream = {
+      {3, 100}, {7, 101}, {3, 102}, {0, 103}, {7, 104},
+      {7, 105}, {1, 106}, {3, 107}, {0, 108}, {15, 109}};
+  for (std::size_t lanes = 1; lanes <= 4; ++lanes) {
+    DestBuckets<int> reference(n);
+    ShardedBuckets<int> sharded(n, lanes);
+    reference.begin_round();
+    sharded.begin_round();
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      reference.add(stream[i].first, stream[i].second);
+      // Contiguous shards, exactly the WorkerPool's split.
+      const std::size_t lane = i * lanes / stream.size();
+      sharded.stage(lane, stream[i].first, stream[i].second);
+    }
+    reference.build();
+    sharded.merge();
+    EXPECT_EQ(sharded.total(), reference.total()) << "lanes=" << lanes;
+    EXPECT_EQ(sharded.touched(), reference.touched()) << "lanes=" << lanes;
+    for (NodeId dst = 0; dst < n; ++dst) {
+      const auto a = reference.bucket(dst);
+      const auto b = sharded.bucket(dst);
+      ASSERT_EQ(a.size(), b.size()) << "dst=" << dst << " lanes=" << lanes;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << "dst=" << dst << " lanes=" << lanes;
+      }
+    }
+  }
+}
+
+TEST(ShardedBucketsTest, EpochWrapIsInvisible) {
+  ShardedBuckets<int> b(4, 2);
+  // Prime so the uint64 epoch wraps mid-sequence; buckets from the wrapped
+  // epochs must neither leak stale items nor drop fresh ones.
+  b.debug_prime_epoch_wrap(3);
+  for (int round = 0; round < 8; ++round) {
+    b.begin_round();
+    b.stage(0, 1, round);
+    b.stage(1, 2, round + 100);
+    b.merge();
+    ASSERT_EQ(b.bucket(1).size(), 1u) << "round=" << round;
+    EXPECT_EQ(b.bucket(1)[0], round);
+    ASSERT_EQ(b.bucket(2).size(), 1u) << "round=" << round;
+    EXPECT_EQ(b.bucket(2)[0], round + 100);
+    EXPECT_TRUE(b.bucket(0).empty());
+    EXPECT_TRUE(b.bucket(3).empty());
+  }
+}
+
+TEST(ShardedBucketsTest, CapacityDecaysAfterBurst) {
+  ShardedBuckets<int> b(8, 2);
+  constexpr std::size_t kBurst = 10000;
+  b.begin_round();
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    b.stage(i % 2, static_cast<NodeId>(i % 8), static_cast<int>(i));
+  }
+  b.merge();
+  EXPECT_GE(b.retained_capacity(), kBurst);
+  // Two decay windows of near-empty rounds: the first window still
+  // remembers the burst as its peak, the second shrinks to the floor.
+  for (std::size_t r = 0; r < 2 * ShardedBuckets<int>::kDecayWindow + 4;
+       ++r) {
+    b.begin_round();
+    b.stage(0, 0, 1);
+    b.merge();
+  }
+  EXPECT_LT(b.retained_capacity(), kBurst);
+  // 3 buffers (2 lanes + merged items), each decayed to the floor.
+  EXPECT_LE(b.retained_capacity(), 6 * ShardedBuckets<int>::kDecayFloor);
+}
+
+// -------------------------------------------------------------- Router ----
+
+oracle::TimestampedGraph complete_graph(std::size_t n) {
+  oracle::TimestampedGraph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      g.apply(EdgeEvent::insert(i, j), 1);
+    }
+  }
+  return g;
+}
+
+/// Per-destination inbox fingerprint: sender ids in delivered order.
+std::vector<std::vector<NodeId>> inbox_senders(const Router& r,
+                                               std::size_t n) {
+  std::vector<std::vector<NodeId>> out(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& item : r.inbox(v).payloads) out[v].push_back(item.from);
+  }
+  return out;
+}
+
+/// Stages one outbox per sender: sender s sends edge_insert to each
+/// destination in dests[s], on the lane owning s under a contiguous split.
+void stage_all(Router& r, const oracle::TimestampedGraph& g,
+               const std::vector<std::vector<NodeId>>& dests) {
+  const std::size_t count = dests.size();
+  for (NodeId s = 0; s < count; ++s) {
+    Outbox out;
+    for (NodeId d : dests[s]) {
+      out.send(d, WireMessage::edge_insert(Edge(s, d)));
+    }
+    const std::size_t lane = s * r.lanes() / count;
+    r.stage_outbox(lane, s, out, g);
+  }
+}
+
+TEST(RouterTest, LaneMajorMergeIsDeterministicAcrossLaneCounts) {
+  const std::size_t n = 8;
+  const auto g = complete_graph(n);
+  // Senders 0..5, several sharing destinations (cross-lane fan-in).
+  const std::vector<std::vector<NodeId>> dests = {
+      {6, 7}, {6}, {7, 6}, {6, 5}, {7}, {6, 7, 0}};
+  Router reference(n, 1);
+  reference.begin_round(1);
+  stage_all(reference, g, dests);
+  const LaneTraffic ref_traffic = reference.merge();
+  const auto ref_inboxes = inbox_senders(reference, n);
+  // Destination 6 hears from senders 0,1,2,3,5 in ascending order.
+  EXPECT_EQ(ref_inboxes[6], (std::vector<NodeId>{0, 1, 2, 3, 5}));
+  for (std::size_t lanes = 2; lanes <= 4; ++lanes) {
+    Router sharded(n, lanes);
+    sharded.begin_round(1);
+    stage_all(sharded, g, dests);
+    const LaneTraffic traffic = sharded.merge();
+    EXPECT_EQ(traffic, ref_traffic) << "lanes=" << lanes;
+    EXPECT_EQ(inbox_senders(sharded, n), ref_inboxes) << "lanes=" << lanes;
+    EXPECT_EQ(sharded.payload_touched(), reference.payload_touched())
+        << "lanes=" << lanes;
+  }
+}
+
+TEST(RouterTest, CrossLaneDuplicateDestinationsFromDistinctSendersAreLegal) {
+  // The one-payload-per-link rule is per *directed link*: two senders on
+  // different lanes targeting the same destination is normal fan-in, and
+  // the merged inbox keeps them sender-sorted.
+  const std::size_t n = 4;
+  const auto g = complete_graph(n);
+  Router r(n, 2);
+  r.begin_round(1);
+  Outbox a;
+  a.send(3, WireMessage::edge_insert(Edge(0, 3)));
+  r.stage_outbox(0, 0, a, g);
+  Outbox b;
+  b.send(3, WireMessage::edge_insert(Edge(2, 3)));
+  r.stage_outbox(1, 2, b, g);
+  const LaneTraffic traffic = r.merge();
+  EXPECT_EQ(traffic.messages, 2u);
+  const auto in = r.inbox(3);
+  ASSERT_EQ(in.payloads.size(), 2u);
+  EXPECT_EQ(in.payloads[0].from, 0u);
+  EXPECT_EQ(in.payloads[1].from, 2u);
+}
+
+TEST(RouterTest, SameSenderDuplicateDestinationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        const auto g = complete_graph(3);
+        Router r(3, 2);
+        r.begin_round(1);
+        Outbox out;
+        out.send(1, WireMessage::edge_insert(Edge(0, 1)));
+        out.send(2, WireMessage::edge_insert(Edge(0, 2)));
+        out.send(1, WireMessage::edge_insert(Edge(0, 1)));
+        r.stage_outbox(0, 0, out, g);
+      },
+      "two payloads");
+}
+
+TEST(RouterTest, AbsentLinkAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        oracle::TimestampedGraph g(3);  // no edges at all
+        Router r(3, 1);
+        r.begin_round(1);
+        Outbox out;
+        out.send(1, WireMessage::edge_insert(Edge(0, 1)));
+        r.stage_outbox(0, 0, out, g);
+      },
+      "absent link");
+}
+
+TEST(RouterTest, OutOfRangeDestinationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        const auto g = complete_graph(3);
+        Router r(3, 1);
+        r.begin_round(1);
+        Outbox out;
+        out.send(99, WireMessage::edge_insert(Edge(0, 1)));
+        r.stage_outbox(0, 0, out, g);
+      },
+      "sent to bad id");
+}
+
+TEST(RouterTest, BandwidthOverrunAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        const auto g = complete_graph(2);
+        Router r(2, 1);
+        r.begin_round(1);
+        WireMessage m;
+        m.kind = WireMessage::Kind::kSnapshotChunk;
+        m.aux2 = 100000;  // way over budget
+        m.blob.assign(100000 / 8, 0xff);
+        Outbox out;
+        out.send(1, std::move(m));
+        r.stage_outbox(0, 0, out, g);
+      },
+      "exceeds budget");
+}
+
+TEST(RouterTest, EnforcementOffSkipsBudgetAndDuplicateChecks) {
+  const auto g = complete_graph(3);
+  Router r(3, 1, RouterConfig{.enforce_bandwidth = false});
+  r.begin_round(1);
+  Outbox out;
+  out.send(1, WireMessage::edge_insert(Edge(0, 1)));
+  out.send(1, WireMessage::edge_insert(Edge(0, 1)));  // duplicate: allowed
+  r.stage_outbox(0, 0, out, g);
+  const LaneTraffic traffic = r.merge();
+  EXPECT_EQ(traffic.messages, 2u);
+  EXPECT_EQ(traffic.payload_bits, 0u);  // nothing charged
+  EXPECT_EQ(r.inbox(1).payloads.size(), 2u);
+}
+
+TEST(RouterTest, ControlBitsBroadcastToAllNeighbors) {
+  const auto g = complete_graph(4);
+  Router r(4, 2);
+  r.begin_round(1);
+  Outbox out;
+  out.declare_busy();
+  out.declare_neighbors_busy();
+  r.stage_outbox(1, 2, out, g);
+  r.merge();
+  for (NodeId v : {0u, 1u, 3u}) {
+    const auto in = r.inbox(v);
+    ASSERT_EQ(in.busy_neighbors.size(), 1u) << "v=" << v;
+    EXPECT_EQ(in.busy_neighbors[0], 2u);
+    ASSERT_EQ(in.busy_two_hop.size(), 1u) << "v=" << v;
+    EXPECT_EQ(in.busy_two_hop[0], 2u);
+  }
+  EXPECT_TRUE(r.inbox(2).busy_neighbors.empty());
+}
+
+TEST(RouterTest, EpochWrapIsInvisible) {
+  const auto g = complete_graph(3);
+  Router r(3, 2);
+  r.debug_prime_epoch_wrap(3);
+  for (int round = 1; round <= 8; ++round) {
+    r.begin_round(round);
+    Outbox out;
+    out.send(1, WireMessage::edge_insert(Edge(0, 1)));
+    r.stage_outbox(0, 0, out, g);
+    const LaneTraffic traffic = r.merge();
+    EXPECT_EQ(traffic.messages, 1u) << "round=" << round;
+    ASSERT_EQ(r.inbox(1).payloads.size(), 1u) << "round=" << round;
+    EXPECT_TRUE(r.inbox(2).payloads.empty()) << "round=" << round;
+  }
+}
+
+// ---------------------------------------------------- lane batch wire ----
+
+TEST(LaneBatchTest, HeaderAndSectionsRoundTrip) {
+  const std::size_t n = 6;
+  const auto g = complete_graph(n);
+  Router r(n, 2);
+  r.begin_round(7);
+  Outbox a;
+  a.send(1, WireMessage::edge_insert(Edge(0, 1)));
+  WireMessage chunk;
+  chunk.kind = WireMessage::Kind::kSnapshotChunk;
+  chunk.nodes[0] = 0;
+  chunk.aux = 3;
+  chunk.aux2 = 8;  // small enough for the n=6 per-link budget
+  chunk.blob.assign(1, 0x5a);
+  a.send(2, std::move(chunk));
+  a.declare_busy();
+  r.stage_outbox(0, 0, a, g);
+  Outbox b;
+  b.send(4, WireMessage::triangle_hint(Edge(3, 4)));
+  r.stage_outbox(1, 3, b, g);
+
+  const LaneBatchHeader h0 = r.lane_header(0);
+  EXPECT_EQ(h0.magic, LaneBatchHeader::kMagic);
+  EXPECT_EQ(h0.version, LaneBatchHeader::kVersion);
+  EXPECT_EQ(h0.lane, 0u);
+  EXPECT_EQ(h0.round, 7);
+  EXPECT_EQ(h0.payload_count, 2u);
+  EXPECT_EQ(h0.busy_count, n - 1);  // broadcast to every neighbor
+  EXPECT_EQ(h0.two_hop_count, 0u);
+  EXPECT_EQ(h0.messages, 2u);
+  EXPECT_GT(h0.payload_bits, 0u);
+
+  std::vector<std::uint8_t> wire;
+  r.encode_lane(0, wire);
+  // The sized header makes the batch self-describing on the wire.
+  EXPECT_EQ(wire.size(), LaneBatchHeader::kWireBytes + h0.payload_bytes +
+                             8 * (h0.busy_count + h0.two_hop_count));
+
+  LaneBatch decoded;
+  std::string error;
+  ASSERT_TRUE(Router::decode_lane(wire, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.header, h0);
+  ASSERT_EQ(decoded.payloads.size(), 2u);
+  EXPECT_EQ(decoded.payloads[0].first, 1u);
+  EXPECT_EQ(decoded.payloads[0].second.from, 0u);
+  EXPECT_EQ(decoded.payloads[0].second.msg.kind,
+            WireMessage::Kind::kEdgeInsert);
+  EXPECT_EQ(decoded.payloads[1].first, 2u);
+  EXPECT_EQ(decoded.payloads[1].second.msg.kind,
+            WireMessage::Kind::kSnapshotChunk);
+  EXPECT_EQ(decoded.payloads[1].second.msg.aux, 3u);
+  EXPECT_EQ(decoded.payloads[1].second.msg.blob.size(), 1u);
+  EXPECT_EQ(decoded.payloads[1].second.msg.blob.data()[0], 0x5a);
+  ASSERT_EQ(decoded.busy.size(), n - 1);
+  EXPECT_EQ(decoded.busy[0], (std::pair<NodeId, NodeId>{1, 0}));
+  EXPECT_TRUE(decoded.two_hop.empty());
+
+  // Lane 1 serializes independently.
+  std::vector<std::uint8_t> wire1;
+  r.encode_lane(1, wire1);
+  LaneBatch decoded1;
+  ASSERT_TRUE(Router::decode_lane(wire1, &decoded1, &error)) << error;
+  EXPECT_EQ(decoded1.header.lane, 1u);
+  ASSERT_EQ(decoded1.payloads.size(), 1u);
+  EXPECT_EQ(decoded1.payloads[0].second.from, 3u);
+}
+
+TEST(LaneBatchTest, DecodeRejectsCorruptInput) {
+  const auto g = complete_graph(3);
+  Router r(3, 1);
+  r.begin_round(1);
+  Outbox out;
+  out.send(1, WireMessage::edge_insert(Edge(0, 1)));
+  r.stage_outbox(0, 0, out, g);
+  std::vector<std::uint8_t> wire;
+  r.encode_lane(0, wire);
+
+  LaneBatch batch;
+  std::string error;
+  // Bad magic.
+  auto corrupt = wire;
+  corrupt[0] ^= 0xff;
+  EXPECT_FALSE(Router::decode_lane(corrupt, &batch, &error));
+  EXPECT_NE(error.find("bad magic"), std::string::npos);
+  // Unsupported version.
+  corrupt = wire;
+  corrupt[4] = 0xee;
+  EXPECT_FALSE(Router::decode_lane(corrupt, &batch, &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+  // Truncated header.
+  EXPECT_FALSE(Router::decode_lane(
+      std::span<const std::uint8_t>(wire.data(), 10), &batch, &error));
+  EXPECT_NE(error.find("truncated header"), std::string::npos);
+  // Truncated payload section.
+  EXPECT_FALSE(Router::decode_lane(
+      std::span<const std::uint8_t>(wire.data(), wire.size() - 1), &batch,
+      &error));
+}
+
+// ------------------------------------------- simulator memory policy ----
+
+/// Collects neighbors from round-1 insertions and blasts one payload per
+/// neighbor the following round -- a one-round traffic burst.
+class BurstNode final : public NodeProgram {
+ public:
+  BurstNode(NodeId self, std::size_t) : self_(self) {}
+
+  void react_and_send(const NodeContext&, std::span<const EdgeEvent> events,
+                      Outbox& out) override {
+    if (pending_) {
+      for (NodeId u : neighbors_) {
+        out.send(u, WireMessage::edge_insert(Edge(self_, u)));
+      }
+      pending_ = false;
+    }
+    for (const auto& ev : events) {
+      if (ev.kind == EventKind::kInsert) {
+        neighbors_.push_back(ev.edge.other(self_));
+        pending_ = true;
+      }
+    }
+  }
+  void receive_and_update(const NodeContext&, const Inbox&) override {}
+  [[nodiscard]] bool consistent() const override { return true; }
+  [[nodiscard]] bool wants_to_act() const override { return pending_; }
+
+ private:
+  NodeId self_;
+  std::vector<NodeId> neighbors_;
+  bool pending_ = false;
+};
+
+NodeFactory burst_factory() {
+  return [](NodeId v, std::size_t n) {
+    return std::make_unique<BurstNode>(v, n);
+  };
+}
+
+TEST(SimulatorMemoryTest, OutboxScratchIsLaneBoundedNotNodeBounded) {
+  // The old engine kept one pooled outbox per active node, so a single
+  // dense bootstrap at n pinned n outboxes forever.  The fabric keeps one
+  // scratch outbox per lane.
+  Simulator seq(512, burst_factory());
+  seq.step({});  // dense bootstrap round
+  EXPECT_EQ(seq.outbox_pool_slots(), 1u);
+  Simulator par(512, burst_factory(), {.threads = 3});
+  par.step({});
+  EXPECT_EQ(par.outbox_pool_slots(), 3u);
+}
+
+TEST(SimulatorMemoryTest, RouterCapacityDecaysToSteadyState) {
+  // Clique bootstrap: one round with 64*63 payloads, then quiet rounds.
+  // The routing fabric must hand the burst's buffers back instead of
+  // pinning the high-water capacity forever.
+  const std::size_t k = 64;
+  Simulator sim(k, burst_factory());
+  std::vector<EdgeEvent> clique;
+  for (NodeId i = 0; i < k; ++i) {
+    for (NodeId j = i + 1; j < k; ++j) clique.push_back(EdgeEvent::insert(i, j));
+  }
+  sim.step(clique);
+  sim.step({});  // the burst round: k*(k-1) payloads
+  const std::size_t burst = k * (k - 1);
+  EXPECT_EQ(sim.metrics().messages(), burst);
+  EXPECT_GE(sim.router().retained_capacity(), burst);
+  for (std::size_t r = 0; r < 2 * ShardedBuckets<int>::kDecayWindow + 4;
+       ++r) {
+    sim.step({});
+  }
+  EXPECT_LT(sim.router().retained_capacity(), burst);
+}
+
+}  // namespace
+}  // namespace dynsub::net

@@ -116,7 +116,7 @@ auto known_edges_of() {
 }
 
 /// The tentpole's equivalence matrix: a sequential reference engine driven
-/// in lockstep against the parallel engine at 1, 2, and 4 lanes, asserting
+/// in lockstep against the parallel engine at 1, 2, 4, and 8 lanes, asserting
 /// after every round identical RoundResults, consistency flags, and audited
 /// node state, then identical Metrics trajectories at the end.  `dense`
 /// runs the whole matrix under the seed engine's dense semantics (the
@@ -131,7 +131,7 @@ void drive_lockstep_parallel(std::size_t n, const net::NodeFactory& f,
   base.sparse_rounds = !dense;
   net::Simulator seq(n, f, base);
   std::vector<std::unique_ptr<net::Simulator>> par;
-  for (const std::size_t threads : {1, 2, 4}) {
+  for (const std::size_t threads : {1, 2, 4, 8}) {
     net::SimulatorConfig cfg = base;
     cfg.threads = threads;
     // Race every dispatch: without this the small-n suites would fall
@@ -463,6 +463,57 @@ TEST(SimulatorEquivalence, EpochWrapIsInvisible) {
     ASSERT_TRUE(fresh.all_consistent());
     expect_metrics_equal(fresh.metrics(), wrapped.metrics());
     EXPECT_EQ(core::audit_triangle(wrapped), std::nullopt);
+  }
+}
+
+TEST(ParallelEquivalence, EpochWrapIsInvisibleAtEveryLaneCount) {
+  // The sharded router's epoch wrap is a begin_round (barrier-side) event,
+  // but the stale stamps it guards against are read concurrently by the
+  // merge -- so cross it under the parallel engine at several lane counts
+  // and hold each against an unwrapped sequential reference.
+  const auto factory = testing::factory_of<core::TriangleNode>();
+  const auto state_of = known_edges_of<core::TriangleNode>();
+  for (const std::size_t threads : {2, 4, 8}) {
+    for (std::size_t prime_round = 4; prime_round <= 12; prime_round += 4) {
+      dynamics::RandomChurnParams cp;
+      cp.n = 32;
+      cp.target_edges = 64;
+      cp.max_changes = 5;
+      cp.rounds = 60;
+      cp.seed = 0xF7u;
+      dynamics::RandomChurnWorkload wl(cp);
+      net::Simulator fresh(cp.n, factory, {});
+      net::SimulatorConfig cfg;
+      cfg.threads = threads;
+      cfg.threads_inline_cutoff = 0;  // race every dispatch
+      net::Simulator wrapped(cp.n, factory, cfg);
+      std::size_t rounds = 0;
+      while (rounds < 100000 && !(wl.finished() && fresh.all_consistent())) {
+        if (rounds == prime_round) {
+          wrapped.debug_prime_epoch_wrap(/*steps=*/3);
+        }
+        net::WorkloadObservation obs{fresh.graph(), fresh.round() + 1,
+                                     fresh.all_consistent()};
+        const std::vector<EdgeEvent> batch =
+            wl.finished() ? std::vector<EdgeEvent>{} : wl.next_round(obs);
+        const net::RoundResult rf = fresh.step(batch);
+        const net::RoundResult rw = wrapped.step(batch);
+        ASSERT_EQ(rf, rw) << "threads=" << threads
+                          << " prime_round=" << prime_round
+                          << ": wrapped engine diverged at round " << rf.round;
+        ASSERT_EQ(fresh.consistency(), wrapped.consistency())
+            << "threads=" << threads << " prime_round=" << prime_round;
+        for (NodeId v = 0; v < cp.n; ++v) {
+          ASSERT_TRUE(state_of(fresh, v) == state_of(wrapped, v))
+              << "threads=" << threads << " node " << v
+              << " diverged at round " << rf.round;
+        }
+        ++rounds;
+      }
+      ASSERT_TRUE(fresh.all_consistent());
+      expect_metrics_equal(fresh.metrics(), wrapped.metrics());
+      EXPECT_EQ(core::audit_triangle(wrapped), std::nullopt);
+    }
   }
 }
 
