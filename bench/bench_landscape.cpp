@@ -17,6 +17,8 @@
 #include <thread>
 
 #include "bench_util.hpp"
+#include "common/check.hpp"
+#include "net/faults.hpp"
 #include "scenario/registry.hpp"
 
 namespace dynsub {
@@ -26,10 +28,11 @@ std::string num(std::size_t v) { return std::to_string(v); }
 
 harness::RunSummary run_spec(const std::string& spec,
                              const net::NodeFactory& factory,
-                             std::size_t threads = 0) {
+                             std::size_t threads = 0,
+                             const net::FaultPlan& faults = {}) {
   scenario::ScenarioBuild built = bench::build_scenario_or_die(spec);
   return bench::run_experiment(built.nodes, factory, *built.workload,
-                               10000000, threads);
+                               10000000, threads, faults);
 }
 
 }  // namespace
@@ -164,6 +167,53 @@ int main(int argc, char** argv) {
     bench.metric("sparse_churn_100k.triangle.rounds_per_sec",
                  big.rounds_per_sec);
     bench.metric("sparse_churn_100k.triangle.amortized", big.amortized);
+  }
+
+  // --- Chaos-transport row: the fault-injection tax at n = 10^5. -----------
+  // The same serialized-toggle stream runs twice: once on the default
+  // LocalTransport and once through ChaosTransport with 1% batch drops.
+  // Recoverable faults replay byte-identically (ChaosEquivalence), so the
+  // amortized measure must match exactly; the throughput ratio is the pure
+  // price of checksums + retries.  The fault-free row's retry/redelivery
+  // counters are pinned to zero in perf_baseline.json ({"max": 0}): any
+  // transport activity on the LocalTransport path is a bug, not noise.
+  {
+    const std::size_t big_n = 100000;
+    const std::size_t toggles = bench.quick() ? 60 : 300;
+    const std::string spec =
+        "serialized-churn(n=" + num(big_n) + ", target=" + num(2 * big_n) +
+        ", toggles=" + num(toggles) + ", seed=" +
+        num(bench.seed_or(0x51AB) + 3) + ")";
+    std::string perr;
+    const auto chaos = net::parse_fault_plan(
+        "chaos(seed=" + num(bench.seed_or(0x51AB)) + ", drop=0.01)", &perr);
+    DYNSUB_CHECK(chaos.has_value());
+    const harness::RunSummary clean =
+        run_spec(spec, bench::detector_factory_or_die("triangle"));
+    const harness::RunSummary faulty =
+        run_spec(spec, bench::detector_factory_or_die("triangle"), 0, *chaos);
+    DYNSUB_CHECK(faulty.amortized == clean.amortized);
+    DYNSUB_CHECK(faulty.rounds == clean.rounds);
+    std::printf(
+        "\n  chaos transport (n=%zu, drop=0.01):\n"
+        "    fault-free %12.0f rounds/sec (retries %llu)\n"
+        "    chaos      %12.0f rounds/sec (drops %llu, retries %llu)\n",
+        big_n, clean.rounds_per_sec,
+        static_cast<unsigned long long>(clean.transport_retries),
+        faulty.rounds_per_sec,
+        static_cast<unsigned long long>(faulty.transport_drops),
+        static_cast<unsigned long long>(faulty.transport_retries));
+    bench.metric("chaos_100k.fault_free.rounds_per_sec",
+                 clean.rounds_per_sec);
+    bench.metric("chaos_100k.fault_free.retries",
+                 static_cast<double>(clean.transport_retries));
+    bench.metric("chaos_100k.fault_free.redeliveries",
+                 static_cast<double>(clean.transport_redeliveries));
+    bench.metric("chaos_100k.drop.rounds_per_sec", faulty.rounds_per_sec);
+    bench.metric("chaos_100k.drop.retries",
+                 static_cast<double>(faulty.transport_retries));
+    bench.metric("chaos_100k.drop.lost_batches",
+                 static_cast<double>(faulty.transport_lost_batches));
   }
 
   // --- Parallel-engine rows: heavy churn at n = 10^5 and 10^6. -------------

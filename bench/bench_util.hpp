@@ -309,12 +309,14 @@ inline harness::RunSummary run_experiment(std::size_t n,
                                           const net::NodeFactory& factory,
                                           net::Workload& workload,
                                           std::size_t max_rounds = 10000000,
-                                          std::size_t threads = 0) {
+                                          std::size_t threads = 0,
+                                          const net::FaultPlan& faults = {}) {
   net::Simulator sim(n, factory, {.enforce_bandwidth = true,
                                   .track_prev_graph = false,
                                   .sparse_rounds = true,
                                   .collect_phase_timings = true,
-                                  .threads = threads});
+                                  .threads = threads,
+                                  .faults = faults});
   const auto start = std::chrono::steady_clock::now();
   net::run_workload(sim, workload, max_rounds);
   const double wall =

@@ -7,11 +7,26 @@ guarded metric regresses more than the tolerance (default 30%):
 
     effective_floor = baseline_value * (1 - tolerance)
 
+A baseline value may also be an object bound instead of a bare floor:
+
+    {"max": X}   -> metric must be <= X * (1 + tolerance)
+    {"min": X}   -> metric must be >= X * (1 - tolerance), same as a floor
+
+Ceilings exist for counters that must stay at zero on healthy runs --
+e.g. transport `retries` / `redeliveries` on fault-free bench rows, where
+any nonzero value means the fault-free path is taking the chaos path.
+
 Every guarded metric must be *present and a finite number*: a missing
 result file, a missing or non-numeric or NaN metric, an empty floors
 section, or a run that checked nothing at all is a hard failure -- a
 guard that silently guards nothing is worse than no guard
 (bench/check_regression_selftest.py locks these exit codes).
+
+Unknown-key policy, in both directions: result metrics *not* named in the
+baseline are deliberately ignored (benches may grow new counters without
+touching the baseline), but an unknown key inside a baseline bound object
+({"max": ...} misspelled, say) is a hard failure -- a typo there would
+otherwise silently guard nothing.
 
 The baseline values are deliberately *conservative floors* (a few times
 below what a developer machine measures), so the check catches an engine
@@ -72,29 +87,65 @@ def main():
         except (ValueError, json.JSONDecodeError) as e:
             failures.append(f"{bench}: unreadable results: {e}")
             continue
-        for key, floor in sorted(floors.items()):
-            effective = floor * (1.0 - args.tolerance)
-            value = metrics.get(key)
+        for key, bound in sorted(floors.items()):
             checked += 1
+            # Normalize the bound: a bare number is a floor; an object may
+            # carry "min" (floor) and/or "max" (ceiling).  Anything else in
+            # the checked-in baseline is a hard failure.
+            if isinstance(bound, dict):
+                unknown = sorted(set(bound) - {"min", "max"})
+                if unknown or not bound:
+                    failures.append(
+                        f"{bench}: bound for '{key}' has unknown or no "
+                        f"keys {unknown} (allowed: min, max)")
+                    continue
+                floor = bound.get("min")
+                ceiling = bound.get("max")
+            else:
+                floor, ceiling = bound, None
+            for name, limit in (("min", floor), ("max", ceiling)):
+                if limit is not None and (isinstance(limit, bool)
+                                          or not isinstance(limit,
+                                                            (int, float))
+                                          or not math.isfinite(limit)):
+                    failures.append(f"{bench}: baseline {name} for '{key}' "
+                                    f"is not a finite number: {limit!r}")
+                    floor = ceiling = None
+            if floor is None and ceiling is None:
+                continue
+            value = metrics.get(key)
             # A missing, non-numeric, or NaN metric is a hard failure, never
             # a skip: NaN in particular compares False against the floor and
             # used to sail through as "ok".
             if value is None:
-                failures.append(f"{bench}: metric '{key}' missing "
-                                f"(expected >= {effective:.0f})")
-            elif (isinstance(value, bool)
-                  or not isinstance(value, (int, float))
-                  or not math.isfinite(value)):
+                failures.append(f"{bench}: metric '{key}' missing")
+                continue
+            if (isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                    or not math.isfinite(value)):
                 failures.append(f"{bench}: metric '{key}' is not a finite "
                                 f"number: {value!r}")
-            elif value < effective:
-                failures.append(
-                    f"{bench}: {key} = {value:.0f} regressed below "
-                    f"{effective:.0f} (baseline {floor:.0f}, "
-                    f"tolerance {args.tolerance:.0%})")
-            else:
-                print(f"ok  {bench}: {key} = {value:.0f} "
-                      f">= {effective:.0f}")
+                continue
+            if floor is not None:
+                effective = floor * (1.0 - args.tolerance)
+                if value < effective:
+                    failures.append(
+                        f"{bench}: {key} = {value:.0f} regressed below "
+                        f"{effective:.0f} (baseline {floor:.0f}, "
+                        f"tolerance {args.tolerance:.0%})")
+                else:
+                    print(f"ok  {bench}: {key} = {value:.0f} "
+                          f">= {effective:.0f}")
+            if ceiling is not None:
+                effective = ceiling * (1.0 + args.tolerance)
+                if value > effective:
+                    failures.append(
+                        f"{bench}: {key} = {value:.0f} exceeds ceiling "
+                        f"{effective:.0f} (baseline max {ceiling:.0f}, "
+                        f"tolerance {args.tolerance:.0%})")
+                elif floor is None:
+                    print(f"ok  {bench}: {key} = {value:.0f} "
+                          f"<= {effective:.0f}")
 
     if checked == 0 and not failures:
         failures.append("baseline guards no metrics at all "

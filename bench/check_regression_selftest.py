@@ -74,6 +74,33 @@ def main():
         ("baseline guarding nothing fails",
          json.dumps({"__comment": ["docs only"]}), {}, False),
         ("unreadable results fail", base, {"landscape": "not json"}, False),
+        # Object bounds: {"max": X} ceilings (the fault-free chaos-counter
+        # gate) and the unknown-key policy in both directions.
+        ("zero ceiling passes at zero",
+         json.dumps({"landscape": {"perf.retries": {"max": 0}}}),
+         {"landscape": metrics_doc(**{"perf.retries": 0})}, True),
+        ("zero ceiling fails on nonzero",
+         json.dumps({"landscape": {"perf.retries": {"max": 0}}}),
+         {"landscape": metrics_doc(**{"perf.retries": 3})}, False),
+        ("min and max combine",
+         json.dumps({"landscape":
+                     {"perf.rounds_per_sec": {"min": 10000, "max": 50000}}}),
+         {"landscape": metrics_doc(**{"perf.rounds_per_sec": 20000})}, True),
+        ("ceiling metric must still exist",
+         json.dumps({"landscape": {"perf.retries": {"max": 0}}}),
+         {"landscape": metrics_doc(**{"unrelated": 1.0})}, False),
+        ("unknown bound key fails",
+         json.dumps({"landscape": {"perf.retries": {"maximum": 0}}}),
+         {"landscape": metrics_doc(**{"perf.retries": 0})}, False),
+        ("empty bound object fails",
+         json.dumps({"landscape": {"perf.retries": {}}}),
+         {"landscape": metrics_doc(**{"perf.retries": 0})}, False),
+        ("non-numeric bound fails",
+         json.dumps({"landscape": {"perf.retries": {"max": "zero"}}}),
+         {"landscape": metrics_doc(**{"perf.retries": 0})}, False),
+        ("unlisted result metrics are ignored", base,
+         {"landscape": metrics_doc(**{"perf.rounds_per_sec": 12000,
+                                      "perf.new_counter": 7})}, True),
     ]
     passed = sum(run_case(*case) for case in cases)
     print(f"check_regression_selftest: {passed}/{len(cases)} case(s) passed")

@@ -70,6 +70,10 @@ class DetectorBase : public Detector {
                      "query kind not supported by this detector (see "
                      "DetectorInfo::queries)");
     check_query_shape(q, v);
+    // The engine's flag, not the program's: a node degraded by transport
+    // loss has no way to know its state is stale, so its own answer
+    // cannot be trusted until recovery completes.
+    if (!sim.consistency()[v]) return net::Answer::kInconsistent;
     return do_query(sim, v, q);
   }
 

@@ -28,6 +28,13 @@ RunSummary summarize(const net::Simulator& sim) {
   s.react_ns = t.react_ns;
   s.route_ns = t.route_ns;
   s.receive_ns = t.receive_ns;
+  const net::TransportStats& x = m.transport();
+  s.transport_retries = x.retries;
+  s.transport_redeliveries = x.redeliveries;
+  s.transport_corruptions = x.corruptions;
+  s.transport_drops = x.drops;
+  s.transport_lost_batches = x.lost_batches;
+  s.transport_recovery_events = x.recovery_events;
   return s;
 }
 

@@ -37,6 +37,15 @@ struct RunSummary {
   std::uint64_t react_ns = 0;
   std::uint64_t route_ns = 0;
   std::uint64_t receive_ns = 0;
+  // Transport-seam counters (net::TransportStats): all zero on the
+  // LocalTransport path and on fault-free chaos runs -- the bench gate
+  // pins them to zero ceilings on fault-free rows.
+  std::uint64_t transport_retries = 0;
+  std::uint64_t transport_redeliveries = 0;
+  std::uint64_t transport_corruptions = 0;
+  std::uint64_t transport_drops = 0;
+  std::uint64_t transport_lost_batches = 0;
+  std::uint64_t transport_recovery_events = 0;
 };
 
 [[nodiscard]] RunSummary summarize(const net::Simulator& sim);

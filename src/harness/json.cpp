@@ -471,6 +471,12 @@ Json to_json(const RunSummary& s) {
   j["react_ns"] = Json::number(s.react_ns);
   j["route_ns"] = Json::number(s.route_ns);
   j["receive_ns"] = Json::number(s.receive_ns);
+  j["transport_retries"] = Json::number(s.transport_retries);
+  j["transport_redeliveries"] = Json::number(s.transport_redeliveries);
+  j["transport_corruptions"] = Json::number(s.transport_corruptions);
+  j["transport_drops"] = Json::number(s.transport_drops);
+  j["transport_lost_batches"] = Json::number(s.transport_lost_batches);
+  j["transport_recovery_events"] = Json::number(s.transport_recovery_events);
   return j;
 }
 
@@ -531,6 +537,17 @@ std::optional<RunSummary> run_summary_from_json(const Json& j) {
   if (read_number(j, "receive_ns", ns)) {
     s.receive_ns = static_cast<std::uint64_t>(ns);
   }
+  // Transport counters arrived with the chaos transport; also optional.
+  const auto opt_u64 = [&](std::string_view key, std::uint64_t& out) {
+    double value = 0;
+    if (read_number(j, key, value)) out = static_cast<std::uint64_t>(value);
+  };
+  opt_u64("transport_retries", s.transport_retries);
+  opt_u64("transport_redeliveries", s.transport_redeliveries);
+  opt_u64("transport_corruptions", s.transport_corruptions);
+  opt_u64("transport_drops", s.transport_drops);
+  opt_u64("transport_lost_batches", s.transport_lost_batches);
+  opt_u64("transport_recovery_events", s.transport_recovery_events);
   return s;
 }
 

@@ -1,0 +1,164 @@
+#include "net/faults.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.hpp"
+#include "scenario/params.hpp"
+#include "scenario/spec.hpp"
+
+namespace dynsub::net {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string format_probability(double p) {
+  // Shortest digits-and-dot form that strtod round-trips for the
+  // probabilities the strict Params::real grammar accepts.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", p);
+  std::string s(buf);
+  if (s.find('.') == std::string::npos) s += ".0";
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t fault_hash(std::uint64_t seed, Round round, std::uint64_t lane,
+                         std::uint32_t attempt, std::uint32_t salt) {
+  // Chained SplitMix64 over the coordinates: every argument perturbs the
+  // state through a full avalanche, so adjacent (round, lane, attempt)
+  // triples decorrelate completely.
+  std::uint64_t h = splitmix64(seed ^ 0x6368616f732d7478ull);  // "chaos-tx"
+  h = splitmix64(h ^ static_cast<std::uint64_t>(round));
+  h = splitmix64(h ^ lane);
+  h = splitmix64(h ^ ((std::uint64_t{salt} << 32) | attempt));
+  return h;
+}
+
+double fault_unit(std::uint64_t seed, Round round, std::uint64_t lane,
+                  std::uint32_t attempt, std::uint32_t salt) {
+  // 53 high bits -> [0, 1), the standard double mapping.
+  return static_cast<double>(fault_hash(seed, round, lane, attempt, salt) >>
+                             11) *
+         0x1.0p-53;
+}
+
+std::uint64_t backoff_units(const FaultPlan& plan, Round round,
+                            std::uint64_t lane, std::uint32_t attempt) {
+  DYNSUB_DCHECK(attempt >= 1);
+  const std::uint64_t base = std::max<std::uint64_t>(1, plan.backoff_base);
+  const std::uint64_t cap = std::max<std::uint64_t>(base, plan.backoff_cap);
+  // Capped exponential: base << (attempt - 1), saturating at cap.
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt - 1, 63);
+  std::uint64_t wait = base << shift;
+  if (wait < base || wait > cap) wait = cap;  // overflow or past the cap
+  // Deterministic full jitter in [0, wait): decorrelates lanes retrying in
+  // the same round without giving up pure-function reproducibility.
+  const std::uint64_t jitter =
+      fault_hash(plan.seed, round, lane, attempt, /*salt=*/0xb0ff) % wait;
+  return wait + jitter;
+}
+
+std::optional<FaultPlan> parse_fault_plan(std::string_view spec,
+                                          std::string* error) {
+  FaultPlan plan;
+  if (spec.empty() || spec == "none") return plan;
+
+  const auto node = scenario::parse_spec(spec, error);
+  if (!node) return std::nullopt;
+  if (node->name != "chaos") {
+    if (error != nullptr) {
+      *error = "unknown fault plan '" + node->name +
+               "' (supported: none, chaos(seed=, drop=, corrupt=, "
+               "duplicate=, reorder=, delay=, retries=, backoff_base=, "
+               "backoff_cap=, kill_lane=, kill_from=, kill_until=))";
+    }
+    return std::nullopt;
+  }
+  if (!node->children.empty()) {
+    if (error != nullptr) *error = "fault plan 'chaos' takes no children";
+    return std::nullopt;
+  }
+
+  scenario::Params p(*node, error, "fault plan");
+  plan.enabled = true;
+  plan.seed = p.u64("seed", plan.seed);
+  plan.drop = p.real("drop", plan.drop);
+  plan.corrupt = p.real("corrupt", plan.corrupt);
+  plan.duplicate = p.real("duplicate", plan.duplicate);
+  plan.reorder = p.real("reorder", plan.reorder);
+  plan.delay = p.real("delay", plan.delay);
+  plan.max_retries =
+      static_cast<std::uint32_t>(p.u64("retries", plan.max_retries));
+  plan.backoff_base =
+      static_cast<std::uint32_t>(p.u64("backoff_base", plan.backoff_base));
+  plan.backoff_cap =
+      static_cast<std::uint32_t>(p.u64("backoff_cap", plan.backoff_cap));
+  plan.kill_lane =
+      static_cast<std::uint32_t>(p.u64("kill_lane", plan.kill_lane));
+  plan.kill_from =
+      static_cast<std::int64_t>(p.u64("kill_from", 0));
+  const std::uint64_t kill_until = p.u64("kill_until", 0);
+  if (!p.finish()) return std::nullopt;
+
+  if (node->param("kill_until") != nullptr) {
+    plan.kill_until = static_cast<std::int64_t>(kill_until);
+  } else if (plan.kill_lane != FaultPlan::kNoLane) {
+    // kill_lane without an explicit window end: open-ended outage.
+    plan.kill_until = std::numeric_limits<std::int64_t>::max();
+  }
+
+  for (const double prob :
+       {plan.drop, plan.corrupt, plan.duplicate, plan.reorder, plan.delay}) {
+    if (prob > 1.0) {
+      if (error != nullptr) {
+        *error = "fault plan 'chaos': probabilities must be in [0, 1]";
+      }
+      return std::nullopt;
+    }
+  }
+  if (plan.backoff_base == 0 || plan.backoff_cap < plan.backoff_base) {
+    if (error != nullptr) {
+      *error =
+          "fault plan 'chaos': want backoff_base >= 1 and backoff_cap >= "
+          "backoff_base";
+    }
+    return std::nullopt;
+  }
+  return plan;
+}
+
+std::string to_string(const FaultPlan& plan) {
+  if (!plan.enabled) return "none";
+  std::string s = "chaos(seed=" + std::to_string(plan.seed);
+  const auto prob = [&](const char* key, double v) {
+    if (v > 0.0) s += std::string(", ") + key + "=" + format_probability(v);
+  };
+  prob("drop", plan.drop);
+  prob("corrupt", plan.corrupt);
+  prob("duplicate", plan.duplicate);
+  prob("reorder", plan.reorder);
+  prob("delay", plan.delay);
+  s += ", retries=" + std::to_string(plan.max_retries);
+  s += ", backoff_base=" + std::to_string(plan.backoff_base);
+  s += ", backoff_cap=" + std::to_string(plan.backoff_cap);
+  if (plan.kill_lane != FaultPlan::kNoLane) {
+    s += ", kill_lane=" + std::to_string(plan.kill_lane);
+    s += ", kill_from=" + std::to_string(plan.kill_from);
+    if (plan.kill_until != std::numeric_limits<std::int64_t>::max()) {
+      s += ", kill_until=" + std::to_string(plan.kill_until);
+    }
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace dynsub::net

@@ -1,0 +1,100 @@
+// Deterministic fault plans for the lane-batch transport seam.
+//
+// A FaultPlan is a seeded description of what the adversarial "network"
+// between lane staging and the barrier merge does to encoded lane batches:
+// per-attempt drop/corrupt/duplicate/reorder/delay probabilities plus a
+// targeted lane-outage window ("kill lane L from round A to round B").  It
+// is specced in the same `name(param=value, ...)` grammar the scenario and
+// detector registries use, so `dynsub_run --faults 'chaos(seed=7,
+// drop=0.01)'` parses with the same strict typed-parameter rules (unknown
+// or duplicate keys are errors, never silently ignored defaults).
+//
+// Determinism is the whole point: every fault decision is a *pure counter-
+// based hash* of (seed, round, lane, attempt, salt) -- never a shared
+// sequential RNG stream -- so the schedule is identical across thread
+// counts, identical under record/replay, and a test can recompute any
+// decision independently (the BackoffDeterminism suite does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace dynsub::net {
+
+/// What the chaos transport does to each encoded lane batch, with what
+/// probability, and how hard the retry protocol fights back.  Default
+/// construction (enabled == false) means "no transport at all": the
+/// engine keeps today's direct staging path with zero overhead.
+struct FaultPlan {
+  bool enabled = false;
+
+  /// Seed of every per-(round, lane, attempt) fault decision.
+  std::uint64_t seed = 1;
+
+  /// Per-attempt probabilities in [0, 1].
+  double drop = 0.0;       // batch vanishes; receiver times out and NACKs
+  double corrupt = 0.0;    // deterministic byte flip; CRC rejects, NACK
+  double duplicate = 0.0;  // a second copy arrives; seq check rejects it
+  double reorder = 0.0;    // lanes are serviced in a permuted order
+  double delay = 0.0;      // copy parked to the next round (stale on arrival)
+
+  /// Retry protocol: attempts = 1 + max_retries; backoff_units() grows the
+  /// simulated NACK-to-resend wait exponentially up to backoff_cap.
+  std::uint32_t max_retries = 8;
+  std::uint32_t backoff_base = 1;
+  std::uint32_t backoff_cap = 64;
+
+  /// Targeted outage: every attempt on `kill_lane` fails while
+  /// kill_from <= round <= kill_until (retries exhaust, degraded mode).
+  /// kill_lane == kNoLane disables the directive.
+  static constexpr std::uint32_t kNoLane = 0xffffffffu;
+  std::uint32_t kill_lane = kNoLane;
+  std::int64_t kill_from = 0;
+  std::int64_t kill_until = -1;
+
+  [[nodiscard]] bool kills(std::size_t lane, Round round) const {
+    return kill_lane != kNoLane && lane == kill_lane && round >= kill_from &&
+           round <= kill_until;
+  }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Parses a fault spec: "none" (or "") -> disabled plan; "chaos(seed=7,
+/// drop=0.01, corrupt=0.005, duplicate=0.01, reorder=0.1, delay=0.01,
+/// retries=8, backoff_base=1, backoff_cap=64, kill_lane=2, kill_from=10,
+/// kill_until=20)" with every parameter optional.  Probabilities above 1
+/// and malformed/unknown/duplicate parameters are errors (sets *error).
+[[nodiscard]] std::optional<FaultPlan> parse_fault_plan(
+    std::string_view spec, std::string* error = nullptr);
+
+/// Canonical spec string that parses back to the same plan.
+[[nodiscard]] std::string to_string(const FaultPlan& plan);
+
+/// The pure fault-decision hash: a SplitMix64-style mix of (seed, round,
+/// lane, attempt, salt).  Identical inputs give identical outputs on every
+/// platform -- no global state, no call-order dependence.
+[[nodiscard]] std::uint64_t fault_hash(std::uint64_t seed, Round round,
+                                       std::uint64_t lane,
+                                       std::uint32_t attempt,
+                                       std::uint32_t salt);
+
+/// fault_hash mapped to [0, 1): the coin every probability is compared to.
+[[nodiscard]] double fault_unit(std::uint64_t seed, Round round,
+                                std::uint64_t lane, std::uint32_t attempt,
+                                std::uint32_t salt);
+
+/// Simulated backoff wait (in abstract units) before resend `attempt`
+/// (attempt >= 1): capped exponential base << (attempt - 1) plus a
+/// deterministic jitter drawn from fault_hash.  A pure function of
+/// (plan.seed, round, lane, attempt) -- the retry schedule is therefore
+/// identical across thread counts and under replay.
+[[nodiscard]] std::uint64_t backoff_units(const FaultPlan& plan, Round round,
+                                          std::uint64_t lane,
+                                          std::uint32_t attempt);
+
+}  // namespace dynsub::net

@@ -37,6 +37,44 @@ struct LaneTraffic {
   friend bool operator==(const LaneTraffic&, const LaneTraffic&) = default;
 };
 
+/// Counters of everything the transport layer (net/transport.hpp) did to
+/// the lane batches at the round barriers.  All-zero for the local path
+/// and for fault-free chaos runs -- which is exactly what the perf gate
+/// asserts on fault-free bench rows.
+struct TransportStats {
+  std::uint64_t batches = 0;        // lane batches carried end to end
+  std::uint64_t wire_bytes = 0;     // encoded bytes shipped (incl. resends)
+  std::uint64_t retries = 0;        // NACK-and-resend attempts
+  std::uint64_t redeliveries = 0;   // duplicate/stale copies rejected by seq
+  std::uint64_t corruptions = 0;    // CRC32C rejects
+  std::uint64_t drops = 0;          // batches the fault plan vanished
+  std::uint64_t delays = 0;         // copies parked to a later round
+  std::uint64_t reorders = 0;       // rounds serviced in permuted lane order
+  std::uint64_t backoff_units = 0;  // simulated exponential-backoff waiting
+  std::uint64_t lost_batches = 0;   // retries exhausted; lane degraded
+  std::uint64_t degraded_marks = 0;   // nodes entering degraded mode
+  std::uint64_t recovery_events = 0;  // flicker events injected to recover
+
+  TransportStats& operator+=(const TransportStats& o) {
+    batches += o.batches;
+    wire_bytes += o.wire_bytes;
+    retries += o.retries;
+    redeliveries += o.redeliveries;
+    corruptions += o.corruptions;
+    drops += o.drops;
+    delays += o.delays;
+    reorders += o.reorders;
+    backoff_units += o.backoff_units;
+    lost_batches += o.lost_batches;
+    degraded_marks += o.degraded_marks;
+    recovery_events += o.recovery_events;
+    return *this;
+  }
+
+  friend bool operator==(const TransportStats&,
+                         const TransportStats&) = default;
+};
+
 class Metrics {
  public:
   explicit Metrics(std::size_t n) : node_inconsistent_(n), node_changes_(n) {}
@@ -83,6 +121,11 @@ class Metrics {
   /// Worst per-node ratio: max_v inconsistent_v / max(1, changes_v).
   [[nodiscard]] double per_node_amortized_sup() const;
 
+  /// Transport-layer counters; the engine's transport accumulates into
+  /// transport_mut() at the round barrier (single-threaded by contract).
+  [[nodiscard]] const TransportStats& transport() const { return transport_; }
+  [[nodiscard]] TransportStats& transport_mut() { return transport_; }
+
   [[nodiscard]] const std::vector<std::uint64_t>& node_inconsistent() const {
     return node_inconsistent_;
   }
@@ -98,6 +141,7 @@ class Metrics {
   std::uint64_t messages_ = 0;
   std::uint64_t payload_bits_ = 0;
   double amortized_sup_ = 0.0;
+  TransportStats transport_;
   std::vector<std::uint64_t> node_inconsistent_;
   std::vector<std::uint64_t> node_changes_;
 };

@@ -1,5 +1,6 @@
 #include "net/router.hpp"
 
+#include <array>
 #include <cstring>
 
 #include "net/message.hpp"
@@ -112,6 +113,49 @@ bool fail(std::string* error, const char* what) {
   return false;
 }
 
+// CRC32C (Castagnoli, reflected polynomial 0x82f63b78) lookup table,
+// computed once at first use.  Software table-driven: no SSE4.2 / zlib
+// dependency, identical output on every platform.
+const std::uint32_t* crc32c_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82f63b78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> bytes, std::uint32_t crc) {
+  const std::uint32_t* table = crc32c_table();
+  crc = ~crc;
+  for (const std::uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+namespace {
+
+/// CRC32C of an encoded batch with the header's crc field treated as zero
+/// -- the quantity both encode_lane (stamp) and decode_lane (verify)
+/// compute.  Streamed in three slices, so neither side copies the buffer.
+std::uint32_t batch_crc(std::span<const std::uint8_t> bytes) {
+  DYNSUB_DCHECK(bytes.size() >= LaneBatchHeader::kWireBytes);
+  static constexpr std::uint8_t kZeros[4] = {0, 0, 0, 0};
+  std::uint32_t c = crc32c(bytes.first(LaneBatchHeader::kCrcOffset));
+  c = crc32c(std::span<const std::uint8_t>(kZeros, 4), c);
+  c = crc32c(bytes.subspan(LaneBatchHeader::kCrcOffset + 4), c);
+  return c;
+}
+
 }  // namespace
 
 Router::Router(std::size_t n, std::size_t lanes, RouterConfig config)
@@ -122,12 +166,14 @@ Router::Router(std::size_t n, std::size_t lanes, RouterConfig config)
       busy_(n, lanes),
       two_hop_(n, lanes),
       lane_traffic_(lanes),
+      lane_epoch_(lanes, 1),
       lane_dst_scratch_(lanes) {
   DYNSUB_CHECK(lanes >= 1);
 }
 
 void Router::begin_round(Round round) {
   round_ = round;
+  ++seq_;  // one wire sequence number per round; resends reuse it
   payloads_.begin_round();
   busy_.begin_round();
   two_hop_.begin_round();
@@ -197,6 +243,8 @@ LaneBatchHeader Router::lane_header(std::size_t lane) const {
   h.two_hop_count = two_hop_.lane_staged(lane).size();
   h.messages = lane_traffic_[lane].messages;
   h.payload_bits = lane_traffic_[lane].payload_bits;
+  h.seq = seq_;
+  h.epoch = lane_epoch_[lane];
   std::uint64_t bytes = 0;
   for (const auto& [dst, item] : payloads_.lane_staged(lane)) {
     (void)dst;
@@ -210,8 +258,8 @@ LaneBatchHeader Router::lane_header(std::size_t lane) const {
 void Router::encode_lane(std::size_t lane,
                          std::vector<std::uint8_t>& out) const {
   const LaneBatchHeader h = lane_header(lane);
-  out.reserve(out.size() + LaneBatchHeader::kWireBytes + h.payload_bytes +
-              8 * (h.busy_count + h.two_hop_count));
+  const std::size_t start = out.size();
+  out.reserve(start + h.wire_size());
   put_u32(out, h.magic);
   put_u16(out, h.version);
   put_u16(out, h.lane);
@@ -222,6 +270,9 @@ void Router::encode_lane(std::size_t lane,
   put_u64(out, h.payload_bytes);
   put_u64(out, h.messages);
   put_u64(out, h.payload_bits);
+  put_u64(out, h.seq);
+  put_u32(out, h.epoch);
+  put_u32(out, 0);  // crc placeholder, patched below
   for (const auto& [dst, item] : payloads_.lane_staged(lane)) {
     put_u32(out, dst);
     put_u32(out, item.from);
@@ -235,6 +286,13 @@ void Router::encode_lane(std::size_t lane,
     put_u32(out, dst);
     put_u32(out, sender);
   }
+  // Stamp the CRC over everything just written (crc field still zero).
+  const std::uint32_t crc = batch_crc(
+      std::span<const std::uint8_t>(out.data() + start, out.size() - start));
+  for (int i = 0; i < 4; ++i) {
+    out[start + LaneBatchHeader::kCrcOffset + i] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
 }
 
 bool Router::decode_lane(std::span<const std::uint8_t> bytes,
@@ -246,7 +304,8 @@ bool Router::decode_lane(std::span<const std::uint8_t> bytes,
       !r.read_u16(&h.lane) || !r.read_u64(&round) ||
       !r.read_u64(&h.payload_count) || !r.read_u64(&h.busy_count) ||
       !r.read_u64(&h.two_hop_count) || !r.read_u64(&h.payload_bytes) ||
-      !r.read_u64(&h.messages) || !r.read_u64(&h.payload_bits)) {
+      !r.read_u64(&h.messages) || !r.read_u64(&h.payload_bits) ||
+      !r.read_u64(&h.seq) || !r.read_u32(&h.epoch) || !r.read_u32(&h.crc)) {
     return fail(error, "lane batch: truncated header");
   }
   h.round = static_cast<Round>(round);
@@ -255,6 +314,33 @@ bool Router::decode_lane(std::span<const std::uint8_t> bytes,
   }
   if (h.version != LaneBatchHeader::kVersion) {
     return fail(error, "lane batch: unsupported version");
+  }
+  // Size the frame from the header with overflow-safe arithmetic: a
+  // corrupt count must not wrap the expected size back into range.
+  constexpr std::uint64_t kSizeCap = std::uint64_t{1} << 62;
+  if (h.payload_bytes >= kSizeCap || h.busy_count >= kSizeCap / 16 ||
+      h.two_hop_count >= kSizeCap / 16) {
+    return fail(error, "lane batch: header sizes out of range");
+  }
+  if (bytes.size() != h.wire_size()) {
+    return fail(error, h.wire_size() > bytes.size()
+                           ? "lane batch: truncated batch"
+                           : "lane batch: trailing bytes after batch");
+  }
+  // Verify the checksum before trusting any section count: every byte of
+  // a corrupted frame is rejected here, never half-parsed into a batch.
+  const std::uint32_t want_crc = batch_crc(bytes);
+  if (h.crc != want_crc) {
+    return fail(error, "lane batch: checksum mismatch");
+  }
+  // The wire CRC is transit armor, not batch state: zero it so a decoded
+  // batch compares equal to the header the staging side reported.
+  h.crc = 0;
+  // Each payload entry is at least 39 bytes (ids + fixed message fields +
+  // blob length); a count that could not fit in payload_bytes is corrupt,
+  // and rejecting it here also bounds the reserve below.
+  if (h.payload_count > h.payload_bytes / 39) {
+    return fail(error, "lane batch: payload count exceeds section size");
   }
   const std::size_t payload_start = r.pos();
   batch->payloads.clear();
@@ -287,6 +373,47 @@ bool Router::decode_lane(std::span<const std::uint8_t> bytes,
     return fail(error, "lane batch: truncated control-bit section");
   }
   return true;
+}
+
+void Router::replace_lane(std::size_t lane, LaneBatch&& batch) {
+  DYNSUB_DCHECK(lane < lane_traffic_.size());
+  DYNSUB_CHECK_MSG(batch.header.lane == lane,
+                   "replace_lane: batch for lane "
+                       << batch.header.lane << " delivered into lane "
+                       << lane);
+  auto& payloads = payloads_.lane_mut(lane);
+  payloads.clear();
+  for (auto& [dst, item] : batch.payloads) {
+    payloads.emplace_back(dst, std::move(item));
+  }
+  busy_.lane_mut(lane).assign(batch.busy.begin(), batch.busy.end());
+  two_hop_.lane_mut(lane).assign(batch.two_hop.begin(), batch.two_hop.end());
+  lane_traffic_[lane] =
+      LaneTraffic{batch.header.messages, batch.header.payload_bits};
+}
+
+void Router::clear_lane(std::size_t lane) {
+  DYNSUB_DCHECK(lane < lane_traffic_.size());
+  payloads_.lane_mut(lane).clear();
+  busy_.lane_mut(lane).clear();
+  two_hop_.lane_mut(lane).clear();
+  lane_traffic_[lane] = LaneTraffic{};
+}
+
+void Router::collect_lane_destinations(std::size_t lane,
+                                       std::vector<NodeId>* out) const {
+  for (const auto& [dst, item] : payloads_.lane_staged(lane)) {
+    (void)item;
+    out->push_back(dst);
+  }
+  for (const auto& [dst, sender] : busy_.lane_staged(lane)) {
+    (void)sender;
+    out->push_back(dst);
+  }
+  for (const auto& [dst, sender] : two_hop_.lane_staged(lane)) {
+    (void)sender;
+    out->push_back(dst);
+  }
 }
 
 void Router::debug_prime_epoch_wrap(std::uint64_t steps) {

@@ -266,6 +266,15 @@ class ShardedBuckets {
     return staged_[lane];
   }
 
+  /// Mutable access to lane `lane`'s staged buffer, for the transport
+  /// layer's replace/clear of a lane between staging and merge() (never
+  /// call concurrently with stage()).
+  [[nodiscard]] std::vector<std::pair<NodeId, T>>& lane_mut(
+      std::size_t lane) {
+    DYNSUB_DCHECK(lane < staged_.size());
+    return staged_[lane];
+  }
+
   /// Total item capacity currently retained by the staging and merge
   /// buffers -- the quantity the decay policy bounds (regression-tested).
   [[nodiscard]] std::size_t retained_capacity() const {
@@ -306,15 +315,29 @@ class ShardedBuckets {
   std::uint32_t rounds_since_decay_ = 0;
 };
 
-/// Sized wire header of one lane's staged routing batch (format v1).
+/// Sized wire header of one lane's staged routing batch (format v2).
 /// Every count and byte length a reader needs to skip or slice the batch
 /// is in the fixed-size header, so the same framing works for in-process
 /// tests today and cross-process shard exchange later.  All fields are
 /// serialized little-endian by Router::encode_lane.
+///
+/// v2 hardens the frame against an imperfect transport (net/transport.hpp):
+///   * seq   -- monotone per-lane sequence number, bumped at begin_round();
+///              a resend of the same round's batch carries the same seq, so
+///              a receiver rejects duplicates and stale delayed copies.
+///   * epoch -- stream-incarnation stamp.  Bumped when a lane's delivery
+///              was declared lost (retries exhausted): copies of batches
+///              from before the loss can never be mistaken for fresh
+///              traffic even across a seq reset.
+///   * crc   -- CRC32C over the entire encoded batch with this field
+///              zeroed; decode_lane verifies it before trusting any count,
+///              so a corrupted buffer is rejected, never half-parsed.
 struct LaneBatchHeader {
   static constexpr std::uint32_t kMagic = 0x424c5344u;  // "DSLB"
-  static constexpr std::uint16_t kVersion = 1;
-  static constexpr std::size_t kWireBytes = 64;
+  static constexpr std::uint16_t kVersion = 2;
+  static constexpr std::size_t kWireBytes = 80;
+  /// Byte offset of the crc field (the last 4 header bytes).
+  static constexpr std::size_t kCrcOffset = kWireBytes - 4;
 
   std::uint32_t magic = kMagic;
   std::uint16_t version = kVersion;
@@ -328,10 +351,24 @@ struct LaneBatchHeader {
   std::uint64_t payload_bytes = 0;
   std::uint64_t messages = 0;
   std::uint64_t payload_bits = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t epoch = 1;
+  std::uint32_t crc = 0;
+
+  /// Total encoded size of the batch this header describes.
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return kWireBytes + payload_bytes + 8 * (busy_count + two_hop_count);
+  }
 
   friend bool operator==(const LaneBatchHeader&,
                          const LaneBatchHeader&) = default;
 };
+
+/// Streaming CRC32C (Castagnoli): pass the previous return value as `crc`
+/// to extend a running checksum (start from 0).  Table-driven software
+/// implementation -- no hardware or library dependency.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::uint8_t> bytes,
+                                   std::uint32_t crc = 0);
 
 /// A decoded lane batch: the header plus the staged traffic, exactly as
 /// the staging lane ordered it.
@@ -408,16 +445,55 @@ class Router {
   [[nodiscard]] LaneBatchHeader lane_header(std::size_t lane) const;
 
   /// Appends lane `lane`'s batch -- header + payload/busy/two-hop
-  /// sections -- to `out` in the v1 wire format (call between staging and
-  /// merge(); merge() moves the staged payloads out).
+  /// sections -- to `out` in the v2 wire format, CRC32C stamped (call
+  /// between staging and merge(); merge() moves the staged payloads out).
   void encode_lane(std::size_t lane, std::vector<std::uint8_t>& out) const;
 
-  /// Decodes one v1 lane batch.  Returns false (with `*error` set when
-  /// non-null) on a bad magic/version, a truncated buffer, or section
-  /// counts that do not match the header.
+  /// Decodes one v2 lane batch.  Returns false (with `*error` set when
+  /// non-null) on a bad magic/version, a buffer whose length is not
+  /// exactly the header's wire_size() (truncated or trailing garbage), a
+  /// CRC32C mismatch, or section counts that do not match the header.
+  /// Every reject is clean: no over-read, no partial trust in a corrupt
+  /// count before the checksum has vouched for it.
   [[nodiscard]] static bool decode_lane(std::span<const std::uint8_t> bytes,
                                         LaneBatch* batch,
                                         std::string* error = nullptr);
+
+  /// Replaces lane `lane`'s staged batch with a decoded one -- the receive
+  /// half of the cross-process seam (and of the chaos transport's
+  /// encode -> perturb -> decode loop).  The batch's traffic counters are
+  /// restored from its header, so a delivered batch merges exactly as the
+  /// locally staged original would have.  Call between staging and
+  /// merge().
+  void replace_lane(std::size_t lane, LaneBatch&& batch);
+
+  /// Drops lane `lane`'s staged batch entirely (payloads, control bits,
+  /// traffic counters) -- what an exhausted retry protocol does before
+  /// degrading the destinations.  Call between staging and merge().
+  void clear_lane(std::size_t lane);
+
+  /// Appends every destination lane `lane`'s staged batch would deliver to
+  /// (payloads, busy bits, two-hop bits; duplicates included) -- the set a
+  /// transport must degrade when the batch is lost for good.  Call between
+  /// staging and merge().
+  void collect_lane_destinations(std::size_t lane,
+                                 std::vector<NodeId>* out) const;
+
+  /// The monotone sequence number stamped into this round's lane headers
+  /// (bumped by begin_round()).
+  [[nodiscard]] std::uint64_t wire_seq() const { return seq_; }
+
+  /// Per-lane stream-incarnation stamp for lane batch headers.  A
+  /// transport bumps it after declaring a lane's delivery lost, so
+  /// in-flight copies from the dead period can never pass for fresh.
+  [[nodiscard]] std::uint32_t wire_epoch(std::size_t lane) const {
+    DYNSUB_DCHECK(lane < lane_epoch_.size());
+    return lane_epoch_[lane];
+  }
+  void set_wire_epoch(std::size_t lane, std::uint32_t epoch) {
+    DYNSUB_DCHECK(lane < lane_epoch_.size());
+    lane_epoch_[lane] = epoch;
+  }
 
   /// Test hook: primes every internal epoch counter to within `steps`
   /// increments of the std::uint64_t wrap.
@@ -435,10 +511,12 @@ class Router {
   std::size_t n_;
   std::size_t budget_bits_;
   Round round_ = 0;
+  std::uint64_t seq_ = 0;  // monotone wire sequence, bumped per round
   ShardedBuckets<Inbox::Item> payloads_;
   ShardedBuckets<NodeId> busy_;
   ShardedBuckets<NodeId> two_hop_;
   std::vector<LaneTraffic> lane_traffic_;           // reduced by merge()
+  std::vector<std::uint32_t> lane_epoch_;           // wire stream epochs
   std::vector<std::vector<NodeId>> lane_dst_scratch_;  // duplicate check
 };
 

@@ -32,12 +32,19 @@ Simulator::Simulator(std::size_t n, NodeFactory factory,
               RouterConfig{config.enforce_bandwidth}),
       lane_outbox_(std::max<std::size_t>(1, config.threads)),
       lane_books_(std::max<std::size_t>(1, config.threads)),
-      active_mark_(n, 0) {
+      active_mark_(n, 0),
+      degraded_(n, false),
+      pending_incident_(n, 0) {
   DYNSUB_CHECK(n >= 1);
   nodes_.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
     nodes_.push_back(factory(v, n));
     DYNSUB_CHECK(nodes_.back() != nullptr);
+  }
+  if (config_.faults.enabled) {
+    transport_ = std::make_unique<ChaosTransport>(config_.faults);
+  } else {
+    transport_ = std::make_unique<LocalTransport>();
   }
   if (config_.threads > 0) {
     pool_ = std::make_unique<WorkerPool>(config_.threads,
@@ -119,13 +126,147 @@ void Simulator::receive_shard(std::size_t lane, std::size_t begin,
     // order); the per-node inconsistency meter is written directly --
     // stepped nodes are partitioned across lanes, so concurrent calls
     // always target distinct counters (metrics.hpp contract).
-    const bool ok = nodes_[v]->consistent();
+    // A degraded node's program cannot know it missed traffic; the engine
+    // overrides its self-report until recovery completes.
+    const bool ok = nodes_[v]->consistent() && !degraded_[v];
     if (ok != consistent_[v]) book.flips.emplace_back(v, ok);
     if (!ok) metrics_.record_node_inconsistent(v);
     if (config_.sparse_rounds && nodes_[v]->wants_to_act()) {
       book.carry.push_back(v);
     }
   }
+}
+
+bool Simulator::erase_sorted(std::vector<Edge>& edges, Edge e) {
+  const auto it = std::lower_bound(edges.begin(), edges.end(), e);
+  if (it == edges.end() || *it != e) return false;
+  edges.erase(it);
+  return true;
+}
+
+void Simulator::add_pending_delete(Edge e) {
+  // An edge enters the flicker pipeline at most once: skip it while it is
+  // anywhere in flight (covers the shared edge of two degraded neighbors).
+  if (std::binary_search(pending_reinsert_.begin(), pending_reinsert_.end(),
+                         e)) {
+    return;
+  }
+  const auto it =
+      std::lower_bound(pending_delete_.begin(), pending_delete_.end(), e);
+  if (it != pending_delete_.end() && *it == e) return;
+  pending_delete_.insert(it, e);
+  ++pending_incident_[e.lo()];
+  ++pending_incident_[e.hi()];
+}
+
+std::span<const EdgeEvent> Simulator::reconcile_and_recover(
+    std::span<const EdgeEvent> events) {
+  if (pending_delete_.empty() && pending_reinsert_.empty()) return events;
+
+  // 1. Reconcile the workload batch against the pipeline.  The workload's
+  // edge model has not seen our flicker deletes, so its ops on pipeline
+  // edges must be translated to keep the *net* topology exactly what the
+  // workload intends (the oracle and all audits follow the real graph
+  // either way):
+  //   * delete of a flicker-absent edge -- the workload retracts an edge
+  //     we already removed; dropping both its delete and our reinsert is
+  //     the identical end state.
+  //   * insert of a flicker-absent edge -- apply it and cancel our
+  //     reinsert (the insert re-triggers the same state rebuild).
+  //   * delete of an edge still awaiting its flicker delete -- apply it
+  //     and retire the flicker entirely: a genuinely deleted edge purges
+  //     the degraded endpoint's state just as the flicker would have,
+  //     and nothing may be reinserted against the workload's intent.
+  reconciled_.clear();
+  for (const EdgeEvent& ev : events) {
+    if (std::binary_search(pending_reinsert_.begin(), pending_reinsert_.end(),
+                           ev.edge)) {
+      erase_sorted(pending_reinsert_, ev.edge);
+      --pending_incident_[ev.edge.lo()];
+      --pending_incident_[ev.edge.hi()];
+      if (ev.kind == EventKind::kDelete) continue;  // annihilates the flicker
+      reconciled_.push_back(ev);
+      continue;
+    }
+    if (erase_sorted(pending_delete_, ev.edge)) {
+      --pending_incident_[ev.edge.lo()];
+      --pending_incident_[ev.edge.hi()];
+    }
+    reconciled_.push_back(ev);
+  }
+
+  // 2. Emit recovery events, but only after a clean barrier -- flickers
+  // issued into rounds that are still losing batches would be lost too
+  // and churn forever; the engine waits until delivery resumes.  After
+  // step 1 the pipeline is disjoint from the workload batch, so the
+  // merged batch stays applicable (each edge at most once per round).
+  merged_events_.clear();
+  if (!round_had_loss_) {
+    TransportStats& stats = metrics_.transport_mut();
+    for (const Edge e : pending_reinsert_) {
+      merged_events_.push_back(EdgeEvent{e, EventKind::kInsert});
+      --pending_incident_[e.lo()];
+      --pending_incident_[e.hi()];
+      ++stats.recovery_events;
+    }
+    pending_reinsert_.clear();
+    for (const Edge e : pending_delete_) {
+      merged_events_.push_back(EdgeEvent{e, EventKind::kDelete});
+      ++stats.recovery_events;
+    }
+    // The deleted edges await their reinsert in the next clean round;
+    // both vectors are sorted, so the swap keeps the invariant.
+    pending_reinsert_.swap(pending_delete_);
+    pending_delete_.clear();
+  }
+  merged_events_.insert(merged_events_.end(), reconciled_.begin(),
+                        reconciled_.end());
+  return merged_events_;
+}
+
+void Simulator::apply_loss() {
+  auto& lost = loss_.lost_destinations;
+  std::sort(lost.begin(), lost.end());
+  lost.erase(std::unique(lost.begin(), lost.end()), lost.end());
+  for (const NodeId v : lost) {
+    if (!degraded_[v]) {
+      degraded_[v] = true;
+      degraded_nodes_.push_back(v);
+      ++metrics_.transport_mut().degraded_marks;
+      if (consistent_[v]) {
+        consistent_[v] = false;
+        ++inconsistent_count_;
+      }
+    }
+    // (Re-)enumerate v's current incident edges into the flicker pipeline:
+    // whatever the lost batch carried, it arrived over edges of G_i, and a
+    // full delete+reinsert of each forces both endpoints to rebuild their
+    // per-edge state from scratch.
+    for (const NodeId u : g_.neighbors(v)) add_pending_delete(Edge(v, u));
+  }
+  std::sort(degraded_nodes_.begin(), degraded_nodes_.end());
+}
+
+void Simulator::maybe_undegrade() {
+  if (degraded_nodes_.empty() || round_had_loss_) return;
+  // A clean barrier delivered this round's batches -- including the
+  // reinsert-triggered rebuild traffic -- so a degraded node with no
+  // pipeline edges left is back under the normal consistency contract:
+  // report its program's own truth (it keeps converging as after any
+  // churn; an inconsistent program is always active).
+  std::size_t keep = 0;
+  for (const NodeId v : degraded_nodes_) {
+    if (pending_incident_[v] > 0) {
+      degraded_nodes_[keep++] = v;
+      continue;
+    }
+    degraded_[v] = false;
+    if (nodes_[v]->consistent() && !consistent_[v]) {
+      consistent_[v] = true;
+      --inconsistent_count_;
+    }
+  }
+  degraded_nodes_.resize(keep);
 }
 
 RoundResult Simulator::step(std::span<const EdgeEvent> events) {
@@ -137,6 +278,10 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
 
   // --- Phase 0: bring G_{i-1} up to date, apply this round's events, and
   // assemble the active set. ---
+  // Degraded-mode recovery: screen the workload batch against the flicker
+  // pipeline and prepend this round's recovery events (no-op without
+  // pending recovery, i.e. always for the fault-free engine).
+  events = reconcile_and_recover(events);
   if (config_.track_prev_graph) {
     for (const auto& ev : pending_prev_) prev_g_.apply(ev, round_ - 1);
     pending_prev_.assign(events.begin(), events.end());
@@ -198,9 +343,18 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
     timings_.react_ns += elapsed_ns(t1, t2);
   }
 
-  // --- Phase 2: the round barrier's deterministic lane-major merge --
-  // per-destination inboxes come out sender-sorted -- plus the lane-order
-  // reduction of the per-lane traffic counters. ---
+  // --- Phase 2: the staged lane batches cross the transport seam (a
+  // no-op for LocalTransport; the fault plan's whole protocol for
+  // ChaosTransport), then the round barrier's deterministic lane-major
+  // merge -- per-destination inboxes come out sender-sorted -- plus the
+  // lane-order reduction of the per-lane traffic counters. ---
+  loss_.lost_destinations.clear();
+  round_had_loss_ = false;
+  transport_->exchange(router_, round_, metrics_, &loss_);
+  if (loss_.any()) {
+    round_had_loss_ = true;
+    apply_loss();
+  }
   const LaneTraffic traffic = router_.merge();
 
   // Pure receivers join the receive half of the round.
@@ -260,6 +414,7 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
     }
     carry_.insert(carry_.end(), book.carry.begin(), book.carry.end());
   }
+  maybe_undegrade();
 
   // --- Metering. ---
   metrics_.record_round(round_, events.size(), inconsistent_count_,

@@ -50,6 +50,20 @@
 // therefore bit-identical to the sequential engine for any thread count
 // -- locked by the ParallelEquivalence suite at threads in {1, 2, 4, 8}.
 //
+// Transport seam (SimulatorConfig::faults): between Phase 1 staging and
+// the Phase 2 merge, the staged lane batches cross a Transport
+// (net/transport.hpp).  The default LocalTransport is a no-op; a FaultPlan
+// swaps in the ChaosTransport, which drives every batch through the v2
+// wire format under seeded deterministic faults with NACK-and-resend
+// retries.  When retries exhaust, the batch is honestly *lost*: every
+// destination it would have reached is marked degraded -- reported
+// inconsistent exactly like a node mid-churn -- and the engine recovers by
+// scheduling real flicker events (delete, then reinsert, of the degraded
+// nodes' incident edges) into the next clean rounds' Phase 0, ahead of the
+// workload batch.  That reduces fault recovery to adversarial churn, which
+// the paper's algorithms provably handle; audits stay sound throughout
+// because degraded nodes are excluded the same way inconsistent ones are.
+//
 // The engine also maintains G_{i-1} (needed because the paper's 3-hop and
 // cycle-listing guarantees are stated against the previous round's graph).
 // Determinism: active nodes execute in id order and see inboxes sorted by
@@ -64,9 +78,11 @@
 
 #include "common/edge.hpp"
 #include "common/types.hpp"
+#include "net/faults.hpp"
 #include "net/metrics.hpp"
 #include "net/node.hpp"
 #include "net/router.hpp"
+#include "net/transport.hpp"
 #include "net/worker_pool.hpp"
 #include "oracle/timestamped_graph.hpp"
 
@@ -99,6 +115,10 @@ struct SimulatorConfig {
   /// work; identical results either way).  The equivalence/tsan suites
   /// set 0 to race every dispatch.
   std::size_t threads_inline_cutoff = WorkerPool::kInlineCutoff;
+  /// Fault plan for the transport seam.  Disabled (the default) keeps the
+  /// zero-overhead LocalTransport; an enabled plan routes every lane batch
+  /// through the fault-injecting ChaosTransport (see the header comment).
+  FaultPlan faults{};
 };
 
 struct RoundResult {
@@ -177,6 +197,20 @@ class Simulator {
   [[nodiscard]] const std::vector<bool>& consistency() const {
     return consistent_;
   }
+  /// Degraded flags: nodes whose inbound lane batch was lost after every
+  /// retry and whose recovery flicker has not yet completed.  A degraded
+  /// node always reads inconsistent in consistency() -- its local state
+  /// may silently disagree with the network, so claiming otherwise would
+  /// be unsound.
+  [[nodiscard]] const std::vector<bool>& degraded() const {
+    return degraded_;
+  }
+  [[nodiscard]] std::size_t degraded_count() const {
+    return degraded_nodes_.size();
+  }
+  /// True when the last step's transport exchange lost at least one lane
+  /// batch (retries exhausted).
+  [[nodiscard]] bool last_round_had_loss() const { return round_had_loss_; }
   [[nodiscard]] bool all_consistent() const {
     return inconsistent_count_ == 0;
   }
@@ -216,6 +250,17 @@ class Simulator {
 
   void mark_active(NodeId v);
   void bump_active_epoch();
+  // Transport / degraded-mode machinery (all barrier-side, sequential).
+  // reconcile_and_recover screens the workload batch against the recovery
+  // pipeline and prepends this round's flicker events; apply_loss marks a
+  // lost batch's destinations degraded and enqueues their incident edges
+  // for flicker; maybe_undegrade clears flags whose recovery has flushed.
+  std::span<const EdgeEvent> reconcile_and_recover(
+      std::span<const EdgeEvent> events);
+  void apply_loss();
+  void maybe_undegrade();
+  void add_pending_delete(Edge e);
+  static bool erase_sorted(std::vector<Edge>& edges, Edge e);
   // Shard bodies for the parallel engine (also the sequential loop bodies,
   // called as lane 0 with the full range).
   void react_shard(std::size_t lane, std::size_t begin, std::size_t end);
@@ -247,6 +292,22 @@ class Simulator {
   std::vector<std::uint64_t> active_mark_;  // epoch stamps for active_ dedup
   std::uint64_t active_epoch_ = 0;
   bool bootstrap_ = false;  // dense round pending after set_sparse_rounds
+  // Transport seam + degraded-mode recovery state.  The pending vectors
+  // are kept sorted (deterministic flicker emission order); an edge lives
+  // in at most one of them: pending_delete_ holds present edges awaiting
+  // their flicker delete, pending_reinsert_ holds flicker-deleted edges
+  // awaiting reinsertion.  pending_incident_[v] counts pipeline edges
+  // touching v -- zero (on a clean round) is the undegrade condition.
+  std::unique_ptr<Transport> transport_;
+  LossReport loss_;                     // per-round scratch
+  bool round_had_loss_ = false;
+  std::vector<bool> degraded_;
+  std::vector<NodeId> degraded_nodes_;  // currently degraded, ascending
+  std::vector<Edge> pending_delete_;
+  std::vector<Edge> pending_reinsert_;
+  std::vector<std::uint32_t> pending_incident_;
+  std::vector<EdgeEvent> merged_events_;   // recovery + reconciled workload
+  std::vector<EdgeEvent> reconciled_;      // reconcile scratch
   std::unique_ptr<WorkerPool> pool_;  // non-null iff config_.threads > 0
   // Persistent type-erased shard tasks (built once; a per-round
   // std::function construction would allocate in steady state).

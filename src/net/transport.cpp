@@ -1,0 +1,174 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dynsub::net {
+
+namespace {
+
+// Distinct salts keep every fault decision an independent coin: the same
+// (seed, round, lane, attempt) never reuses a hash across decision types.
+// 0xb0ff is reserved by backoff_units() in faults.cpp.
+constexpr std::uint32_t kSaltReorder = 0x5e0d;
+constexpr std::uint32_t kSaltDrop = 0xd409;
+constexpr std::uint32_t kSaltDelay = 0xde1a;
+constexpr std::uint32_t kSaltCorrupt = 0xc0de;
+constexpr std::uint32_t kSaltCorruptByte = 0xc0db;
+constexpr std::uint32_t kSaltDuplicate = 0xd0b1;
+
+}  // namespace
+
+ChaosTransport::ChaosTransport(FaultPlan plan) : plan_(std::move(plan)) {
+  DYNSUB_CHECK(plan_.enabled);
+}
+
+void ChaosTransport::exchange(Router& router, Round round, Metrics& metrics,
+                              LossReport* loss) {
+  TransportStats& stats = metrics.transport_mut();
+  const std::size_t lanes = router.lanes();
+
+  // Delayed copies parked in an earlier round arrive now.  Their headers
+  // carry that round's seq (and possibly a pre-outage epoch), so the same
+  // validation that rejects duplicates rejects them as stale -- they are
+  // absorbed, never double-applied.
+  for (const Parked& p : parked_) {
+    LaneBatch stale;
+    if (Router::decode_lane(p.bytes, &stale)) {
+      DYNSUB_CHECK(stale.header.seq != router.wire_seq() ||
+                   stale.header.epoch != router.wire_epoch(p.lane));
+      ++stats.redeliveries;
+    } else {
+      ++stats.corruptions;
+    }
+  }
+  parked_.clear();
+
+  // Service order: ascending by default; with probability plan_.reorder
+  // the round services lanes in a hash-permuted order.  Harmless by
+  // construction -- delivery is keyed by the header's lane field and
+  // merge() order is fixed by lane index -- but it exercises the claim.
+  order_.resize(lanes);
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  if (plan_.reorder > 0.0 &&
+      fault_unit(plan_.seed, round, /*lane=*/0, /*attempt=*/0, kSaltReorder) <
+          plan_.reorder) {
+    ++stats.reorders;
+    std::sort(order_.begin(), order_.end(),
+              [&](std::size_t a, std::size_t b) {
+                const std::uint64_t ha =
+                    fault_hash(plan_.seed, round, a, 1, kSaltReorder);
+                const std::uint64_t hb =
+                    fault_hash(plan_.seed, round, b, 1, kSaltReorder);
+                return ha != hb ? ha < hb : a < b;
+              });
+  }
+
+  for (const std::size_t lane : order_) {
+    deliver_lane(router, round, lane, stats, loss);
+  }
+}
+
+void ChaosTransport::deliver_lane(Router& router, Round round,
+                                  std::size_t lane, TransportStats& stats,
+                                  LossReport* loss) {
+  const std::uint32_t attempts = 1 + plan_.max_retries;
+  LaneBatch accepted;
+  bool delivered = false;
+
+  for (std::uint32_t attempt = 1; attempt <= attempts && !delivered;
+       ++attempt) {
+    if (attempt > 1) {
+      // NACK received for the previous attempt: wait out the capped
+      // exponential backoff, then resend from the still-staged batch.
+      ++stats.retries;
+      stats.backoff_units += backoff_units(plan_, round, lane, attempt - 1);
+    }
+
+    wire_.clear();
+    router.encode_lane(lane, wire_);
+    stats.wire_bytes += wire_.size();
+
+    if (plan_.kills(lane, round) ||
+        (plan_.drop > 0.0 &&
+         fault_unit(plan_.seed, round, lane, attempt, kSaltDrop) <
+             plan_.drop)) {
+      // The batch vanishes in flight; the receiver's timeout NACKs it.
+      ++stats.drops;
+      continue;
+    }
+
+    if (plan_.delay > 0.0 &&
+        fault_unit(plan_.seed, round, lane, attempt, kSaltDelay) <
+            plan_.delay) {
+      // The copy is severely delayed: it will surface next round (where
+      // seq rejects it); for this attempt the receiver times out.
+      ++stats.delays;
+      parked_.push_back(Parked{lane, wire_});
+      continue;
+    }
+
+    if (plan_.corrupt > 0.0 &&
+        fault_unit(plan_.seed, round, lane, attempt, kSaltCorrupt) <
+            plan_.corrupt) {
+      // Deterministic single-bit flip somewhere in the frame.  CRC32C
+      // detects every single-bit error, so decode must reject it below.
+      const std::uint64_t h =
+          fault_hash(plan_.seed, round, lane, attempt, kSaltCorruptByte);
+      wire_[h % wire_.size()] ^= static_cast<std::uint8_t>(1u << (h >> 61));
+    }
+
+    LaneBatch batch;
+    std::string error;
+    if (!Router::decode_lane(wire_, &batch, &error)) {
+      // Checksum (or framing) reject: the receiver NACKs, we resend.
+      ++stats.corruptions;
+      continue;
+    }
+    if (batch.header.lane != lane ||
+        batch.header.round != static_cast<std::int64_t>(round) ||
+        batch.header.seq != router.wire_seq() ||
+        batch.header.epoch != router.wire_epoch(lane)) {
+      // A structurally valid frame that is not this round's fresh batch
+      // for this lane (cannot happen on this synchronous path, but the
+      // receiver refuses to assume that).
+      ++stats.redeliveries;
+      continue;
+    }
+
+    if (plan_.duplicate > 0.0 &&
+        fault_unit(plan_.seed, round, lane, attempt, kSaltDuplicate) <
+            plan_.duplicate) {
+      // A second copy of the accepted frame arrives; its seq was already
+      // consumed, so the receiver discards it.
+      ++stats.redeliveries;
+    }
+
+    accepted = std::move(batch);
+    delivered = true;
+  }
+
+  ++stats.batches;
+  if (delivered) {
+    router.replace_lane(lane, std::move(accepted));
+    return;
+  }
+
+  // Retries exhausted: the batch is lost for good.  Report every
+  // destination it would have reached (the engine marks them
+  // inconsistent), drop the staged traffic so merge() cannot deliver a
+  // batch the "network" never did, and bump the lane's wire epoch so any
+  // copy from the dead period is stale forever.
+  ++stats.lost_batches;
+  if (loss != nullptr) {
+    router.collect_lane_destinations(lane, &loss->lost_destinations);
+  }
+  router.clear_lane(lane);
+  router.set_wire_epoch(lane, router.wire_epoch(lane) + 1);
+}
+
+}  // namespace dynsub::net

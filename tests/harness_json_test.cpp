@@ -141,6 +141,12 @@ RunSummary sample_summary() {
   s.react_ns = 2222;
   s.route_ns = 3333;
   s.receive_ns = 4444;
+  s.transport_retries = 5;
+  s.transport_redeliveries = 6;
+  s.transport_corruptions = 7;
+  s.transport_drops = 8;
+  s.transport_lost_batches = 9;
+  s.transport_recovery_events = 10;
   return s;
 }
 
@@ -165,6 +171,12 @@ TEST(JsonSchema, RunSummaryRoundTrip) {
   EXPECT_EQ(back.react_ns, s.react_ns);
   EXPECT_EQ(back.route_ns, s.route_ns);
   EXPECT_EQ(back.receive_ns, s.receive_ns);
+  EXPECT_EQ(back.transport_retries, s.transport_retries);
+  EXPECT_EQ(back.transport_redeliveries, s.transport_redeliveries);
+  EXPECT_EQ(back.transport_corruptions, s.transport_corruptions);
+  EXPECT_EQ(back.transport_drops, s.transport_drops);
+  EXPECT_EQ(back.transport_lost_batches, s.transport_lost_batches);
+  EXPECT_EQ(back.transport_recovery_events, s.transport_recovery_events);
 
   // Text-level round-trip (what actually lands in BENCH_*.json).
   auto parsed = Json::parse(j.dump(2));
@@ -180,10 +192,12 @@ TEST(JsonSchema, RunSummaryFieldNamesAreStable) {
        {"n", "rounds", "changes", "inconsistent_rounds", "amortized",
         "amortized_sup", "per_node_sup", "messages", "payload_bits",
         "wall_seconds", "rounds_per_sec", "apply_ns", "react_ns", "route_ns",
-        "receive_ns"}) {
+        "receive_ns", "transport_retries", "transport_redeliveries",
+        "transport_corruptions", "transport_drops", "transport_lost_batches",
+        "transport_recovery_events"}) {
     EXPECT_NE(j.find(key), nullptr) << "missing field: " << key;
   }
-  EXPECT_EQ(j.members().size(), 15u) << "unexpected extra/missing fields";
+  EXPECT_EQ(j.members().size(), 21u) << "unexpected extra/missing fields";
 }
 
 TEST(JsonSchema, RunSummaryPerfFieldsAreOptional) {

@@ -386,6 +386,119 @@ TEST(LaneBatchTest, DecodeRejectsCorruptInput) {
       &error));
 }
 
+TEST(LaneBatchTest, EveryTruncatedPrefixRejectsCleanly) {
+  // The all-prefix fuzz: decode must reject *every* strict prefix of a
+  // valid encoding -- including the off-by-one at wire.size() - 1 -- and
+  // a frame with any trailing bytes, without over-reading or trusting a
+  // partial header.  A batch with payloads, busy bits, and a blob message
+  // exercises every section boundary.
+  const std::size_t n = 6;
+  const auto g = complete_graph(n);
+  Router r(n, 2);
+  r.begin_round(5);
+  Outbox a;
+  a.send(1, WireMessage::edge_insert(Edge(0, 1)));
+  WireMessage chunk;
+  chunk.kind = WireMessage::Kind::kSnapshotChunk;
+  chunk.nodes[0] = 0;
+  chunk.aux = 2;
+  chunk.aux2 = 8;
+  chunk.blob.assign(1, 0x33);
+  a.send(2, std::move(chunk));
+  a.declare_busy();
+  a.declare_neighbors_busy();
+  r.stage_outbox(0, 0, a, g);
+  std::vector<std::uint8_t> wire;
+  r.encode_lane(0, wire);
+  ASSERT_GT(wire.size(), LaneBatchHeader::kWireBytes);
+
+  LaneBatch batch;
+  std::string error;
+  ASSERT_TRUE(Router::decode_lane(wire, &batch, &error)) << error;
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    error.clear();
+    EXPECT_FALSE(Router::decode_lane(
+        std::span<const std::uint8_t>(wire.data(), len), &batch, &error))
+        << "accepted a " << len << "-byte prefix of a " << wire.size()
+        << "-byte frame";
+    EXPECT_FALSE(error.empty()) << "len=" << len;
+  }
+  // Off-by-one in the other direction: one trailing byte is garbage too.
+  auto longer = wire;
+  longer.push_back(0);
+  EXPECT_FALSE(Router::decode_lane(longer, &batch, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(LaneBatchTest, EverySingleBitFlipIsRejected) {
+  // CRC32C detects every single-bit error, so flipping any one bit of the
+  // frame -- header fields, counts, payload bytes, the checksum itself --
+  // must make decode reject.  (Some flips die earlier on magic/version
+  // checks; none may be accepted.)
+  const auto g = complete_graph(4);
+  Router r(4, 1);
+  r.begin_round(2);
+  Outbox out;
+  out.send(1, WireMessage::edge_insert(Edge(0, 1)));
+  out.declare_busy();
+  r.stage_outbox(0, 0, out, g);
+  std::vector<std::uint8_t> wire;
+  r.encode_lane(0, wire);
+  LaneBatch batch;
+  std::string error;
+  ASSERT_TRUE(Router::decode_lane(wire, &batch, &error)) << error;
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    wire[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(Router::decode_lane(wire, &batch, &error))
+        << "accepted a frame with bit " << bit << " flipped";
+    wire[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  // Restored intact, the frame decodes again.
+  EXPECT_TRUE(Router::decode_lane(wire, &batch, &error)) << error;
+}
+
+TEST(LaneBatchTest, SeqAndEpochStampsTrackRouterState) {
+  // The v2 anti-replay stamps: seq is bumped by begin_round() -- a frame
+  // encoded in an earlier round stays structurally valid (CRC passes) but
+  // identifies itself as stale -- and the per-lane epoch survives rounds
+  // until a transport bumps it after a declared loss.
+  const auto g = complete_graph(3);
+  Router r(3, 2);
+  r.begin_round(1);
+  Outbox out;
+  out.send(1, WireMessage::edge_insert(Edge(0, 1)));
+  r.stage_outbox(0, 0, out, g);
+  const std::uint64_t seq1 = r.wire_seq();
+  std::vector<std::uint8_t> old_wire;
+  r.encode_lane(0, old_wire);
+  LaneBatch batch;
+  std::string error;
+  ASSERT_TRUE(Router::decode_lane(old_wire, &batch, &error)) << error;
+  EXPECT_EQ(batch.header.seq, seq1);
+  EXPECT_EQ(batch.header.epoch, r.wire_epoch(0));
+  r.merge();
+
+  r.begin_round(2);
+  EXPECT_GT(r.wire_seq(), seq1);
+  // The old frame still decodes (it is not corrupt, just stale) -- the
+  // seq mismatch is how a receiver refuses it, which is exactly what the
+  // chaos transport's delayed-copy path asserts.
+  ASSERT_TRUE(Router::decode_lane(old_wire, &batch, &error)) << error;
+  EXPECT_NE(batch.header.seq, r.wire_seq());
+
+  // Epoch bumps are per lane and land in subsequent encodings.
+  r.set_wire_epoch(0, r.wire_epoch(0) + 1);
+  EXPECT_EQ(r.wire_epoch(0), 2u);
+  EXPECT_EQ(r.wire_epoch(1), 1u);
+  Outbox again;
+  again.send(1, WireMessage::edge_insert(Edge(0, 1)));
+  r.stage_outbox(0, 0, again, g);
+  std::vector<std::uint8_t> fresh;
+  r.encode_lane(0, fresh);
+  ASSERT_TRUE(Router::decode_lane(fresh, &batch, &error)) << error;
+  EXPECT_EQ(batch.header.epoch, 2u);
+}
+
 // ------------------------------------------- simulator memory policy ----
 
 /// Collects neighbors from round-1 insertions and blasts one payload per

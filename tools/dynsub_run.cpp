@@ -36,6 +36,7 @@
 #include "detect/session.hpp"
 #include "harness/experiment.hpp"
 #include "harness/json.hpp"
+#include "net/faults.hpp"
 #include "net/trace.hpp"
 #include "net/workload.hpp"
 #include "scenario/registry.hpp"
@@ -49,6 +50,7 @@ struct Options {
   std::string record_path;
   std::string json_path;
   std::string detector = "triangle";
+  net::FaultPlan faults{};
   std::size_t n = 0;
   std::size_t threads = 0;
   std::uint64_t seed = 1;
@@ -75,6 +77,13 @@ void usage(const char* argv0) {
       "                  the simulator is sized to fit the scenario)\n"
       "  --threads T     parallel round engine with T lanes (0 = the\n"
       "                  sequential engine; results are bit-identical)\n"
+      "  --faults F      fault plan for the lane-batch transport seam:\n"
+      "                  'none' (default) or 'chaos(seed=7, drop=0.01,\n"
+      "                  corrupt=0.005, duplicate=0.01, reorder=0.1,\n"
+      "                  delay=0.01, retries=8, backoff_base=1,\n"
+      "                  backoff_cap=64, kill_lane=2, kill_from=10,\n"
+      "                  kill_until=20)' -- every parameter optional;\n"
+      "                  recoverable faults replay bit-identically\n"
       "  --seed S        default seed for stochastic scenarios (default 1)\n"
       "  --quick         shrink default round counts (CI smoke)\n"
       "  --max-rounds R  round cap for the run (default 1000000)\n"
@@ -138,6 +147,16 @@ std::optional<Options> parse_args(int argc, char** argv) {
         std::fprintf(stderr, "%s: --threads %zu is out of range (max 256)\n",
                      argv[0], o.threads);
         parse_failed = true;
+      }
+    } else if (arg == "--faults") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      std::string error;
+      const auto plan = net::parse_fault_plan(v, &error);
+      if (!plan) {
+        std::fprintf(stderr, "%s: --faults: %s\n", argv[0], error.c_str());
+        parse_failed = true;
+      } else {
+        o.faults = *plan;
       }
     } else if (arg == "--seed") {
       if ((v = value(i)) == nullptr) return std::nullopt;
@@ -255,7 +274,8 @@ int run(const Options& o) {
                .track_prev_graph = false,
                .sparse_rounds = true,
                .collect_phase_timings = false,
-               .threads = o.threads};
+               .threads = o.threads,
+               .faults = o.faults};
 
   // Resolve the detector spec first so an unknown name is a usage error
   // (exit 2) carrying the registry, not a generic run failure.

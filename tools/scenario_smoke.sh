@@ -89,6 +89,65 @@ if not (docs[0]["summary"] == docs[1]["summary"] == docs[2]["summary"]):
 print("sequential / t4-record / t4-replay summaries identical")
 EOF
 
+echo "== chaos transport (--faults) =="
+# Every registered scenario must settle under a fixed recoverable fault
+# plan: drops and corruptions force NACK-and-resend retries at the lane
+# seam, but bounded retries recover every batch, so results -- including
+# the recorded trace -- must be byte-identical to the fault-free run.
+FAULTS='chaos(seed=7, drop=0.05, corrupt=0.02, duplicate=0.05, reorder=0.1, delay=0.02)'
+ccount=0
+while IFS= read -r spec; do
+  [[ -n "$spec" ]] || continue
+  echo "== chaos: $spec =="
+  "$BIN" --scenario "$spec" --quick --max-rounds 200000 \
+    --faults "$FAULTS" > "$TMP/run.out"
+  grep -q '^settled:    yes' "$TMP/run.out" || {
+    echo "scenario_smoke.sh: '$spec' did not settle under $FAULTS" >&2
+    cat "$TMP/run.out" >&2
+    exit 1
+  }
+  ccount=$((ccount + 1))
+done < <("$BIN" --list --names-only)
+
+echo "== chaos record/replay =="
+# Recoverable chaos must not perturb the trace: record under faults, the
+# trace and summary match the fault-free recording byte for byte (fault
+# counters live outside the summary's round results).
+"$BIN" --scenario multi-community-churn --quick --faults "$FAULTS" \
+  --record "$TMP/tc.trace" --json "$TMP/e.json" > /dev/null
+cmp "$TMP/t.trace" "$TMP/tc.trace" || {
+  echo "scenario_smoke.sh: chaos recorded trace differs from fault-free" >&2
+  exit 1
+}
+"$BIN" --replay "$TMP/tc.trace" --faults "$FAULTS" --json "$TMP/f.json" \
+  > /dev/null
+python3 - "$TMP/a.json" "$TMP/e.json" "$TMP/f.json" <<'EOF'
+import json, sys
+docs = [json.load(open(p)) for p in sys.argv[1:]]
+keys = [{k: v for k, v in d["summary"].items()
+         if not k.startswith("transport_")} for d in docs]
+if not (keys[0] == keys[1] == keys[2]):
+    print("scenario_smoke.sh: chaos summary mismatch", file=sys.stderr)
+    for label, d in zip(["fault-free", "chaos-record", "chaos-replay"], docs):
+        print(label + ":", json.dumps(d["summary"]), file=sys.stderr)
+    sys.exit(1)
+print("fault-free / chaos-record / chaos-replay summaries identical "
+      "(modulo transport counters)")
+EOF
+
+echo "== bad fault specs fail loudly =="
+if "$BIN" --scenario 'churn(n=24, rounds=40)' --quick \
+    --faults 'chaos(drop=1.5)' > /dev/null 2>&1; then
+  echo "scenario_smoke.sh: drop=1.5 should have been rejected" >&2
+  exit 1
+fi
+if "$BIN" --scenario 'churn(n=24, rounds=40)' --quick \
+    --faults 'mayhem(seed=1)' > /dev/null 2>&1; then
+  echo "scenario_smoke.sh: unknown fault plan should have been rejected" >&2
+  exit 1
+fi
+echo "bad fault specs fail loudly"
+
 echo "== replay validation failures are loud =="
 # A replay whose CLI flags or header disagree with the trace must exit
 # nonzero with a message, never run a mismatched simulation.
@@ -108,4 +167,4 @@ if "$BIN" --replay "$TMP/small.trace" > /dev/null 2>&1; then
 fi
 echo "replay mismatches fail loudly"
 
-echo "scenario_smoke.sh: $count scenario(s), $dcount detector(s) ran clean"
+echo "scenario_smoke.sh: $count scenario(s), $dcount detector(s), $ccount chaos scenario(s) ran clean"
