@@ -20,6 +20,7 @@
 #include <functional>
 #include <initializer_list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,6 +32,8 @@
 #include "net/simulator.hpp"
 #include "net/workload.hpp"
 #include "scenario/registry.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace dynsub::bench {
 
@@ -63,6 +66,23 @@ struct PerfAccumulator {
     return static_cast<double>(rounds.load(std::memory_order_relaxed)) /
            (static_cast<double>(ns) * 1e-9);
   }
+
+  /// Folds one run's round-latency histogram (a telemetry recorder in
+  /// histogram-only mode) into the process-wide latency distribution.
+  /// Histogram merge is not atomic, hence the lock -- sweep points on the
+  /// harness pool call this once per run, not per round, so it is cold.
+  void add_latency(const telemetry::Log2Histogram& h) {
+    const std::lock_guard<std::mutex> lock(latency_mutex);
+    latency_ns.merge(h);
+  }
+
+  [[nodiscard]] telemetry::Log2Histogram latency() const {
+    const std::lock_guard<std::mutex> lock(latency_mutex);
+    return latency_ns;
+  }
+
+  mutable std::mutex latency_mutex;
+  telemetry::Log2Histogram latency_ns;  // guarded by latency_mutex
 };
 
 inline PerfAccumulator& perf_accumulator() {
@@ -253,10 +273,21 @@ class Bench {
                                   std::memory_order_relaxed)));
       metric("perf.receive_ns", static_cast<double>(perf.receive_ns.load(
                                     std::memory_order_relaxed)));
+      const telemetry::Log2Histogram latency = perf.latency();
+      if (latency.count() > 0) {
+        metric("perf.latency_p50_ns", latency.p50());
+        metric("perf.latency_p99_ns", latency.p99());
+      }
       std::printf("\nperf: %.0f rounds/sec over %llu simulated rounds\n",
                   perf.rounds_per_sec(),
                   static_cast<unsigned long long>(
                       perf.rounds.load(std::memory_order_relaxed)));
+      if (latency.count() > 0) {
+        std::printf("round latency: p50 %.0f ns, p99 %.0f ns (log2-bucket "
+                    "estimate over %llu rounds)\n",
+                    latency.p50(), latency.p99(),
+                    static_cast<unsigned long long>(latency.count()));
+      }
     }
     if (opts_.json_path.empty()) return 0;
     if (!harness::write_json_file(opts_.json_path, doc_)) {
@@ -311,19 +342,27 @@ inline harness::RunSummary run_experiment(std::size_t n,
                                           std::size_t max_rounds = 10000000,
                                           std::size_t threads = 0,
                                           const net::FaultPlan& faults = {}) {
+  // Histogram-only telemetry: O(lanes) memory whatever the round count,
+  // feeding the latency_p50/p99 percentiles of the bench JSON.
+  telemetry::TelemetryRecorder rec(telemetry::RecorderOptions{
+      .timing = true, .keep_rounds = false, .keep_spans = false});
   net::Simulator sim(n, factory, {.enforce_bandwidth = true,
                                   .track_prev_graph = false,
                                   .sparse_rounds = true,
                                   .collect_phase_timings = true,
                                   .threads = threads,
-                                  .faults = faults});
+                                  .faults = faults,
+                                  .telemetry = &rec});
   const auto start = std::chrono::steady_clock::now();
   net::run_workload(sim, workload, max_rounds);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   harness::RunSummary s = harness::summarize_timed(sim, wall);
+  s.latency_p50_ns = rec.round_latency_ns().p50();
+  s.latency_p99_ns = rec.round_latency_ns().p99();
   perf_accumulator().add(s);
+  perf_accumulator().add_latency(rec.round_latency_ns());
   return s;
 }
 

@@ -16,6 +16,13 @@ Ceilings exist for counters that must stay at zero on healthy runs --
 e.g. transport `retries` / `redeliveries` on fault-free bench rows, where
 any nonzero value means the fault-free path is taking the chaos path.
 
+Percentile metrics (keys whose last dotted/underscored component is p50,
+p90, or p99 -- e.g. `perf.latency_p99_ns`) are latency-shaped: smaller is
+better, so a floor on one is meaningless at best and inverted at worst (a
+latency *improvement* would trip it).  The baseline may only bound them
+with {"max": ...} ceilings; a bare number or a {"min": ...} on a
+percentile key is a hard failure.
+
 Every guarded metric must be *present and a finite number*: a missing
 result file, a missing or non-numeric or NaN metric, an empty floors
 section, or a run that checked nothing at all is a hard failure -- a
@@ -42,7 +49,13 @@ import argparse
 import json
 import math
 import os
+import re
 import sys
+
+# Latency-shaped metric keys: the final [._]-separated component is a
+# percentile name (p50/p90/p99).  Matches perf.latency_p99_ns-style names
+# too, where the percentile sits between separators.
+PERCENTILE_KEY = re.compile(r"(^|[._])p(50|90|99)($|[._])")
 
 
 def load_metrics(path):
@@ -103,6 +116,14 @@ def main():
                 ceiling = bound.get("max")
             else:
                 floor, ceiling = bound, None
+            # Percentile keys are smaller-is-better: a floor would fail on
+            # latency improvements.  Only {"max": ...} is allowed.
+            if PERCENTILE_KEY.search(key) and floor is not None:
+                failures.append(
+                    f"{bench}: percentile metric '{key}' has a floor "
+                    f"({floor!r}); latency percentiles may only be bounded "
+                    f"with {{\"max\": ...}} ceilings")
+                continue
             for name, limit in (("min", floor), ("max", ceiling)):
                 if limit is not None and (isinstance(limit, bool)
                                           or not isinstance(limit,

@@ -101,6 +101,28 @@ def main():
         ("unlisted result metrics are ignored", base,
          {"landscape": metrics_doc(**{"perf.rounds_per_sec": 12000,
                                       "perf.new_counter": 7})}, True),
+        # Percentile keys are latency-shaped (smaller is better): the
+        # baseline may only bound them with {"max": ...} ceilings.  A bare
+        # number or a {"min": ...} would trip on latency *improvements*.
+        ("percentile ceiling passes under max",
+         json.dumps({"landscape": {"perf.latency_p99_ns": {"max": 1e6}}}),
+         {"landscape": metrics_doc(**{"perf.latency_p99_ns": 50000})}, True),
+        ("percentile ceiling fails over max",
+         json.dumps({"landscape": {"perf.latency_p99_ns": {"max": 1000}}}),
+         {"landscape": metrics_doc(**{"perf.latency_p99_ns": 50000})}, False),
+        ("percentile bare-number floor is rejected",
+         json.dumps({"landscape": {"perf.latency_p99_ns": 1000}}),
+         {"landscape": metrics_doc(**{"perf.latency_p99_ns": 50000})}, False),
+        ("percentile min bound is rejected",
+         json.dumps({"landscape": {"perf.latency_p50_ns": {"min": 1}}}),
+         {"landscape": metrics_doc(**{"perf.latency_p50_ns": 50000})}, False),
+        ("percentile rule matches dotted p90 too",
+         json.dumps({"landscape": {"route.p90": 1000}}),
+         {"landscape": metrics_doc(**{"route.p90": 50000})}, False),
+        ("non-percentile p-ish key keeps floor semantics",
+         json.dumps({"landscape": {"perf.p2p_rounds_per_sec": 10000}}),
+         {"landscape": metrics_doc(**{"perf.p2p_rounds_per_sec": 12000})},
+         True),
     ]
     passed = sum(run_case(*case) for case in cases)
     print(f"check_regression_selftest: {passed}/{len(cases)} case(s) passed")

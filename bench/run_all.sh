@@ -14,8 +14,10 @@
 #                 BENCH_landscape_t<T>.json row set -- the threads-vs-
 #                 speedup curve of the sharded routing fabric
 #
-# Every emitted file is validated as JSON; the script fails if any bench
-# exits non-zero or writes an invalid document.
+# Every emitted file is validated as JSON; the script FAILS FAST -- the
+# first bench that exits non-zero or writes an invalid document stops the
+# whole run with exit 1 (a broken bench must not hide behind an hour of
+# later sweeps).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -63,7 +65,6 @@ validate_json() {
 }
 
 declare -a emitted=()
-failures=0
 for bin in "$BUILD_DIR"/bench_*; do
   [[ -x "$bin" && -f "$bin" ]] || continue
   base="$(basename "$bin")"
@@ -75,13 +76,11 @@ for bin in "$BUILD_DIR"/bench_*; do
   [[ "$QUICK" -eq 1 ]] && args+=(--quick)
   if ! "$bin" "${args[@]}"; then
     echo "run_all.sh: $base FAILED" >&2
-    failures=$((failures + 1))
-    continue
+    exit 1
   fi
   if ! validate_json "$out"; then
     echo "run_all.sh: $out is not valid JSON" >&2
-    failures=$((failures + 1))
-    continue
+    exit 1
   fi
   emitted+=("$out")
 done
@@ -106,13 +105,11 @@ if [[ -n "$THREAD_SWEEP" ]]; then
     [[ "$QUICK" -eq 1 ]] && args+=(--quick)
     if ! "$BUILD_DIR/bench_landscape" "${args[@]}"; then
       echo "run_all.sh: bench_landscape --threads $t FAILED" >&2
-      failures=$((failures + 1))
-      continue
+      exit 1
     fi
     if ! validate_json "$out"; then
       echo "run_all.sh: $out is not valid JSON" >&2
-      failures=$((failures + 1))
-      continue
+      exit 1
     fi
     emitted+=("$out")
   done
@@ -122,10 +119,6 @@ echo
 echo "run_all.sh: ${#emitted[@]} bench result file(s) in $OUT_DIR"
 # ${arr[@]+...} guard: empty-array expansion trips `set -u` on bash < 4.4.
 for f in ${emitted[@]+"${emitted[@]}"}; do echo "  $f"; done
-if [[ "$failures" -gt 0 ]]; then
-  echo "run_all.sh: $failures bench(es) failed" >&2
-  exit 1
-fi
 if [[ "${#emitted[@]}" -eq 0 ]]; then
   echo "run_all.sh: no bench binaries found in $BUILD_DIR" >&2
   exit 1

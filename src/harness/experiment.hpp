@@ -32,6 +32,13 @@ struct RunSummary {
   // run was not timed.
   double wall_seconds = 0.0;
   double rounds_per_sec = 0.0;
+  // Round-latency percentiles in nanoseconds, from a telemetry recorder's
+  // round-latency histogram (bench_util.hpp attaches one in histogram-only
+  // mode).  Zero when the run carried no timing telemetry.  Wall-clock
+  // data: excluded from record/replay byte-equality, gated in
+  // perf_baseline.json by {"max": ...} ceilings only.
+  double latency_p50_ns = 0.0;
+  double latency_p99_ns = 0.0;
   // Per-phase engine time (requires SimulatorConfig::collect_phase_timings).
   std::uint64_t apply_ns = 0;
   std::uint64_t react_ns = 0;

@@ -467,6 +467,8 @@ Json to_json(const RunSummary& s) {
   j["payload_bits"] = Json::number(s.payload_bits);
   j["wall_seconds"] = Json::number(s.wall_seconds);
   j["rounds_per_sec"] = Json::number(s.rounds_per_sec);
+  j["latency_p50_ns"] = Json::number(s.latency_p50_ns);
+  j["latency_p99_ns"] = Json::number(s.latency_p99_ns);
   j["apply_ns"] = Json::number(s.apply_ns);
   j["react_ns"] = Json::number(s.react_ns);
   j["route_ns"] = Json::number(s.route_ns);
@@ -531,6 +533,9 @@ std::optional<RunSummary> run_summary_from_json(const Json& j) {
   double ns = 0;
   (void)read_number(j, "wall_seconds", s.wall_seconds);
   (void)read_number(j, "rounds_per_sec", s.rounds_per_sec);
+  // Latency percentiles arrived with the telemetry subsystem; optional.
+  (void)read_number(j, "latency_p50_ns", s.latency_p50_ns);
+  (void)read_number(j, "latency_p99_ns", s.latency_p99_ns);
   if (read_number(j, "apply_ns", ns)) s.apply_ns = static_cast<std::uint64_t>(ns);
   if (read_number(j, "react_ns", ns)) s.react_ns = static_cast<std::uint64_t>(ns);
   if (read_number(j, "route_ns", ns)) s.route_ns = static_cast<std::uint64_t>(ns);

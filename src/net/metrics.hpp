@@ -71,6 +71,29 @@ struct TransportStats {
     return *this;
   }
 
+  /// Counter-wise difference -- the telemetry layer snapshots the stats
+  /// at a round boundary and subtracts to get per-round deltas.  Counters
+  /// are monotone, so a well-ordered (later - earlier) never underflows.
+  TransportStats& operator-=(const TransportStats& o) {
+    batches -= o.batches;
+    wire_bytes -= o.wire_bytes;
+    retries -= o.retries;
+    redeliveries -= o.redeliveries;
+    corruptions -= o.corruptions;
+    drops -= o.drops;
+    delays -= o.delays;
+    reorders -= o.reorders;
+    backoff_units -= o.backoff_units;
+    lost_batches -= o.lost_batches;
+    degraded_marks -= o.degraded_marks;
+    recovery_events -= o.recovery_events;
+    return *this;
+  }
+  friend TransportStats operator-(TransportStats a, const TransportStats& b) {
+    a -= b;
+    return a;
+  }
+
   friend bool operator==(const TransportStats&,
                          const TransportStats&) = default;
 };

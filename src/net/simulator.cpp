@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "net/message.hpp"
+#include "telemetry/sink.hpp"
 
 namespace dynsub::net {
 
@@ -46,9 +47,14 @@ Simulator::Simulator(std::size_t n, NodeFactory factory,
   } else {
     transport_ = std::make_unique<LocalTransport>();
   }
+  if (config_.telemetry != nullptr) {
+    telemetry_timing_ = config_.telemetry->timing_enabled();
+    config_.telemetry->on_lanes(std::max<std::size_t>(1, config_.threads));
+  }
   if (config_.threads > 0) {
     pool_ = std::make_unique<WorkerPool>(config_.threads,
                                          config_.threads_inline_cutoff);
+    if (telemetry_timing_) pool_->set_telemetry(config_.telemetry);
     react_task_ = [this](std::size_t lane, std::size_t b, std::size_t e) {
       react_shard(lane, b, e);
     };
@@ -95,6 +101,8 @@ void Simulator::debug_prime_epoch_wrap(std::uint64_t steps) {
 
 void Simulator::react_shard(std::size_t lane, std::size_t begin,
                             std::size_t end) {
+  Clock::time_point s0;
+  if (telemetry_timing_) s0 = Clock::now();
   const std::size_t n = nodes_.size();
   Outbox& out = lane_outbox_[lane];
   for (std::size_t i = begin; i < end; ++i) {
@@ -108,6 +116,9 @@ void Simulator::react_shard(std::size_t lane, std::size_t begin,
     // the Router's deterministic lane-major merge at the barrier.
     router_.stage_outbox(lane, v, out, g_);
   }
+  if (telemetry_timing_) {
+    emit_span(telemetry::Phase::kReact, lane, s0, Clock::now());
+  }
 }
 
 void Simulator::receive_shard_node(NodeId v) {
@@ -117,6 +128,8 @@ void Simulator::receive_shard_node(NodeId v) {
 
 void Simulator::receive_shard(std::size_t lane, std::size_t begin,
                               std::size_t end) {
+  Clock::time_point s0;
+  if (telemetry_timing_) s0 = Clock::now();
   LaneBook& book = lane_books_[lane];
   for (std::size_t i = begin; i < end; ++i) {
     const NodeId v = stepped_[i];
@@ -135,6 +148,23 @@ void Simulator::receive_shard(std::size_t lane, std::size_t begin,
       book.carry.push_back(v);
     }
   }
+  if (telemetry_timing_) {
+    emit_span(telemetry::Phase::kReceive, lane, s0, Clock::now());
+  }
+}
+
+void Simulator::emit_span(telemetry::Phase phase, std::size_t lane,
+                          Clock::time_point from, Clock::time_point to) const {
+  telemetry::Span s;
+  s.phase = phase;
+  s.lane = static_cast<std::uint32_t>(lane);
+  s.round = round_;
+  s.start_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          from.time_since_epoch())
+          .count());
+  s.dur_ns = elapsed_ns(from, to);
+  config_.telemetry->on_span(s);
 }
 
 bool Simulator::erase_sorted(std::vector<Edge>& edges, Edge e) {
@@ -271,7 +301,13 @@ void Simulator::maybe_undegrade() {
 
 RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   const std::size_t n = nodes_.size();
-  const bool timed = config_.collect_phase_timings;
+  // One shared gate for every clock read: the phase-timing accumulator
+  // and the telemetry timing channel reuse the same t0..t3 samples, so
+  // with both off the hot path performs no clock calls at all.
+  const bool timed = config_.collect_phase_timings || telemetry_timing_;
+  telemetry::TelemetrySink* const sink = config_.telemetry;
+  TransportStats transport_base;
+  if (sink != nullptr) transport_base = metrics_.transport();
   ++round_;
   Clock::time_point t0;
   if (timed) t0 = Clock::now();
@@ -322,7 +358,8 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   Clock::time_point t1;
   if (timed) {
     t1 = Clock::now();
-    timings_.apply_ns += elapsed_ns(t0, t1);
+    if (config_.collect_phase_timings) timings_.apply_ns += elapsed_ns(t0, t1);
+    if (telemetry_timing_) emit_span(telemetry::Phase::kApply, 0, t0, t1);
   }
 
   // --- Phase 1: react & send (first half of the communication round),
@@ -340,7 +377,9 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   Clock::time_point t2;
   if (timed) {
     t2 = Clock::now();
-    timings_.react_ns += elapsed_ns(t1, t2);
+    if (config_.collect_phase_timings) timings_.react_ns += elapsed_ns(t1, t2);
+    // No step-level kReact span: react time is reported per lane by
+    // react_shard (the inline path emits a lane-0 span the same way).
   }
 
   // --- Phase 2: the staged lane batches cross the transport seam (a
@@ -351,9 +390,22 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   loss_.lost_destinations.clear();
   round_had_loss_ = false;
   transport_->exchange(router_, round_, metrics_, &loss_);
+  Clock::time_point te;
+  if (telemetry_timing_) {
+    te = Clock::now();
+    emit_span(telemetry::Phase::kExchange, 0, t2, te);
+  }
   if (loss_.any()) {
     round_had_loss_ = true;
     apply_loss();
+  }
+  if (sink != nullptr) {
+    // Per-lane encoded batch sizes (timing/diagnostic channel only: they
+    // depend on the lane count, so they never enter RoundRecord).  Must
+    // be sampled here -- merge() moves the staged items out.
+    for (std::size_t lane = 0; lane < lane_outbox_.size(); ++lane) {
+      sink->on_wire_bytes(router_.lane_header(lane).wire_size());
+    }
   }
   const LaneTraffic traffic = router_.merge();
 
@@ -372,7 +424,8 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   Clock::time_point t3;
   if (timed) {
     t3 = Clock::now();
-    timings_.route_ns += elapsed_ns(t2, t3);
+    if (config_.collect_phase_timings) timings_.route_ns += elapsed_ns(t2, t3);
+    if (telemetry_timing_) emit_span(telemetry::Phase::kRoute, 0, te, t3);
   }
 
   // --- Phase 3: receive & update (second half of the round), over the
@@ -403,13 +456,17 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   } else {
     receive_shard(0, 0, stepped_.size());
   }
+  std::uint64_t flips_down = 0;
+  std::uint64_t flips_up = 0;
   for (const auto& book : lane_books_) {
     for (const auto& [v, ok] : book.flips) {
       consistent_[v] = ok;
       if (ok) {
         --inconsistent_count_;
+        ++flips_up;
       } else {
         ++inconsistent_count_;
+        ++flips_down;
       }
     }
     carry_.insert(carry_.end(), book.carry.begin(), book.carry.end());
@@ -419,7 +476,44 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   // --- Metering. ---
   metrics_.record_round(round_, events.size(), inconsistent_count_,
                         traffic.messages, traffic.payload_bits);
-  if (timed) timings_.receive_ns += elapsed_ns(t3, Clock::now());
+  if (timed) {
+    const Clock::time_point t4 = Clock::now();
+    if (config_.collect_phase_timings) {
+      timings_.receive_ns += elapsed_ns(t3, t4);
+    }
+    if (telemetry_timing_) emit_span(telemetry::Phase::kRound, 0, t0, t4);
+  }
+  if (sink != nullptr) {
+    // Deterministic channel: everything here is a pure function of the
+    // event stream and the fault plan -- no wall-clock values and none
+    // of the lane-count-dependent wire accounting.
+    const TransportStats delta = metrics_.transport() - transport_base;
+    telemetry::RoundRecord rec;
+    rec.round = round_;
+    rec.changes = events.size();
+    rec.active = active_.size();
+    rec.stepped = stepped_.size();
+    rec.messages = traffic.messages;
+    rec.payload_bits = traffic.payload_bits;
+    rec.inconsistent_nodes = inconsistent_count_;
+    rec.flips_down = flips_down;
+    rec.flips_up = flips_up;
+    rec.degraded_nodes = degraded_nodes_.size();
+    rec.had_loss = round_had_loss_;
+    rec.transport_retries = delta.retries;
+    rec.transport_drops = delta.drops;
+    rec.transport_corruptions = delta.corruptions;
+    rec.transport_redeliveries = delta.redeliveries;
+    rec.transport_backoff_units = delta.backoff_units;
+    rec.transport_lost_batches = delta.lost_batches;
+    rec.transport_degraded_marks = delta.degraded_marks;
+    rec.transport_recovery_events = delta.recovery_events;
+    rec.inconsistent_rounds = metrics_.inconsistent_rounds();
+    rec.changes_total = metrics_.changes();
+    rec.amortized = metrics_.amortized();
+    rec.amortized_sup = metrics_.amortized_sup();
+    sink->on_round(rec);
+  }
 
   RoundResult result;
   result.round = round_;

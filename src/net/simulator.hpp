@@ -70,6 +70,7 @@
 // sender.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -85,6 +86,11 @@
 #include "net/transport.hpp"
 #include "net/worker_pool.hpp"
 #include "oracle/timestamped_graph.hpp"
+
+namespace dynsub::telemetry {
+class TelemetrySink;
+enum class Phase : std::uint8_t;
+}  // namespace dynsub::telemetry
 
 namespace dynsub::net {
 
@@ -102,8 +108,10 @@ struct SimulatorConfig {
   /// engine's dense semantics: every node stepped every round.  Kept as
   /// the reference mode for the golden-trace equivalence suite.
   bool sparse_rounds = true;
-  /// Accumulate per-phase wall-clock timings (four steady_clock reads per
-  /// round; off by default so unit tests measure nothing).
+  /// Accumulate per-phase wall-clock timings into phase_timings().  This
+  /// flag and an attached timing-enabled telemetry sink share one gate:
+  /// when both are off the hot path performs NO clock reads at all (a
+  /// telemetry-off round is byte-for-byte the pre-telemetry engine).
   bool collect_phase_timings = false;
   /// Execution lanes for the parallel round engine.  0 = the sequential
   /// engine (today's behavior, the reference).  T >= 1 shards Phase 1 and
@@ -119,6 +127,13 @@ struct SimulatorConfig {
   /// zero-overhead LocalTransport; an enabled plan routes every lane batch
   /// through the fault-injecting ChaosTransport (see the header comment).
   FaultPlan faults{};
+  /// Telemetry sink (telemetry/sink.hpp); not owned, must outlive the
+  /// simulator.  nullptr (the default) keeps the hot path free of any
+  /// telemetry work.  Non-null: the deterministic channel (one
+  /// RoundRecord per step) always flows; the timing channel (per-lane
+  /// phase spans, barrier waits, wire-byte sizes) only when the sink
+  /// reports timing_enabled() -- sampled once at construction.
+  telemetry::TelemetrySink* telemetry = nullptr;
 };
 
 struct RoundResult {
@@ -266,8 +281,18 @@ class Simulator {
   void react_shard(std::size_t lane, std::size_t begin, std::size_t end);
   void receive_shard(std::size_t lane, std::size_t begin, std::size_t end);
   void receive_shard_node(NodeId v);
+  // Timing-channel helper: emits one Span covering [from, to] to the
+  // telemetry sink.  Only called when telemetry_timing_ (so the compiler
+  // keeps every clock read off the telemetry-off path).
+  void emit_span(telemetry::Phase phase, std::size_t lane,
+                 std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) const;
 
   SimulatorConfig config_;
+  // Timing channel armed: a sink is attached AND it wants wall-clock
+  // spans (sampled once at construction; the deterministic channel needs
+  // no flag -- it is gated on config_.telemetry != nullptr directly).
+  bool telemetry_timing_ = false;
   oracle::TimestampedGraph g_;
   oracle::TimestampedGraph prev_g_;
   std::vector<EdgeEvent> pending_prev_;  // last round's events, not yet in prev_g_

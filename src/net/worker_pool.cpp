@@ -1,6 +1,9 @@
 #include "net/worker_pool.hpp"
 
+#include <chrono>
+
 #include "common/check.hpp"
+#include "telemetry/sink.hpp"
 
 namespace dynsub::net {
 
@@ -56,6 +59,30 @@ void WorkerPool::run_sharded(std::size_t count, const ShardFn& fn) {
   // Lane 0 runs on the calling thread -- the pool never idles the caller.
   const std::size_t end0 = shard_bound(count, lanes, 1);
   if (end0 > 0) fn(0, 0, end0);
+  if (telemetry_ != nullptr) {
+    // Span the join wait: how long lane 0 sat idle after finishing its
+    // own shard is exactly the parallelism lost to shard imbalance.
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point w0 = Clock::now();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_done_.wait(lock, [this] { return pending_ == 0; });
+      task_ = nullptr;
+    }
+    const Clock::time_point w1 = Clock::now();
+    telemetry::Span span;
+    span.phase = telemetry::Phase::kBarrier;
+    span.lane = 0;
+    span.round = 0;  // the pool is round-agnostic
+    span.start_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            w0.time_since_epoch())
+            .count());
+    span.dur_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(w1 - w0).count());
+    telemetry_->on_span(span);
+    return;
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   work_done_.wait(lock, [this] { return pending_ == 0; });
   task_ = nullptr;

@@ -29,6 +29,10 @@
 #include <thread>
 #include <vector>
 
+namespace dynsub::telemetry {
+class TelemetrySink;
+}  // namespace dynsub::telemetry
+
 namespace dynsub::net {
 
 class WorkerPool {
@@ -65,6 +69,14 @@ class WorkerPool {
   /// on the calling thread.
   void run_sharded(std::size_t count, const ShardFn& fn);
 
+  /// Attach a TIMING-enabled telemetry sink (or nullptr to detach): each
+  /// pooled dispatch then emits a lane-0 kBarrier span covering the time
+  /// the calling thread spent waiting on the join after finishing its own
+  /// shard -- the direct read on lost parallelism from shard imbalance.
+  /// The caller must have verified timing_enabled(); the pool never
+  /// touches the clock when no sink is attached.
+  void set_telemetry(telemetry::TelemetrySink* sink) { telemetry_ = sink; }
+
  private:
   void worker_loop(std::size_t lane, std::size_t lanes);
 
@@ -77,6 +89,7 @@ class WorkerPool {
   std::uint64_t generation_ = 0;
   bool stop_ = false;
   std::size_t inline_cutoff_ = kInlineCutoff;
+  telemetry::TelemetrySink* telemetry_ = nullptr;  // not owned
   std::vector<std::thread> workers_;
 };
 

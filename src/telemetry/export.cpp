@@ -1,0 +1,162 @@
+#include "telemetry/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace dynsub::telemetry {
+
+namespace {
+
+// Shortest-round-trip double formatting, byte-for-byte the same policy as
+// the harness JSON layer (harness/json.cpp): integral values inside the
+// exactly-representable window print without a fraction, everything else
+// at the smallest precision that round-trips.  Duplicated on purpose --
+// telemetry depends only on the standard library so the engine headers
+// can include it without layering cycles.
+void number_to(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[40];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+    if (std::strtod(probe, nullptr) == v) {
+      out += probe;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void u64_to(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void key_u64(std::string& out, const char* key, std::uint64_t v,
+             bool first = false) {
+  if (!first) out += ',';
+  out += '"';
+  out += key;
+  out += "\":";
+  u64_to(out, v);
+}
+
+void key_double(std::string& out, const char* key, double v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  number_to(out, v);
+}
+
+void key_bool(std::string& out, const char* key, bool v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += v ? "true" : "false";
+}
+
+}  // namespace
+
+void write_round_jsonl(std::ostream& os,
+                       std::span<const RoundRecord> rounds) {
+  std::string line;
+  for (const RoundRecord& r : rounds) {
+    line.clear();
+    line += '{';
+    key_u64(line, "round", r.round, /*first=*/true);
+    key_u64(line, "changes", r.changes);
+    key_u64(line, "active", r.active);
+    key_u64(line, "stepped", r.stepped);
+    key_u64(line, "messages", r.messages);
+    key_u64(line, "payload_bits", r.payload_bits);
+    key_u64(line, "inconsistent_nodes", r.inconsistent_nodes);
+    key_u64(line, "flips_down", r.flips_down);
+    key_u64(line, "flips_up", r.flips_up);
+    key_u64(line, "degraded_nodes", r.degraded_nodes);
+    key_bool(line, "had_loss", r.had_loss);
+    key_u64(line, "transport_retries", r.transport_retries);
+    key_u64(line, "transport_drops", r.transport_drops);
+    key_u64(line, "transport_corruptions", r.transport_corruptions);
+    key_u64(line, "transport_redeliveries", r.transport_redeliveries);
+    key_u64(line, "transport_backoff_units", r.transport_backoff_units);
+    key_u64(line, "transport_lost_batches", r.transport_lost_batches);
+    key_u64(line, "transport_degraded_marks", r.transport_degraded_marks);
+    key_u64(line, "transport_recovery_events", r.transport_recovery_events);
+    key_u64(line, "inconsistent_rounds", r.inconsistent_rounds);
+    key_u64(line, "changes_total", r.changes_total);
+    key_double(line, "amortized", r.amortized);
+    key_double(line, "amortized_sup", r.amortized_sup);
+    line += "}\n";
+    os << line;
+  }
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const TelemetryRecorder& recorder) {
+  // Normalize timestamps to the earliest span so the trace starts at 0.
+  std::uint64_t epoch = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t lane = 0; lane < recorder.lanes(); ++lane) {
+    for (const Span& s : recorder.spans(lane)) {
+      epoch = std::min(epoch, s.start_ns);
+    }
+  }
+  if (epoch == std::numeric_limits<std::uint64_t>::max()) epoch = 0;
+
+  std::string out;
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  // One named track per lane (pid 0, tid = lane).
+  for (std::size_t lane = 0; lane < recorder.lanes(); ++lane) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    u64_to(out, lane);
+    out += ",\"args\":{\"name\":\"lane ";
+    u64_to(out, lane);
+    out += "\"}}";
+  }
+  for (std::size_t lane = 0; lane < recorder.lanes(); ++lane) {
+    for (const Span& s : recorder.spans(lane)) {
+      comma();
+      out += "{\"name\":\"";
+      out += phase_name(s.phase);
+      out += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+      u64_to(out, s.lane);
+      out += ",\"ts\":";
+      number_to(out, static_cast<double>(s.start_ns - epoch) / 1000.0);
+      out += ",\"dur\":";
+      number_to(out, static_cast<double>(s.dur_ns) / 1000.0);
+      out += ",\"args\":{\"round\":";
+      u64_to(out, s.round);
+      out += "}}";
+      // Flush in chunks so multi-hundred-MB traces do not balloon RAM.
+      if (out.size() >= (1u << 20)) {
+        os << out;
+        out.clear();
+      }
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  os << out;
+}
+
+}  // namespace dynsub::telemetry

@@ -1,0 +1,112 @@
+// Fixed-bucket log2 histograms for the telemetry layer.
+//
+// A Log2Histogram buckets a uint64 sample by its bit width: bucket 0 holds
+// the value 0, bucket i (i >= 1) holds [2^(i-1), 2^i - 1].  65 fixed
+// buckets cover the whole uint64 range, so recording is O(1), allocation-
+// free, and mergeable by plain addition -- which is what lets per-lane
+// histograms reduce at a round barrier without locks and lets bench runs
+// fold into a process-wide aggregate.
+//
+// Percentile extraction (p50/p90/p99) walks the cumulative counts and
+// interpolates linearly inside the landing bucket, clamped to the observed
+// [min, max]; with log2 buckets that bounds the relative error of a
+// quantile by 2x, which is exactly the fidelity a latency trajectory gate
+// needs (the regression guard uses ~8x headroom ceilings anyway).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace dynsub::telemetry {
+
+class Log2Histogram {
+ public:
+  /// bit_width of a uint64 is 0..64, one bucket per width.
+  static constexpr std::size_t kBuckets = 65;
+
+  static constexpr std::size_t bucket_of(std::uint64_t v) {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Smallest value bucket i holds.
+  static constexpr std::uint64_t bucket_lo(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  /// Largest value bucket i holds.
+  static constexpr std::uint64_t bucket_hi(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  void merge(const Log2Histogram& o) {
+    if (o.count_ == 0) return;
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    min_ = count_ == 0 ? o.min_ : std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  /// Smallest / largest recorded value; 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// The q-quantile (q in [0, 1]) with linear interpolation inside the
+  /// landing bucket, clamped to the observed [min, max].  0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Continuous 0-based rank of the wanted sample.
+    const double rank = q * static_cast<double>(count_ - 1);
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      const std::uint64_t in_bucket = buckets_[i];
+      if (in_bucket == 0) continue;
+      if (static_cast<double>(below + in_bucket) > rank) {
+        const double into =
+            (rank - static_cast<double>(below)) /
+            static_cast<double>(in_bucket);
+        const double lo = static_cast<double>(bucket_lo(i));
+        const double hi = static_cast<double>(bucket_hi(i));
+        const double value = lo + into * (hi - lo);
+        return std::clamp(value, static_cast<double>(min_),
+                          static_cast<double>(max_));
+      }
+      below += in_bucket;
+    }
+    return static_cast<double>(max_);
+  }
+
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p90() const { return quantile(0.90); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace dynsub::telemetry

@@ -1,0 +1,47 @@
+#include "telemetry/recorder.hpp"
+
+#include "common/check.hpp"
+
+namespace dynsub::telemetry {
+
+TelemetryRecorder::TelemetryRecorder(RecorderOptions opts) : opts_(opts) {
+  // A sane default before on_lanes arrives (manual sinks, unit tests).
+  on_lanes(1);
+}
+
+void TelemetryRecorder::on_lanes(std::size_t lanes) {
+  DYNSUB_CHECK(lanes >= 1);
+  if (lanes <= lane_phase_ns_.size()) return;
+  lane_spans_.resize(lanes);
+  lane_phase_ns_.resize(lanes);
+}
+
+void TelemetryRecorder::on_round(const RoundRecord& record) {
+  if (opts_.keep_rounds) rounds_.push_back(record);
+}
+
+void TelemetryRecorder::on_span(const Span& span) {
+  DYNSUB_CHECK(span.lane < lane_phase_ns_.size());
+  lane_phase_ns_[span.lane][static_cast<std::size_t>(span.phase)].record(
+      span.dur_ns);
+  // kRound spans are barrier-side (single-threaded), so the dedicated
+  // round-latency histogram needs no synchronization.
+  if (span.phase == Phase::kRound) {
+    merged_phase_ns_cache_round_.record(span.dur_ns);
+  }
+  if (opts_.keep_spans) lane_spans_[span.lane].push_back(span);
+}
+
+void TelemetryRecorder::on_wire_bytes(std::uint64_t bytes) {
+  wire_bytes_.record(bytes);
+}
+
+Log2Histogram TelemetryRecorder::merged_phase_ns(Phase phase) const {
+  Log2Histogram out;
+  for (const auto& per_phase : lane_phase_ns_) {
+    out.merge(per_phase[static_cast<std::size_t>(phase)]);
+  }
+  return out;
+}
+
+}  // namespace dynsub::telemetry

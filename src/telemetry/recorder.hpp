@@ -1,0 +1,88 @@
+// TelemetryRecorder -- the standard in-memory TelemetrySink.
+//
+// Stores whatever the configured channels produce:
+//
+//   * keep_rounds: every RoundRecord, in order (the JSONL export);
+//   * keep_spans:  every Span, partitioned per lane (the Chrome trace);
+//   * always: fixed-size log2 histograms -- per-lane per-phase span
+//     durations, round latency, and batch wire bytes -- so a recorder in
+//     histogram-only mode (both keep_* off) runs in O(lanes) memory no
+//     matter how many rounds pass.  That is the mode the benches use to
+//     extract latency percentiles from multi-million-round runs.
+//
+// Concurrency: on_span may be called concurrently from distinct lanes
+// (sink.hpp contract); all lane-keyed state is pre-sized by on_lanes and
+// indexed by span.lane, so concurrent calls touch disjoint objects.
+// on_round / on_wire_bytes are barrier-side and single-threaded.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/histogram.hpp"
+#include "telemetry/sink.hpp"
+
+namespace dynsub::telemetry {
+
+struct RecorderOptions {
+  /// Collect the timing channel (per-lane spans -> phase histograms,
+  /// round-latency histogram, optionally raw spans).  Off keeps the
+  /// engine free of clock reads; the deterministic channel still flows.
+  bool timing = false;
+  /// Store every RoundRecord (required for the JSONL export).
+  bool keep_rounds = true;
+  /// Store raw spans per lane (required for the Chrome-trace export).
+  /// Memory is O(rounds x lanes); leave off for long benches.
+  bool keep_spans = false;
+};
+
+class TelemetryRecorder final : public TelemetrySink {
+ public:
+  explicit TelemetryRecorder(RecorderOptions opts = {});
+
+  void on_lanes(std::size_t lanes) override;
+  void on_round(const RoundRecord& record) override;
+  void on_span(const Span& span) override;
+  void on_wire_bytes(std::uint64_t bytes) override;
+  [[nodiscard]] bool timing_enabled() const override { return opts_.timing; }
+
+  [[nodiscard]] const RecorderOptions& options() const { return opts_; }
+  [[nodiscard]] std::size_t lanes() const { return lane_phase_ns_.size(); }
+  [[nodiscard]] const std::vector<RoundRecord>& rounds() const {
+    return rounds_;
+  }
+  /// Raw spans of one lane, in emission order (empty unless keep_spans).
+  [[nodiscard]] const std::vector<Span>& spans(std::size_t lane) const {
+    return lane_spans_[lane];
+  }
+
+  /// Duration histogram of one phase on one lane (nanoseconds).
+  [[nodiscard]] const Log2Histogram& phase_ns(std::size_t lane,
+                                              Phase phase) const {
+    return lane_phase_ns_[lane][static_cast<std::size_t>(phase)];
+  }
+  /// Same, merged across lanes.
+  [[nodiscard]] Log2Histogram merged_phase_ns(Phase phase) const;
+  /// Whole-round latency histogram (kRound spans; empty without timing).
+  [[nodiscard]] const Log2Histogram& round_latency_ns() const {
+    return merged_phase_ns_cache_round_;
+  }
+  /// Encoded lane-batch sizes at the round barriers.
+  [[nodiscard]] const Log2Histogram& wire_bytes() const {
+    return wire_bytes_;
+  }
+
+ private:
+  RecorderOptions opts_;
+  std::vector<RoundRecord> rounds_;
+  std::vector<std::vector<Span>> lane_spans_;  // [lane] -> spans
+  // [lane][phase] -> duration histogram; kRound always lands on lane 0
+  // (barrier-side), mirrored into the dedicated cache below so
+  // round_latency_ns() can return a reference without merging.
+  std::vector<std::array<Log2Histogram, kPhaseCount>> lane_phase_ns_;
+  Log2Histogram merged_phase_ns_cache_round_;
+  Log2Histogram wire_bytes_;
+};
+
+}  // namespace dynsub::telemetry

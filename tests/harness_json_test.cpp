@@ -137,6 +137,8 @@ RunSummary sample_summary() {
   s.payload_bits = 12345678;
   s.wall_seconds = 0.125;
   s.rounds_per_sec = 3448.0;
+  s.latency_p50_ns = 290000.5;
+  s.latency_p99_ns = 910003.25;
   s.apply_ns = 1111;
   s.react_ns = 2222;
   s.route_ns = 3333;
@@ -167,6 +169,8 @@ TEST(JsonSchema, RunSummaryRoundTrip) {
   EXPECT_EQ(back.payload_bits, s.payload_bits);
   EXPECT_DOUBLE_EQ(back.wall_seconds, s.wall_seconds);
   EXPECT_DOUBLE_EQ(back.rounds_per_sec, s.rounds_per_sec);
+  EXPECT_DOUBLE_EQ(back.latency_p50_ns, s.latency_p50_ns);
+  EXPECT_DOUBLE_EQ(back.latency_p99_ns, s.latency_p99_ns);
   EXPECT_EQ(back.apply_ns, s.apply_ns);
   EXPECT_EQ(back.react_ns, s.react_ns);
   EXPECT_EQ(back.route_ns, s.route_ns);
@@ -191,13 +195,14 @@ TEST(JsonSchema, RunSummaryFieldNamesAreStable) {
   for (const char* key :
        {"n", "rounds", "changes", "inconsistent_rounds", "amortized",
         "amortized_sup", "per_node_sup", "messages", "payload_bits",
-        "wall_seconds", "rounds_per_sec", "apply_ns", "react_ns", "route_ns",
+        "wall_seconds", "rounds_per_sec", "latency_p50_ns", "latency_p99_ns",
+        "apply_ns", "react_ns", "route_ns",
         "receive_ns", "transport_retries", "transport_redeliveries",
         "transport_corruptions", "transport_drops", "transport_lost_batches",
         "transport_recovery_events"}) {
     EXPECT_NE(j.find(key), nullptr) << "missing field: " << key;
   }
-  EXPECT_EQ(j.members().size(), 21u) << "unexpected extra/missing fields";
+  EXPECT_EQ(j.members().size(), 23u) << "unexpected extra/missing fields";
 }
 
 TEST(JsonSchema, RunSummaryPerfFieldsAreOptional) {

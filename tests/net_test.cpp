@@ -380,6 +380,48 @@ TEST(MetricsTest, PerNodeAccounting) {
   EXPECT_DOUBLE_EQ(m.per_node_amortized_sup(), 2.0);  // node 0: 2 rounds / 1
 }
 
+TEST(MetricsTest, ZeroChangesNeverDivides) {
+  // A run with no topology changes has an undefined ratio; the meter
+  // reports 0 (not NaN/inf) for both the final ratio and its sup, even
+  // when inconsistent rounds were observed (a paper-illegal state, but
+  // the meter must not blow up on it).
+  Metrics m(2);
+  m.record_round(1, 0, 1, 0, 0);
+  m.record_round(2, 0, 1, 0, 0);
+  EXPECT_DOUBLE_EQ(m.amortized(), 0.0);
+  EXPECT_DOUBLE_EQ(m.amortized_sup(), 0.0);
+  EXPECT_EQ(m.inconsistent_rounds(), 2u);
+  EXPECT_EQ(m.changes(), 0u);
+}
+
+TEST(MetricsTest, InconsistentRoundsBeforeFirstChangeChargeTheFirstChange) {
+  // Rounds before the first change still count toward the numerator; the
+  // sup only starts being taken once a change exists to divide by, so the
+  // first charged point already includes the pre-change backlog.
+  Metrics m(2);
+  m.record_round(1, 0, 1, 0, 0);  // inconsistent, no changes yet: sup stays 0
+  EXPECT_DOUBLE_EQ(m.amortized_sup(), 0.0);
+  m.record_round(2, 1, 1, 0, 0);  // first change arrives: 2 / 1
+  EXPECT_DOUBLE_EQ(m.amortized(), 2.0);
+  EXPECT_DOUBLE_EQ(m.amortized_sup(), 2.0);
+  m.record_round(3, 3, 0, 0, 0);  // ratio falls to 2/4; sup remembers 2
+  EXPECT_DOUBLE_EQ(m.amortized(), 0.5);
+  EXPECT_DOUBLE_EQ(m.amortized_sup(), 2.0);
+}
+
+TEST(MetricsTest, PerNodeSupIsZeroOnAllConsistentRuns) {
+  // Changes without a single inconsistent observation: every per-node
+  // numerator is 0, so the worst ratio is 0 -- including for nodes that
+  // saw no changes at all (their denominator clamps to 1, not 0).
+  Metrics m(3);
+  m.record_node_change(0);
+  m.record_round(1, 1, 0, 0, 0);
+  m.record_round(2, 0, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(m.per_node_amortized_sup(), 0.0);
+  EXPECT_DOUBLE_EQ(m.amortized(), 0.0);
+  EXPECT_DOUBLE_EQ(m.amortized_sup(), 0.0);
+}
+
 // --------------------------------------------------------- workloads ----
 
 TEST(WorkloadTest, ScriptedReplaysInOrder) {

@@ -40,6 +40,8 @@
 #include "net/trace.hpp"
 #include "net/workload.hpp"
 #include "scenario/registry.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace dynsub {
 namespace {
@@ -49,6 +51,8 @@ struct Options {
   std::string replay_path;
   std::string record_path;
   std::string json_path;
+  std::string telemetry_path;
+  std::string chrome_trace_path;
   std::string detector = "triangle";
   net::FaultPlan faults{};
   std::size_t n = 0;
@@ -90,6 +94,14 @@ void usage(const char* argv0) {
       "  --record PATH   write the emitted event trace for later --replay\n"
       "  --json PATH     write the run document (summary is timing-free, so\n"
       "                  record and replay emit identical summaries)\n"
+      "  --telemetry PATH     write per-round telemetry as JSON Lines (the\n"
+      "                  deterministic channel: byte-identical across\n"
+      "                  record/replay and, fault-free, across --threads;\n"
+      "                  summarize with dynsub_stats)\n"
+      "  --chrome-trace PATH  write wall-clock phase spans in Chrome\n"
+      "                  trace-event JSON (load in chrome://tracing or\n"
+      "                  Perfetto; one track per engine lane).  Timing\n"
+      "                  data -- never byte-stable across runs\n"
       "  --list          print the scenario and detector registries and exit\n"
       "  --names-only    with --list: one runnable scenario name per line\n"
       "  --list-detectors  one runnable detector spec per line (scripts)\n",
@@ -134,6 +146,12 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (arg == "--json") {
       if ((v = value(i)) == nullptr) return std::nullopt;
       o.json_path = v;
+    } else if (arg == "--telemetry") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.telemetry_path = v;
+    } else if (arg == "--chrome-trace") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.chrome_trace_path = v;
     } else if (arg == "--detector") {
       if ((v = value(i)) == nullptr) return std::nullopt;
       o.detector = v;
@@ -263,6 +281,17 @@ std::size_t max_node_in(
 }
 
 int run(const Options& o) {
+  // The recorder outlives the Session (the simulator holds a raw pointer
+  // to it).  Timing + raw spans only when a Chrome trace was asked for;
+  // round records only when JSONL was -- a --chrome-trace-only run keeps
+  // the deterministic channel's storage off.
+  telemetry::TelemetryRecorder recorder(
+      telemetry::RecorderOptions{.timing = !o.chrome_trace_path.empty(),
+                                 .keep_rounds = !o.telemetry_path.empty(),
+                                 .keep_spans = !o.chrome_trace_path.empty()});
+  const bool want_telemetry =
+      !o.telemetry_path.empty() || !o.chrome_trace_path.empty();
+
   detect::SessionOptions sopts;
   sopts.detector = o.detector;
   sopts.n = o.n;
@@ -276,6 +305,7 @@ int run(const Options& o) {
                .collect_phase_timings = false,
                .threads = o.threads,
                .faults = o.faults};
+  if (want_telemetry) sopts.sim.telemetry = &recorder;
 
   // Resolve the detector spec first so an unknown name is a usage error
   // (exit 2) carrying the registry, not a generic run failure.
@@ -413,6 +443,29 @@ int run(const Options& o) {
   std::printf("settled:    %s\n", session->settled() ? "yes" : "no");
   if (!o.record_path.empty()) {
     std::printf("trace:      %s\n", o.record_path.c_str());
+  }
+
+  if (!o.telemetry_path.empty()) {
+    std::ofstream out(o.telemetry_path);
+    if (out) telemetry::write_round_jsonl(out, recorder.rounds());
+    if (!out.good()) {
+      std::fprintf(stderr, "dynsub_run: failed to write telemetry '%s'\n",
+                   o.telemetry_path.c_str());
+      return 1;
+    }
+    std::printf("telemetry:  %s (%zu rounds)\n", o.telemetry_path.c_str(),
+                recorder.rounds().size());
+  }
+  if (!o.chrome_trace_path.empty()) {
+    std::ofstream out(o.chrome_trace_path);
+    if (out) telemetry::write_chrome_trace(out, recorder);
+    if (!out.good()) {
+      std::fprintf(stderr, "dynsub_run: failed to write chrome trace '%s'\n",
+                   o.chrome_trace_path.c_str());
+      return 1;
+    }
+    std::printf("chrome:     %s (%zu lanes)\n", o.chrome_trace_path.c_str(),
+                recorder.lanes());
   }
 
   if (!o.json_path.empty()) {

@@ -1,0 +1,313 @@
+// dynsub_stats -- summarize a telemetry JSONL stream (dynsub_run
+// --telemetry) into the story a human wants from a run:
+//
+//   * totals and final amortized / amortized-sup,
+//   * distribution percentiles (p50/p90/p99) over active-set size,
+//     messages, and inconsistent-node count per round,
+//   * the worst inconsistency window (longest consecutive streak of
+//     rounds with at least one inconsistent node, with its peak),
+//   * amortized-sup over time (evenly spaced samples),
+//   * transport fault totals and the degraded-mode story (loss rounds,
+//     degraded rounds, recovery events).
+//
+// The tool is also the schema guard: every line must parse as a JSON
+// object carrying exactly the documented keys with the documented types
+// and strictly increasing round numbers, otherwise it exits 1 -- CI runs
+// it over freshly recorded telemetry so schema drift fails the smoke.
+//
+// Usage: dynsub_stats <telemetry.jsonl>   ("-" reads stdin)
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/json.hpp"
+#include "telemetry/histogram.hpp"
+
+namespace {
+
+using dynsub::harness::Json;
+using dynsub::telemetry::Log2Histogram;
+
+// The deterministic-channel schema (tools/dynsub_run.cpp --telemetry):
+// key name + whether the value is a bool (everything else is a number).
+struct KeySpec {
+  const char* key;
+  bool is_bool;
+};
+constexpr KeySpec kSchema[] = {
+    {"round", false},
+    {"changes", false},
+    {"active", false},
+    {"stepped", false},
+    {"messages", false},
+    {"payload_bits", false},
+    {"inconsistent_nodes", false},
+    {"flips_down", false},
+    {"flips_up", false},
+    {"degraded_nodes", false},
+    {"had_loss", true},
+    {"transport_retries", false},
+    {"transport_drops", false},
+    {"transport_corruptions", false},
+    {"transport_redeliveries", false},
+    {"transport_backoff_units", false},
+    {"transport_lost_batches", false},
+    {"transport_degraded_marks", false},
+    {"transport_recovery_events", false},
+    {"inconsistent_rounds", false},
+    {"changes_total", false},
+    {"amortized", false},
+    {"amortized_sup", false},
+};
+
+struct Record {
+  std::uint64_t round = 0;
+  std::uint64_t changes = 0;
+  std::uint64_t active = 0;
+  std::uint64_t stepped = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bits = 0;
+  std::uint64_t inconsistent_nodes = 0;
+  std::uint64_t flips_down = 0;
+  std::uint64_t flips_up = 0;
+  std::uint64_t degraded_nodes = 0;
+  bool had_loss = false;
+  std::uint64_t transport_retries = 0;
+  std::uint64_t transport_drops = 0;
+  std::uint64_t transport_corruptions = 0;
+  std::uint64_t transport_redeliveries = 0;
+  std::uint64_t transport_backoff_units = 0;
+  std::uint64_t transport_lost_batches = 0;
+  std::uint64_t transport_degraded_marks = 0;
+  std::uint64_t transport_recovery_events = 0;
+  std::uint64_t inconsistent_rounds = 0;
+  std::uint64_t changes_total = 0;
+  double amortized = 0.0;
+  double amortized_sup = 0.0;
+};
+
+bool fail(std::size_t line_no, const std::string& why) {
+  std::cerr << "dynsub_stats: line " << line_no << ": " << why << "\n";
+  return false;
+}
+
+std::uint64_t as_u64(const Json& j) {
+  return static_cast<std::uint64_t>(j.as_number());
+}
+
+bool parse_record(const std::string& line, std::size_t line_no, Record& out) {
+  const std::optional<Json> doc = Json::parse(line);
+  if (!doc || doc->type() != Json::Type::kObject) {
+    return fail(line_no, "not a JSON object");
+  }
+  // Exactly the documented keys, in any order, each with the right type.
+  if (doc->members().size() != std::size(kSchema)) {
+    return fail(line_no, "expected " + std::to_string(std::size(kSchema)) +
+                             " keys, got " +
+                             std::to_string(doc->members().size()));
+  }
+  for (const KeySpec& spec : kSchema) {
+    const Json* v = doc->find(spec.key);
+    if (v == nullptr) {
+      return fail(line_no, std::string("missing key \"") + spec.key + "\"");
+    }
+    if (spec.is_bool && v->type() != Json::Type::kBool) {
+      return fail(line_no, std::string("key \"") + spec.key + "\" not a bool");
+    }
+    if (!spec.is_bool && v->type() != Json::Type::kNumber) {
+      return fail(line_no,
+                  std::string("key \"") + spec.key + "\" not a number");
+    }
+  }
+  out.round = as_u64(*doc->find("round"));
+  out.changes = as_u64(*doc->find("changes"));
+  out.active = as_u64(*doc->find("active"));
+  out.stepped = as_u64(*doc->find("stepped"));
+  out.messages = as_u64(*doc->find("messages"));
+  out.payload_bits = as_u64(*doc->find("payload_bits"));
+  out.inconsistent_nodes = as_u64(*doc->find("inconsistent_nodes"));
+  out.flips_down = as_u64(*doc->find("flips_down"));
+  out.flips_up = as_u64(*doc->find("flips_up"));
+  out.degraded_nodes = as_u64(*doc->find("degraded_nodes"));
+  out.had_loss = doc->find("had_loss")->as_bool();
+  out.transport_retries = as_u64(*doc->find("transport_retries"));
+  out.transport_drops = as_u64(*doc->find("transport_drops"));
+  out.transport_corruptions = as_u64(*doc->find("transport_corruptions"));
+  out.transport_redeliveries = as_u64(*doc->find("transport_redeliveries"));
+  out.transport_backoff_units = as_u64(*doc->find("transport_backoff_units"));
+  out.transport_lost_batches = as_u64(*doc->find("transport_lost_batches"));
+  out.transport_degraded_marks = as_u64(*doc->find("transport_degraded_marks"));
+  out.transport_recovery_events =
+      as_u64(*doc->find("transport_recovery_events"));
+  out.inconsistent_rounds = as_u64(*doc->find("inconsistent_rounds"));
+  out.changes_total = as_u64(*doc->find("changes_total"));
+  out.amortized = doc->find("amortized")->as_number();
+  out.amortized_sup = doc->find("amortized_sup")->as_number();
+  return true;
+}
+
+void print_hist(const char* name, const Log2Histogram& h) {
+  std::printf("  %-20s p50=%-10.0f p90=%-10.0f p99=%-10.0f max=%llu\n", name,
+              h.p50(), h.p90(), h.p99(),
+              static_cast<unsigned long long>(h.max()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: dynsub_stats <telemetry.jsonl>  (\"-\" for stdin)\n";
+    return 2;
+  }
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (std::string(argv[1]) != "-") {
+    file.open(argv[1]);
+    if (!file) {
+      std::cerr << "dynsub_stats: cannot open " << argv[1] << "\n";
+      return 2;
+    }
+    in = &file;
+  }
+
+  std::vector<Record> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Record r;
+    if (!parse_record(line, line_no, r)) return 1;
+    if (!records.empty() && r.round <= records.back().round) {
+      fail(line_no, "round " + std::to_string(r.round) +
+                        " not greater than previous round " +
+                        std::to_string(records.back().round));
+      return 1;
+    }
+    records.push_back(r);
+  }
+  if (records.empty()) {
+    std::cerr << "dynsub_stats: no records\n";
+    return 1;
+  }
+
+  // --- Totals. ---
+  const Record& last = records.back();
+  std::uint64_t messages = 0, payload_bits = 0, flips_down = 0, flips_up = 0;
+  std::uint64_t retries = 0, drops = 0, corruptions = 0, redeliveries = 0;
+  std::uint64_t backoff = 0, lost = 0, degraded_marks = 0, recoveries = 0;
+  std::uint64_t loss_rounds = 0, degraded_rounds = 0, inconsistent_rounds = 0;
+  Log2Histogram h_active, h_messages, h_inconsistent;
+  for (const Record& r : records) {
+    messages += r.messages;
+    payload_bits += r.payload_bits;
+    flips_down += r.flips_down;
+    flips_up += r.flips_up;
+    retries += r.transport_retries;
+    drops += r.transport_drops;
+    corruptions += r.transport_corruptions;
+    redeliveries += r.transport_redeliveries;
+    backoff += r.transport_backoff_units;
+    lost += r.transport_lost_batches;
+    degraded_marks += r.transport_degraded_marks;
+    recoveries += r.transport_recovery_events;
+    if (r.had_loss) ++loss_rounds;
+    if (r.degraded_nodes > 0) ++degraded_rounds;
+    if (r.inconsistent_nodes > 0) ++inconsistent_rounds;
+    h_active.record(r.active);
+    h_messages.record(r.messages);
+    h_inconsistent.record(r.inconsistent_nodes);
+  }
+
+  // --- Worst inconsistency window: the longest consecutive streak of
+  // rounds with at least one inconsistent node (ties: first wins). ---
+  std::size_t best_len = 0, best_begin = 0;
+  std::uint64_t best_peak = 0;
+  std::size_t cur_len = 0, cur_begin = 0;
+  std::uint64_t cur_peak = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].inconsistent_nodes > 0) {
+      if (cur_len == 0) {
+        cur_begin = i;
+        cur_peak = 0;
+      }
+      ++cur_len;
+      cur_peak = std::max(cur_peak, records[i].inconsistent_nodes);
+      if (cur_len > best_len) {
+        best_len = cur_len;
+        best_begin = cur_begin;
+        best_peak = cur_peak;
+      }
+    } else {
+      cur_len = 0;
+    }
+  }
+
+  std::printf("rounds                %llu (rounds %llu..%llu)\n",
+              static_cast<unsigned long long>(records.size()),
+              static_cast<unsigned long long>(records.front().round),
+              static_cast<unsigned long long>(last.round));
+  std::printf("changes               %llu\n",
+              static_cast<unsigned long long>(last.changes_total));
+  std::printf("messages              %llu (%llu payload bits)\n",
+              static_cast<unsigned long long>(messages),
+              static_cast<unsigned long long>(payload_bits));
+  std::printf("inconsistent rounds   %llu observed / %llu cumulative\n",
+              static_cast<unsigned long long>(inconsistent_rounds),
+              static_cast<unsigned long long>(last.inconsistent_rounds));
+  std::printf("consistency flips     %llu down / %llu up\n",
+              static_cast<unsigned long long>(flips_down),
+              static_cast<unsigned long long>(flips_up));
+  std::printf("amortized             %.6g (final), sup %.6g\n", last.amortized,
+              last.amortized_sup);
+
+  std::printf("\nper-round distributions:\n");
+  print_hist("active", h_active);
+  print_hist("messages", h_messages);
+  print_hist("inconsistent_nodes", h_inconsistent);
+
+  std::printf("\nworst inconsistency window:\n");
+  if (best_len == 0) {
+    std::printf("  none (every round fully consistent)\n");
+  } else {
+    std::printf("  rounds %llu..%llu (%llu rounds, peak %llu nodes)\n",
+                static_cast<unsigned long long>(records[best_begin].round),
+                static_cast<unsigned long long>(
+                    records[best_begin + best_len - 1].round),
+                static_cast<unsigned long long>(best_len),
+                static_cast<unsigned long long>(best_peak));
+  }
+
+  std::printf("\namortized-sup over time:\n");
+  const std::size_t samples = std::min<std::size_t>(records.size(), 10);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t i = (records.size() - 1) * s / (samples - 1 == 0
+                                                          ? 1
+                                                          : samples - 1);
+    std::printf("  round %-10llu sup %.6g\n",
+                static_cast<unsigned long long>(records[i].round),
+                records[i].amortized_sup);
+  }
+
+  std::printf("\ntransport:\n");
+  std::printf("  retries %llu, drops %llu, corruptions %llu, "
+              "redeliveries %llu, backoff %llu\n",
+              static_cast<unsigned long long>(retries),
+              static_cast<unsigned long long>(drops),
+              static_cast<unsigned long long>(corruptions),
+              static_cast<unsigned long long>(redeliveries),
+              static_cast<unsigned long long>(backoff));
+  std::printf("  lost batches %llu, degraded marks %llu, "
+              "recovery events %llu\n",
+              static_cast<unsigned long long>(lost),
+              static_cast<unsigned long long>(degraded_marks),
+              static_cast<unsigned long long>(recoveries));
+  std::printf("  loss rounds %llu, degraded rounds %llu\n",
+              static_cast<unsigned long long>(loss_rounds),
+              static_cast<unsigned long long>(degraded_rounds));
+  return 0;
+}

@@ -2,6 +2,10 @@
 # Registry smoke: runs every registered scenario at quick scale, runs one
 # scenario through every registered detector, then records one composite's
 # trace and replays it, asserting the RunSummary JSON is byte-identical.
+# Also exercises the telemetry subsystem: the --telemetry JSONL channel
+# must be byte-identical across record/replay and thread counts, and the
+# --chrome-trace export must be valid JSON with per-lane tracks (copied to
+# $SMOKE_ARTIFACT_DIR when set, so CI can upload it).
 # CI runs this so a registry regression, a spec-parser break, or a
 # record/replay divergence fails the build.
 #
@@ -147,6 +151,105 @@ if "$BIN" --scenario 'churn(n=24, rounds=40)' --quick \
   exit 1
 fi
 echo "bad fault specs fail loudly"
+
+echo "== telemetry channel =="
+# The deterministic telemetry channel (--telemetry JSONL) must be
+# byte-identical across record/replay and, fault-free, across thread
+# counts; the timing channel (--chrome-trace) must never leak into it.
+"$BIN" --scenario multi-community-churn --quick \
+  --telemetry "$TMP/tel_a.jsonl" > /dev/null
+"$BIN" --replay "$TMP/t.trace" --telemetry "$TMP/tel_b.jsonl" > /dev/null
+cmp "$TMP/tel_a.jsonl" "$TMP/tel_b.jsonl" || {
+  echo "scenario_smoke.sh: replay telemetry differs from recorded" >&2
+  exit 1
+}
+"$BIN" --scenario multi-community-churn --quick --threads 4 \
+  --telemetry "$TMP/tel_c.jsonl" > /dev/null
+cmp "$TMP/tel_a.jsonl" "$TMP/tel_c.jsonl" || {
+  echo "scenario_smoke.sh: threads=4 telemetry differs from sequential" >&2
+  exit 1
+}
+echo "telemetry JSONL byte-identical across replay and --threads 4"
+
+python3 - "$TMP/tel_a.jsonl" <<'EOF'
+import json, sys
+# Schema sanity for the JSONL round records: every line is an object with
+# the full fixed key set (dynsub_stats enforces the strict contract; this
+# guards the smoke artifact itself).
+KEYS = ["round", "changes", "active", "stepped", "messages", "payload_bits",
+        "inconsistent_nodes", "flips_down", "flips_up", "degraded_nodes",
+        "had_loss", "transport_retries", "transport_drops",
+        "transport_corruptions", "transport_redeliveries",
+        "transport_backoff_units", "transport_lost_batches",
+        "transport_degraded_marks", "transport_recovery_events",
+        "inconsistent_rounds", "changes_total", "amortized", "amortized_sup"]
+rounds = 0
+last = 0
+for line in open(sys.argv[1], encoding="utf-8"):
+    rec = json.loads(line)
+    if sorted(rec) != sorted(KEYS):
+        print("scenario_smoke.sh: telemetry keys drifted:",
+              sorted(set(rec) ^ set(KEYS)), file=sys.stderr)
+        sys.exit(1)
+    if rec["round"] <= last:
+        print("scenario_smoke.sh: rounds not increasing", file=sys.stderr)
+        sys.exit(1)
+    last = rec["round"]
+    rounds += 1
+if rounds == 0:
+    print("scenario_smoke.sh: telemetry JSONL is empty", file=sys.stderr)
+    sys.exit(1)
+print(f"telemetry JSONL schema ok ({rounds} round records)")
+EOF
+
+STATS="$(dirname "$BIN")/dynsub_stats"
+if [[ -x "$STATS" ]]; then
+  "$STATS" "$TMP/tel_a.jsonl" > /dev/null || {
+    echo "scenario_smoke.sh: dynsub_stats rejected the smoke JSONL" >&2
+    exit 1
+  }
+  echo "dynsub_stats accepted the smoke JSONL"
+else
+  echo "scenario_smoke.sh: dynsub_stats not built at $STATS; skipping" >&2
+fi
+
+echo "== chrome trace export =="
+"$BIN" --scenario flash-crowd --quick --threads 2 \
+  --chrome-trace "$TMP/trace.json" --telemetry "$TMP/tel_d.jsonl" > /dev/null
+python3 - "$TMP/trace.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+if not isinstance(events, list) or not events:
+    print("scenario_smoke.sh: traceEvents missing or empty", file=sys.stderr)
+    sys.exit(1)
+lanes = {e["tid"] for e in events if e.get("ph") == "M"}
+if lanes != {0, 1}:
+    print("scenario_smoke.sh: expected lane tracks {0, 1}, got", lanes,
+          file=sys.stderr)
+    sys.exit(1)
+spans = [e for e in events if e.get("ph") == "X"]
+if not spans or any(e["dur"] < 0 or e["ts"] < 0 for e in spans):
+    print("scenario_smoke.sh: bad span events", file=sys.stderr)
+    sys.exit(1)
+print(f"chrome trace ok: {len(spans)} spans on lane tracks 0 and 1")
+EOF
+# Turning the timing channel on must not change the deterministic channel:
+# the same run without --chrome-trace yields byte-identical JSONL.
+"$BIN" --scenario flash-crowd --quick --threads 2 \
+  --telemetry "$TMP/tel_e.jsonl" > /dev/null
+cmp "$TMP/tel_d.jsonl" "$TMP/tel_e.jsonl" || {
+  echo "scenario_smoke.sh: --chrome-trace perturbed the telemetry JSONL" >&2
+  exit 1
+}
+echo "timing channel does not perturb the deterministic channel"
+
+if [[ -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
+  mkdir -p "$SMOKE_ARTIFACT_DIR"
+  cp "$TMP/trace.json" "$SMOKE_ARTIFACT_DIR/chrome_trace.json"
+  cp "$TMP/tel_a.jsonl" "$SMOKE_ARTIFACT_DIR/telemetry_rounds.jsonl"
+  echo "telemetry artifacts copied to $SMOKE_ARTIFACT_DIR"
+fi
 
 echo "== replay validation failures are loud =="
 # A replay whose CLI flags or header disagree with the trace must exit
