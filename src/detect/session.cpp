@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "detect/registry.hpp"
-#include "net/trace.hpp"
 #include "scenario/registry.hpp"
 
 namespace dynsub::detect {
@@ -88,22 +87,54 @@ std::optional<Session> Session::open(SessionOptions opts,
 
 std::size_t Session::run() {
   if (workload_ == nullptr) return 0;
-  if (options_.record) {
-    net::RecordingWorkload recorder(*workload_);
-    const std::size_t rounds =
-        net::run_workload(*sim_, recorder, options_.max_rounds);
-    // Append, don't assign: a run split across several run() calls (small
-    // max_rounds) records each segment, and a call on an already-finished
-    // workload records nothing -- recorded() is always the whole trace.
-    recorded_.insert(recorded_.end(), recorder.rounds().begin(),
-                     recorder.rounds().end());
-    return rounds;
+  // Same loop shape as net::run_workload, expressed via advance() so the
+  // per-round observation/record semantics cannot drift between run() and
+  // barrier-interleaved callers (the serve loop).
+  std::size_t rounds = 0;
+  while (rounds < options_.max_rounds && !workload_->finished()) {
+    advance();
+    ++rounds;
   }
-  return net::run_workload(*sim_, *workload_, options_.max_rounds);
+  // Trailing drain (same cap as run_workload's default): quiet rounds so
+  // the final metrics describe a settled network.  Unrecorded -- a replay's
+  // own drain re-executes them; record_next_round back-fills them as empty
+  // batches if another recorded round follows later.
+  constexpr std::size_t kDrainCap = 1000;
+  std::size_t drained = 0;
+  while (drained < kDrainCap && !sim_->all_consistent()) {
+    sim_->step({});
+    ++rounds;
+    ++drained;
+  }
+  return rounds;
+}
+
+std::optional<net::RoundResult> Session::advance() {
+  if (workload_ == nullptr || workload_->finished()) return std::nullopt;
+  const net::WorkloadObservation obs{sim_->graph(), sim_->round() + 1,
+                                     sim_->all_consistent()};
+  const std::vector<EdgeEvent> events = workload_->next_round(obs);
+  if (options_.record) record_next_round(events);
+  return sim_->step(events);
+}
+
+SessionSnapshot Session::snapshot() const {
+  return SessionSnapshot{sim_->round(), sim_->all_consistent(),
+                         sim_->degraded_count()};
 }
 
 net::RoundResult Session::step(std::span<const EdgeEvent> events) {
+  if (options_.record) record_next_round(events);
   return sim_->step(events);
+}
+
+void Session::record_next_round(std::span<const EdgeEvent> events) {
+  // Rounds executed without going through here (run()'s trailing drain,
+  // run_until_stable) carried no events; back-fill them as empty batches so
+  // recorded_[i] is always the batch of round i+1.
+  const auto executed = static_cast<std::size_t>(sim_->round());
+  if (recorded_.size() < executed) recorded_.resize(executed);
+  recorded_.emplace_back(events.begin(), events.end());
 }
 
 std::size_t Session::run_until_stable(std::size_t max_rounds) {

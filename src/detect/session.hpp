@@ -56,6 +56,15 @@ struct SessionOptions {
   net::SimulatorConfig sim{};
 };
 
+/// Barrier-side view of where a session is, for callers that answer
+/// queries between rounds (the serve layer's snapshot frontier).  All
+/// three fields describe the same instant: the end of round `round`.
+struct SessionSnapshot {
+  Round round = 0;
+  bool settled = true;        // every node consistent
+  std::size_t degraded = 0;   // nodes in transport-loss degraded mode
+};
+
 class Session {
  public:
   /// Builds detector + scenario + simulator from the specs in `opts`.
@@ -78,6 +87,23 @@ class Session {
   /// Drives the workload to completion (or max_rounds), then drains; no-op
   /// for manual sessions.  Returns the number of rounds executed.
   std::size_t run();
+
+  /// One workload-driven round: asks the workload for the next event batch
+  /// (under the same observation run() builds) and steps it.  Returns
+  /// std::nullopt when there is no workload or it has finished -- callers
+  /// interleaving work at round barriers (the serve loop) drive this
+  /// instead of run() and add their own drain policy.
+  std::optional<net::RoundResult> advance();
+
+  /// True when the session has no workload left to drive (manual sessions
+  /// are always finished in this sense).
+  [[nodiscard]] bool workload_finished() const {
+    return workload_ == nullptr || workload_->finished();
+  }
+
+  /// The barrier-side snapshot metadata: round / settled / degraded count
+  /// as of the end of the last completed round.
+  [[nodiscard]] SessionSnapshot snapshot() const;
 
   /// Manual stepping: one round with the given topology events.
   net::RoundResult step(std::span<const EdgeEvent> events);
@@ -106,11 +132,14 @@ class Session {
   /// Canonical label of what drives the session: the expanded scenario
   /// spec, or the label given with an injected workload, or "manual".
   [[nodiscard]] const std::string& scenario_spec() const { return label_; }
-  /// The event trace captured by run() under SessionOptions::record.
-  /// Several run() calls concatenate their segments.  Note that trailing
-  /// drain rounds are never recorded (they carry no events), so replay
-  /// byte-equality of summaries holds for the single-run() pattern; a run
-  /// split across calls interleaves unrecorded drains between segments.
+  /// The event trace captured under SessionOptions::record: one batch per
+  /// executed round, covering every recorded round from round 1 -- rounds
+  /// executed outside run()/advance()/step() (a run()'s trailing drain,
+  /// run_until_stable) are back-filled as empty batches before the next
+  /// recorded round, so a run split across several run() calls replays
+  /// byte-identically.  Only trailing quiet rounds after the last recorded
+  /// round are omitted (they carry no events; a replay's own drain
+  /// re-executes them).
   [[nodiscard]] const std::vector<std::vector<EdgeEvent>>& recorded() const {
     return recorded_;
   }
@@ -119,6 +148,10 @@ class Session {
   Session(SessionOptions opts, std::unique_ptr<Detector> detector,
           std::unique_ptr<net::Workload> workload, std::size_t nodes,
           std::string label);
+
+  /// Records `events` as the batch of the round about to execute, back-
+  /// filling empty batches for any unrecorded rounds before it.
+  void record_next_round(std::span<const EdgeEvent> events);
 
   SessionOptions options_;
   std::unique_ptr<Detector> detector_;

@@ -53,6 +53,15 @@ struct RunSummary {
   std::uint64_t transport_drops = 0;
   std::uint64_t transport_lost_batches = 0;
   std::uint64_t transport_recovery_events = 0;
+  // Serve-layer counters (serve::ServeStats): how the query frontier did.
+  // All zero for runs without a serve loop.  The percentiles are
+  // round-to-answer latencies -- deterministic under serve::SimClock, wall
+  // time under serve::WallClock (then gated by {"max"} ceilings only).
+  std::uint64_t queries_answered = 0;
+  std::uint64_t queries_shed = 0;
+  double queries_per_sec = 0.0;
+  double answer_p50_ns = 0.0;
+  double answer_p99_ns = 0.0;
 };
 
 [[nodiscard]] RunSummary summarize(const net::Simulator& sim);

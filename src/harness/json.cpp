@@ -479,6 +479,11 @@ Json to_json(const RunSummary& s) {
   j["transport_drops"] = Json::number(s.transport_drops);
   j["transport_lost_batches"] = Json::number(s.transport_lost_batches);
   j["transport_recovery_events"] = Json::number(s.transport_recovery_events);
+  j["queries_answered"] = Json::number(s.queries_answered);
+  j["queries_shed"] = Json::number(s.queries_shed);
+  j["queries_per_sec"] = Json::number(s.queries_per_sec);
+  j["answer_p50_ns"] = Json::number(s.answer_p50_ns);
+  j["answer_p99_ns"] = Json::number(s.answer_p99_ns);
   return j;
 }
 
@@ -553,6 +558,12 @@ std::optional<RunSummary> run_summary_from_json(const Json& j) {
   opt_u64("transport_drops", s.transport_drops);
   opt_u64("transport_lost_batches", s.transport_lost_batches);
   opt_u64("transport_recovery_events", s.transport_recovery_events);
+  // Serve-layer counters arrived with the serve subsystem; also optional.
+  opt_u64("queries_answered", s.queries_answered);
+  opt_u64("queries_shed", s.queries_shed);
+  (void)read_number(j, "queries_per_sec", s.queries_per_sec);
+  (void)read_number(j, "answer_p50_ns", s.answer_p50_ns);
+  (void)read_number(j, "answer_p99_ns", s.answer_p99_ns);
   return s;
 }
 

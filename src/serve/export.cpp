@@ -1,0 +1,29 @@
+#include "serve/export.hpp"
+
+#include <sstream>
+
+namespace dynsub::serve {
+
+std::string to_jsonl(const Response& r) {
+  std::ostringstream os;
+  os << "{\"req\":" << r.id                       //
+     << ",\"kind\":\"" << to_string(r.kind) << '"'
+     << ",\"status\":\"" << to_string(r.status) << '"'
+     << ",\"node\":" << r.node                    //
+     << ",\"round\":" << r.round                  //
+     << ",\"arrival_round\":" << r.arrival_round  //
+     << ",\"arrival_ns\":" << r.arrival_ns        //
+     << ",\"answer_ns\":" << r.answer_ns          //
+     << ",\"latency_ns\":" << r.latency_ns        //
+     << ",\"answer\":\"" << to_string(r.answer) << '"'
+     << ",\"list_count\":" << r.list_count        //
+     << ",\"backlog\":" << r.backlog << '}';
+  return os.str();
+}
+
+void write_serve_jsonl(std::ostream& out,
+                       const std::vector<Response>& responses) {
+  for (const Response& r : responses) out << to_jsonl(r) << '\n';
+}
+
+}  // namespace dynsub::serve

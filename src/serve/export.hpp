@@ -1,0 +1,38 @@
+// Serve-answer JSONL: the machine-readable twin of the answer stream.
+//
+// One JSON object per line per Response, fixed key set and key order (the
+// schema constant below), numbers rendered as plain integers -- so a
+// SimClock run's JSONL is byte-identical across record/replay and thread
+// counts, exactly like the telemetry round channel.  dynsub_stats
+// validates records against kServeRecordKeys strictly: an unknown or
+// missing key is a hard error, because a summarizer that shrugs at schema
+// drift hides the drift.
+//
+// Serve records coexist with telemetry round records in tooling by
+// discrimination on the leading "req" key (round records start with
+// "round"; see tools/dynsub_stats.cpp).
+#pragma once
+
+#include <array>
+#include <ostream>
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace dynsub::serve {
+
+/// The fixed key order of one serve answer record.
+inline constexpr std::array<const char*, 12> kServeRecordKeys = {
+    "req",        "kind",       "status",     "node",
+    "round",      "arrival_round", "arrival_ns", "answer_ns",
+    "latency_ns", "answer",     "list_count", "backlog",
+};
+
+/// One Response as a single JSONL line (no trailing newline).
+[[nodiscard]] std::string to_jsonl(const Response& r);
+
+/// Writes one line per response, in order.
+void write_serve_jsonl(std::ostream& out,
+                       const std::vector<Response>& responses);
+
+}  // namespace dynsub::serve

@@ -1,0 +1,94 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dynsub::serve {
+
+const char* to_string(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kShed:
+      return "shed";
+    case OverflowPolicy::kBlock:
+      return "block";
+  }
+  return "?";
+}
+
+RequestQueue::RequestQueue(QueueConfig config) : config_(config) {}
+
+bool RequestQueue::submit(Request request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (config_.policy == OverflowPolicy::kBlock) {
+    space_.wait(lock, [&] {
+      return closed_ || items_.size() < config_.capacity;
+    });
+  }
+  if (closed_ || items_.size() >= config_.capacity) {
+    ++shed_;
+    return false;
+  }
+  items_.push_back(std::move(request));
+  peak_depth_ = std::max(peak_depth_, items_.size());
+  ++accepted_;
+  return true;
+}
+
+bool RequestQueue::try_submit(Request request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_ || items_.size() >= config_.capacity) return false;
+  items_.push_back(std::move(request));
+  peak_depth_ = std::max(peak_depth_, items_.size());
+  ++accepted_;
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  space_.notify_all();
+}
+
+std::size_t RequestQueue::drain(std::vector<Request>& out,
+                                std::size_t budget) {
+  std::size_t drained = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    while (!items_.empty() && (budget == 0 || drained < budget)) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++drained;
+    }
+  }
+  if (drained > 0) space_.notify_all();
+  return drained;
+}
+
+std::size_t RequestQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+std::size_t RequestQueue::peak_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return peak_depth_;
+}
+
+std::uint64_t RequestQueue::accepted_total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return accepted_;
+}
+
+std::uint64_t RequestQueue::shed_total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+void RequestQueue::count_shed() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++shed_;
+}
+
+}  // namespace dynsub::serve

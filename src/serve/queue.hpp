@@ -1,0 +1,83 @@
+// The bounded request queue -- the backpressure seam of the serve layer.
+//
+// Producers (client threads, the scripted driver) submit() requests; the
+// serve loop drains at round barriers.  The queue is bounded by a fixed
+// capacity, and what happens when it is full is an explicit, configured
+// policy:
+//
+//   * kShed  -- submit() refuses immediately (returns false); the caller
+//     answers the client with the kInconsistent-style refusal.  Load beyond
+//     capacity degrades answers, never the engine.
+//   * kBlock -- submit() waits until the consumer frees a slot.  Load
+//     beyond capacity slows clients down; the engine thread NEVER blocks
+//     here (drain() is non-blocking), so a blocked client cannot stall the
+//     round barrier.
+//
+// Every accepted/shed/peak-depth count is tracked, because "what did
+// backpressure do" is a first-class metric of a serve run.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace dynsub::serve {
+
+enum class OverflowPolicy : std::uint8_t { kShed, kBlock };
+
+[[nodiscard]] const char* to_string(OverflowPolicy policy);
+
+struct QueueConfig {
+  /// Maximum queued (accepted but unanswered) requests.
+  std::size_t capacity = 1024;
+  OverflowPolicy policy = OverflowPolicy::kShed;
+};
+
+/// Bounded MPSC queue: any number of producers, one barrier-side consumer.
+class RequestQueue {
+ public:
+  explicit RequestQueue(QueueConfig config);
+
+  /// Offers a request.  Returns true when accepted.  Under kShed a full
+  /// queue refuses immediately; under kBlock the caller waits until the
+  /// consumer drains a slot (or the queue is closed, which refuses).
+  bool submit(Request request);
+
+  /// Non-blocking submit regardless of policy (the scripted driver, which
+  /// runs on the serve thread itself, must never self-block).  Returns
+  /// false on a full queue without counting a shed.
+  bool try_submit(Request request);
+
+  /// Wakes blocked producers and refuses all future submissions.
+  void close();
+
+  /// Moves up to `budget` requests (0 = all) into `out`, FIFO.  Consumer-
+  /// side, non-blocking; returns the number drained.
+  std::size_t drain(std::vector<Request>& out, std::size_t budget = 0);
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t peak_depth() const;
+  [[nodiscard]] std::uint64_t accepted_total() const;
+  [[nodiscard]] std::uint64_t shed_total() const;
+  [[nodiscard]] const QueueConfig& config() const { return config_; }
+
+  /// Counts one shed (for refusals decided by the caller, e.g. the
+  /// scripted driver's inline shed path).
+  void count_shed();
+
+ private:
+  QueueConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable space_;
+  std::deque<Request> items_;
+  bool closed_ = false;
+  std::size_t peak_depth_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace dynsub::serve

@@ -1,0 +1,245 @@
+#include "serve/request.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "common/format.hpp"
+
+namespace dynsub::serve {
+namespace {
+
+bool fail(std::string* error, std::string what) {
+  if (error != nullptr) *error = std::move(what);
+  return false;
+}
+
+std::optional<NodeId> parse_node(const std::string& token) {
+  const auto v = parse_u64(token);
+  if (!v || *v > 0xffffffffull) return std::nullopt;
+  return static_cast<NodeId>(*v);
+}
+
+std::optional<detect::QueryKind> parse_kind(const std::string& token) {
+  if (token == "edge") return detect::QueryKind::kEdge;
+  if (token == "triangle") return detect::QueryKind::kTriangle;
+  if (token == "clique") return detect::QueryKind::kClique;
+  if (token == "cycle4") return detect::QueryKind::kCycle4;
+  if (token == "cycle5") return detect::QueryKind::kCycle5;
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kQuery:
+      return "query";
+    case RequestKind::kList:
+      return "list";
+    case RequestKind::kAudit:
+      return "audit";
+  }
+  return "?";
+}
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+const char* to_string(net::Answer answer) {
+  switch (answer) {
+    case net::Answer::kFalse:
+      return "false";
+    case net::Answer::kTrue:
+      return "true";
+    case net::Answer::kInconsistent:
+      return "inconsistent";
+  }
+  return "?";
+}
+
+std::string to_line(const Response& r) {
+  std::ostringstream os;
+  os << "req=" << r.id << " kind=" << to_string(r.kind)
+     << " status=" << to_string(r.status) << " node=" << r.node
+     << " round=" << r.round << " answer=" << to_string(r.answer)
+     << " list_count=" << r.list_count << " latency_ns=" << r.latency_ns
+     << " backlog=" << r.backlog;
+  return os.str();
+}
+
+std::optional<Request> parse_request_line(const std::string& line,
+                                          std::string* error) {
+  std::istringstream in(line);
+  std::string verb;
+  if (!(in >> verb)) {
+    fail(error, "empty request");
+    return std::nullopt;
+  }
+  Request req;
+  if (verb == "audit") {
+    req.kind = RequestKind::kAudit;
+    std::string extra;
+    if (in >> extra) {
+      fail(error, "audit takes no arguments, got '" + extra + "'");
+      return std::nullopt;
+    }
+    return req;
+  }
+  std::string node_token;
+  if (!(in >> node_token)) {
+    fail(error, verb + " needs a node id");
+    return std::nullopt;
+  }
+  const auto node = parse_node(node_token);
+  if (!node) {
+    fail(error, "bad node id '" + node_token + "'");
+    return std::nullopt;
+  }
+  req.node = *node;
+  std::string kind_token;
+  if (!(in >> kind_token)) {
+    fail(error, verb + " needs a query kind (edge|triangle|clique|cycle4|"
+                       "cycle5)");
+    return std::nullopt;
+  }
+  if (verb == "list") {
+    req.kind = RequestKind::kList;
+    const auto kind = parse_kind(kind_token);
+    if (!kind) {
+      fail(error, "unknown listing kind '" + kind_token + "'");
+      return std::nullopt;
+    }
+    req.list_kind = *kind;
+    std::string extra;
+    if (in >> extra) {
+      fail(error, "list takes no arguments after the kind, got '" + extra +
+                      "'");
+      return std::nullopt;
+    }
+    return req;
+  }
+  if (verb != "query") {
+    fail(error, "unknown request verb '" + verb + "' (query|list|audit)");
+    return std::nullopt;
+  }
+  req.kind = RequestKind::kQuery;
+  std::vector<NodeId> args;
+  std::string token;
+  while (in >> token) {
+    if (kind_token == "edge") {
+      // edge argument is "u:v".
+      const auto colon = token.find(':');
+      if (colon == std::string::npos) {
+        fail(error, "edge query wants 'u:v', got '" + token + "'");
+        return std::nullopt;
+      }
+      const auto u = parse_node(token.substr(0, colon));
+      const auto v = parse_node(token.substr(colon + 1));
+      if (!u || !v) {
+        fail(error, "bad edge '" + token + "'");
+        return std::nullopt;
+      }
+      args.push_back(*u);
+      args.push_back(*v);
+    } else {
+      const auto v = parse_node(token);
+      if (!v) {
+        fail(error, "bad vertex id '" + token + "'");
+        return std::nullopt;
+      }
+      args.push_back(*v);
+    }
+  }
+  if (kind_token == "edge") {
+    if (args.size() != 2 || args[0] == args[1]) {
+      fail(error, "edge query wants exactly one 'u:v' with u != v");
+      return std::nullopt;
+    }
+    req.query = detect::EdgeQuery{Edge{args[0], args[1]}};
+  } else if (kind_token == "triangle") {
+    // TriangleQuery's contract: u, w distinct and distinct from the
+    // queried node.
+    if (args.size() != 2 || args[0] == args[1] || args[0] == req.node ||
+        args[1] == req.node) {
+      fail(error, "triangle query wants two vertices 'u w', distinct and "
+                  "distinct from the queried node");
+      return std::nullopt;
+    }
+    req.query = detect::TriangleQuery{args[0], args[1]};
+  } else if (kind_token == "clique") {
+    if (args.empty()) {
+      fail(error, "clique query wants the other member vertices");
+      return std::nullopt;
+    }
+    req.query = detect::CliqueQuery{args};
+  } else if (kind_token == "cycle") {
+    if (args.size() != 4 && args.size() != 5) {
+      fail(error, "cycle query wants 4 or 5 vertices");
+      return std::nullopt;
+    }
+    req.query = detect::CycleQuery{args};
+  } else {
+    fail(error, "unknown query kind '" + kind_token +
+                    "' (edge|triangle|clique|cycle)");
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::optional<RequestScript> parse_request_script(const std::string& text,
+                                                  std::string* error) {
+  RequestScript script;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  Round last_round = 0;
+  auto fail_line = [&](const std::string& what) {
+    fail(error, "line " + std::to_string(line_no) + ": " + what);
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and surrounding whitespace.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+    if (line[0] != '@') {
+      return fail_line("expected '@<round> <request>', got '" + line + "'");
+    }
+    const auto space = line.find_first_of(" \t");
+    if (space == std::string::npos) {
+      return fail_line("missing request after the round");
+    }
+    const auto round_v = parse_u64(line.substr(1, space - 1));
+    if (!round_v || *round_v == 0 ||
+        *round_v > static_cast<std::uint64_t>(
+                       std::numeric_limits<Round>::max())) {
+      return fail_line("bad round '" + line.substr(0, space) +
+                       "' (want @<round> with round >= 1)");
+    }
+    const Round round = static_cast<Round>(*round_v);
+    if (round < last_round) {
+      return fail_line("rounds must be non-decreasing (round " +
+                       std::to_string(round) + " after " +
+                       std::to_string(last_round) + ")");
+    }
+    last_round = round;
+    std::string why;
+    auto req = parse_request_line(line.substr(space + 1), &why);
+    if (!req) return fail_line(why);
+    script.entries.push_back(ScriptedRequest{round, std::move(*req)});
+  }
+  return script;
+}
+
+}  // namespace dynsub::serve

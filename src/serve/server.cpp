@@ -1,0 +1,54 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+namespace dynsub::serve {
+
+Server::Server(detect::Session& session, Clock& clock, ServeConfig config)
+    : loop_(session, clock, config) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (engine_.joinable()) return;
+  engine_ = std::thread([this] { engine_main(); });
+}
+
+std::optional<Response> Server::submit(Request req) {
+  return loop_.submit(std::move(req));
+}
+
+void Server::stop() {
+  if (!engine_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  // Wake producers blocked on a full queue; they get the shed refusal.
+  loop_.queue().close();
+  engine_.join();
+}
+
+std::vector<Response> Server::take_responses() {
+  const std::lock_guard<std::mutex> lock(resp_mu_);
+  return std::exchange(responses_, {});
+}
+
+void Server::engine_main() {
+  const auto collect = [this](const Response& r) {
+    const std::lock_guard<std::mutex> lock(resp_mu_);
+    responses_.push_back(r);
+  };
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::size_t produced = loop_.tick(collect);
+    // Idle backoff: when a tick answered nothing and nothing is waiting,
+    // yield so a quiet daemon does not monopolize a core.
+    if (produced == 0 && loop_.queue().depth() == 0) {
+      std::this_thread::yield();
+    }
+  }
+  // Stop path: the queue is closed (no new arrivals); answer everything
+  // already accepted so no client's request silently vanishes.
+  while (loop_.queue().depth() > 0) {
+    loop_.tick(collect);
+  }
+}
+
+}  // namespace dynsub::serve

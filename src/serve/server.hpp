@@ -1,0 +1,67 @@
+// Server -- the threaded daemon shell around ServeLoop.
+//
+// One engine thread owns the session and runs the tick loop (step round,
+// tick clock, answer at the barrier); any number of client threads call
+// submit().  The split mirrors the deployment story: churn keeps flowing
+// whether or not anyone is asking questions, and clients only ever touch
+// the bounded queue -- never the engine.  In particular a client blocked
+// by the kBlock backpressure policy is parked inside the queue's condvar;
+// the engine's barrier drain is non-blocking, so it keeps advancing rounds
+// and frees the slot the client is waiting for (no deadlock by
+// construction -- serve_test pins this under tsan).
+//
+// Responses are collected in submission-safe storage and handed out via
+// take_responses(); an immediate shed refusal is returned synchronously
+// from submit() instead, because the request never entered the queue.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serve/loop.hpp"
+
+namespace dynsub::serve {
+
+class Server {
+ public:
+  Server(detect::Session& session, Clock& clock, ServeConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the engine thread.  Rounds start advancing immediately.
+  void start();
+
+  /// Client-side entry: stamps, ids, and offers the request.  Returns the
+  /// refusal Response when the request was shed (kShed policy, full
+  /// queue, or a stopped server); std::nullopt when accepted -- the answer
+  /// shows up in take_responses() after a later barrier.  Under kBlock a
+  /// full queue blocks the calling thread until the engine frees a slot.
+  std::optional<Response> submit(Request req);
+
+  /// Stops accepting, answers everything still queued, joins the engine.
+  /// Idempotent.
+  void stop();
+
+  /// Moves out the responses answered so far (engine-thread barrier
+  /// drains, in order).
+  [[nodiscard]] std::vector<Response> take_responses();
+
+  [[nodiscard]] ServeStats stats() const { return loop_.stats(); }
+  [[nodiscard]] ServeLoop& loop() { return loop_; }
+
+ private:
+  void engine_main();
+
+  ServeLoop loop_;
+  std::thread engine_;
+  std::atomic<bool> stop_{false};
+  std::mutex resp_mu_;
+  std::vector<Response> responses_;
+};
+
+}  // namespace dynsub::serve

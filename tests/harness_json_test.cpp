@@ -149,6 +149,11 @@ RunSummary sample_summary() {
   s.transport_drops = 8;
   s.transport_lost_batches = 9;
   s.transport_recovery_events = 10;
+  s.queries_answered = 42;
+  s.queries_shed = 3;
+  s.queries_per_sec = 118000.5;
+  s.answer_p50_ns = 7500.0;
+  s.answer_p99_ns = 31000.25;
   return s;
 }
 
@@ -181,6 +186,11 @@ TEST(JsonSchema, RunSummaryRoundTrip) {
   EXPECT_EQ(back.transport_drops, s.transport_drops);
   EXPECT_EQ(back.transport_lost_batches, s.transport_lost_batches);
   EXPECT_EQ(back.transport_recovery_events, s.transport_recovery_events);
+  EXPECT_EQ(back.queries_answered, s.queries_answered);
+  EXPECT_EQ(back.queries_shed, s.queries_shed);
+  EXPECT_DOUBLE_EQ(back.queries_per_sec, s.queries_per_sec);
+  EXPECT_DOUBLE_EQ(back.answer_p50_ns, s.answer_p50_ns);
+  EXPECT_DOUBLE_EQ(back.answer_p99_ns, s.answer_p99_ns);
 
   // Text-level round-trip (what actually lands in BENCH_*.json).
   auto parsed = Json::parse(j.dump(2));
@@ -199,10 +209,11 @@ TEST(JsonSchema, RunSummaryFieldNamesAreStable) {
         "apply_ns", "react_ns", "route_ns",
         "receive_ns", "transport_retries", "transport_redeliveries",
         "transport_corruptions", "transport_drops", "transport_lost_batches",
-        "transport_recovery_events"}) {
+        "transport_recovery_events", "queries_answered", "queries_shed",
+        "queries_per_sec", "answer_p50_ns", "answer_p99_ns"}) {
     EXPECT_NE(j.find(key), nullptr) << "missing field: " << key;
   }
-  EXPECT_EQ(j.members().size(), 23u) << "unexpected extra/missing fields";
+  EXPECT_EQ(j.members().size(), 28u) << "unexpected extra/missing fields";
 }
 
 TEST(JsonSchema, RunSummaryPerfFieldsAreOptional) {

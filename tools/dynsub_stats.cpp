@@ -1,5 +1,6 @@
 // dynsub_stats -- summarize a telemetry JSONL stream (dynsub_run
-// --telemetry) into the story a human wants from a run:
+// --telemetry, dynsub_serve --serve-jsonl) into the story a human wants
+// from a run:
 //
 //   * totals and final amortized / amortized-sup,
 //   * distribution percentiles (p50/p90/p99) over active-set size,
@@ -8,23 +9,34 @@
 //     rounds with at least one inconsistent node, with its peak),
 //   * amortized-sup over time (evenly spaced samples),
 //   * transport fault totals and the degraded-mode story (loss rounds,
-//     degraded rounds, recovery events).
+//     degraded rounds, recovery events),
+//   * the serve-layer story when the stream carries answer records: query
+//     counts, shed counts, round-to-answer percentiles, throughput, and
+//     the worst backlog depth.
 //
-// The tool is also the schema guard: every line must parse as a JSON
-// object carrying exactly the documented keys with the documented types
-// and strictly increasing round numbers, otherwise it exits 1 -- CI runs
-// it over freshly recorded telemetry so schema drift fails the smoke.
+// Two record types share the stream, discriminated by their leading key:
+// round records start with "round" (tools/dynsub_run.cpp --telemetry),
+// serve answer records with "req" (serve::write_serve_jsonl).  The tool
+// is also the schema guard: every line must parse as a JSON object
+// carrying exactly its type's documented keys with the documented types
+// (round numbers strictly increasing for round records, non-decreasing
+// for answer records), otherwise it exits 1 -- CI runs it over freshly
+// recorded streams so schema drift fails the smoke.
 //
 // Usage: dynsub_stats <telemetry.jsonl>   ("-" reads stdin)
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "harness/json.hpp"
+#include "serve/export.hpp"
 #include "telemetry/histogram.hpp"
 
 namespace {
@@ -99,19 +111,15 @@ std::uint64_t as_u64(const Json& j) {
   return static_cast<std::uint64_t>(j.as_number());
 }
 
-bool parse_record(const std::string& line, std::size_t line_no, Record& out) {
-  const std::optional<Json> doc = Json::parse(line);
-  if (!doc || doc->type() != Json::Type::kObject) {
-    return fail(line_no, "not a JSON object");
-  }
+bool parse_record(const Json& doc, std::size_t line_no, Record& out) {
   // Exactly the documented keys, in any order, each with the right type.
-  if (doc->members().size() != std::size(kSchema)) {
+  if (doc.members().size() != std::size(kSchema)) {
     return fail(line_no, "expected " + std::to_string(std::size(kSchema)) +
                              " keys, got " +
-                             std::to_string(doc->members().size()));
+                             std::to_string(doc.members().size()));
   }
   for (const KeySpec& spec : kSchema) {
-    const Json* v = doc->find(spec.key);
+    const Json* v = doc.find(spec.key);
     if (v == nullptr) {
       return fail(line_no, std::string("missing key \"") + spec.key + "\"");
     }
@@ -123,30 +131,30 @@ bool parse_record(const std::string& line, std::size_t line_no, Record& out) {
                   std::string("key \"") + spec.key + "\" not a number");
     }
   }
-  out.round = as_u64(*doc->find("round"));
-  out.changes = as_u64(*doc->find("changes"));
-  out.active = as_u64(*doc->find("active"));
-  out.stepped = as_u64(*doc->find("stepped"));
-  out.messages = as_u64(*doc->find("messages"));
-  out.payload_bits = as_u64(*doc->find("payload_bits"));
-  out.inconsistent_nodes = as_u64(*doc->find("inconsistent_nodes"));
-  out.flips_down = as_u64(*doc->find("flips_down"));
-  out.flips_up = as_u64(*doc->find("flips_up"));
-  out.degraded_nodes = as_u64(*doc->find("degraded_nodes"));
-  out.had_loss = doc->find("had_loss")->as_bool();
-  out.transport_retries = as_u64(*doc->find("transport_retries"));
-  out.transport_drops = as_u64(*doc->find("transport_drops"));
-  out.transport_corruptions = as_u64(*doc->find("transport_corruptions"));
-  out.transport_redeliveries = as_u64(*doc->find("transport_redeliveries"));
-  out.transport_backoff_units = as_u64(*doc->find("transport_backoff_units"));
-  out.transport_lost_batches = as_u64(*doc->find("transport_lost_batches"));
-  out.transport_degraded_marks = as_u64(*doc->find("transport_degraded_marks"));
+  out.round = as_u64(*doc.find("round"));
+  out.changes = as_u64(*doc.find("changes"));
+  out.active = as_u64(*doc.find("active"));
+  out.stepped = as_u64(*doc.find("stepped"));
+  out.messages = as_u64(*doc.find("messages"));
+  out.payload_bits = as_u64(*doc.find("payload_bits"));
+  out.inconsistent_nodes = as_u64(*doc.find("inconsistent_nodes"));
+  out.flips_down = as_u64(*doc.find("flips_down"));
+  out.flips_up = as_u64(*doc.find("flips_up"));
+  out.degraded_nodes = as_u64(*doc.find("degraded_nodes"));
+  out.had_loss = doc.find("had_loss")->as_bool();
+  out.transport_retries = as_u64(*doc.find("transport_retries"));
+  out.transport_drops = as_u64(*doc.find("transport_drops"));
+  out.transport_corruptions = as_u64(*doc.find("transport_corruptions"));
+  out.transport_redeliveries = as_u64(*doc.find("transport_redeliveries"));
+  out.transport_backoff_units = as_u64(*doc.find("transport_backoff_units"));
+  out.transport_lost_batches = as_u64(*doc.find("transport_lost_batches"));
+  out.transport_degraded_marks = as_u64(*doc.find("transport_degraded_marks"));
   out.transport_recovery_events =
-      as_u64(*doc->find("transport_recovery_events"));
-  out.inconsistent_rounds = as_u64(*doc->find("inconsistent_rounds"));
-  out.changes_total = as_u64(*doc->find("changes_total"));
-  out.amortized = doc->find("amortized")->as_number();
-  out.amortized_sup = doc->find("amortized_sup")->as_number();
+      as_u64(*doc.find("transport_recovery_events"));
+  out.inconsistent_rounds = as_u64(*doc.find("inconsistent_rounds"));
+  out.changes_total = as_u64(*doc.find("changes_total"));
+  out.amortized = doc.find("amortized")->as_number();
+  out.amortized_sup = doc.find("amortized_sup")->as_number();
   return true;
 }
 
@@ -154,6 +162,131 @@ void print_hist(const char* name, const Log2Histogram& h) {
   std::printf("  %-20s p50=%-10.0f p90=%-10.0f p99=%-10.0f max=%llu\n", name,
               h.p50(), h.p90(), h.p99(),
               static_cast<unsigned long long>(h.max()));
+}
+
+// --- Serve answer records (serve::write_serve_jsonl; "req" leads). ---
+
+struct ServeRecord {
+  std::uint64_t req = 0;
+  std::string kind;
+  std::string status;
+  std::uint64_t node = 0;
+  std::uint64_t round = 0;
+  std::uint64_t arrival_round = 0;
+  std::uint64_t arrival_ns = 0;
+  std::uint64_t answer_ns = 0;
+  std::uint64_t latency_ns = 0;
+  std::string answer;
+  std::uint64_t list_count = 0;
+  std::uint64_t backlog = 0;
+};
+
+bool one_of(const std::string& v, std::initializer_list<const char*> opts) {
+  for (const char* o : opts) {
+    if (v == o) return true;
+  }
+  return false;
+}
+
+bool parse_serve_record(const Json& doc, std::size_t line_no,
+                        ServeRecord& out) {
+  const auto& keys = dynsub::serve::kServeRecordKeys;
+  if (doc.members().size() != keys.size()) {
+    return fail(line_no, "expected " + std::to_string(keys.size()) +
+                             " keys in a serve record, got " +
+                             std::to_string(doc.members().size()));
+  }
+  for (const char* key : keys) {
+    const Json* v = doc.find(key);
+    if (v == nullptr) {
+      return fail(line_no, std::string("missing key \"") + key + "\"");
+    }
+    const bool is_string = std::string_view(key) == "kind" ||
+                           std::string_view(key) == "status" ||
+                           std::string_view(key) == "answer";
+    if (is_string && v->type() != Json::Type::kString) {
+      return fail(line_no,
+                  std::string("key \"") + key + "\" not a string");
+    }
+    if (!is_string && v->type() != Json::Type::kNumber) {
+      return fail(line_no,
+                  std::string("key \"") + key + "\" not a number");
+    }
+  }
+  out.req = as_u64(*doc.find("req"));
+  out.kind = doc.find("kind")->as_string();
+  out.status = doc.find("status")->as_string();
+  out.node = as_u64(*doc.find("node"));
+  out.round = as_u64(*doc.find("round"));
+  out.arrival_round = as_u64(*doc.find("arrival_round"));
+  out.arrival_ns = as_u64(*doc.find("arrival_ns"));
+  out.answer_ns = as_u64(*doc.find("answer_ns"));
+  out.latency_ns = as_u64(*doc.find("latency_ns"));
+  out.answer = doc.find("answer")->as_string();
+  out.list_count = as_u64(*doc.find("list_count"));
+  out.backlog = as_u64(*doc.find("backlog"));
+  if (!one_of(out.kind, {"query", "list", "audit"})) {
+    return fail(line_no, "bad kind \"" + out.kind + "\"");
+  }
+  if (!one_of(out.status, {"ok", "shed"})) {
+    return fail(line_no, "bad status \"" + out.status + "\"");
+  }
+  if (!one_of(out.answer, {"false", "true", "inconsistent"})) {
+    return fail(line_no, "bad answer \"" + out.answer + "\"");
+  }
+  if (out.arrival_round > out.round) {
+    return fail(line_no, "arrival_round " +
+                             std::to_string(out.arrival_round) +
+                             " after answer round " +
+                             std::to_string(out.round));
+  }
+  return true;
+}
+
+void print_queries_section(const std::vector<ServeRecord>& answers) {
+  std::uint64_t ok = 0, shed = 0;
+  std::uint64_t ans_true = 0, ans_false = 0, ans_inconsistent = 0;
+  std::uint64_t worst_backlog = 0;
+  std::uint64_t first_arrival = 0, last_answer = 0;
+  bool any_ok = false;
+  Log2Histogram latency;
+  for (const ServeRecord& r : answers) {
+    if (r.status == "shed") {
+      ++shed;
+    } else {
+      ++ok;
+      latency.record(r.latency_ns);
+      if (!any_ok || r.arrival_ns < first_arrival) {
+        first_arrival = r.arrival_ns;
+      }
+      last_answer = std::max(last_answer, r.answer_ns);
+      any_ok = true;
+    }
+    if (r.answer == "true") ++ans_true;
+    if (r.answer == "false") ++ans_false;
+    if (r.answer == "inconsistent") ++ans_inconsistent;
+    worst_backlog = std::max(worst_backlog, r.backlog);
+  }
+  const double window_s =
+      last_answer > first_arrival
+          ? static_cast<double>(last_answer - first_arrival) / 1e9
+          : 0.0;
+  const double qps =
+      window_s > 0.0 ? static_cast<double>(ok) / window_s : 0.0;
+  std::printf("\nqueries:\n");
+  std::printf("  requests              %llu answered, %llu shed\n",
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(shed));
+  std::printf("  answers               %llu true / %llu false / "
+              "%llu inconsistent\n",
+              static_cast<unsigned long long>(ans_true),
+              static_cast<unsigned long long>(ans_false),
+              static_cast<unsigned long long>(ans_inconsistent));
+  print_hist("answer latency (ns)", latency);
+  std::printf("  throughput            %.1f queries/sec over %.6fs window\n",
+              qps, window_s);
+  std::printf("  worst backlog depth   %llu\n",
+              static_cast<unsigned long long>(worst_backlog));
 }
 
 }  // namespace
@@ -175,13 +308,31 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Record> records;
+  std::vector<ServeRecord> answers;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(*in, line)) {
     ++line_no;
     if (line.empty()) continue;
+    const std::optional<Json> doc = Json::parse(line);
+    if (!doc || doc->type() != Json::Type::kObject) {
+      fail(line_no, "not a JSON object");
+      return 1;
+    }
+    if (doc->find("req") != nullptr) {
+      ServeRecord r;
+      if (!parse_serve_record(*doc, line_no, r)) return 1;
+      if (!answers.empty() && r.round < answers.back().round) {
+        fail(line_no, "answer round " + std::to_string(r.round) +
+                          " before previous answer round " +
+                          std::to_string(answers.back().round));
+        return 1;
+      }
+      answers.push_back(std::move(r));
+      continue;
+    }
     Record r;
-    if (!parse_record(line, line_no, r)) return 1;
+    if (!parse_record(*doc, line_no, r)) return 1;
     if (!records.empty() && r.round <= records.back().round) {
       fail(line_no, "round " + std::to_string(r.round) +
                         " not greater than previous round " +
@@ -190,9 +341,13 @@ int main(int argc, char** argv) {
     }
     records.push_back(r);
   }
-  if (records.empty()) {
+  if (records.empty() && answers.empty()) {
     std::cerr << "dynsub_stats: no records\n";
     return 1;
+  }
+  if (records.empty()) {
+    print_queries_section(answers);
+    return 0;
   }
 
   // --- Totals. ---
@@ -309,5 +464,7 @@ int main(int argc, char** argv) {
   std::printf("  loss rounds %llu, degraded rounds %llu\n",
               static_cast<unsigned long long>(loss_rounds),
               static_cast<unsigned long long>(degraded_rounds));
+
+  if (!answers.empty()) print_queries_section(answers);
   return 0;
 }

@@ -244,10 +244,115 @@ cmp "$TMP/tel_d.jsonl" "$TMP/tel_e.jsonl" || {
 }
 echo "timing channel does not perturb the deterministic channel"
 
+echo "== serve layer =="
+SERVE="$(dirname "$BIN")/dynsub_serve"
+if [[ -x "$SERVE" ]]; then
+  # Scripted requests against live churn under the simulated clock: the
+  # answer stream is a pure function of (scenario, script, config), so it
+  # must be byte-identical across record/replay and across --threads 4.
+  cat > "$TMP/req.script" <<'EOF'
+# smoke request schedule
+@3 query 0 edge 0:1
+@5 query 4 triangle 2 7
+@8 list 0 triangle
+@20 query 2 clique 3 4 5
+@25 query 1 cycle 2 3 4 5
+@30 audit
+EOF
+  "$SERVE" --scenario multi-community-churn --quick \
+    --requests "$TMP/req.script" --record "$TMP/s.trace" \
+    --answers "$TMP/ans_a.txt" --serve-jsonl "$TMP/serve_a.jsonl" \
+    2> "$TMP/serve_a.err"
+  grep -q '^settled:    yes' "$TMP/serve_a.err" || {
+    echo "scenario_smoke.sh: serve run did not settle" >&2
+    cat "$TMP/serve_a.err" >&2
+    exit 1
+  }
+  "$SERVE" --replay "$TMP/s.trace" --requests "$TMP/req.script" \
+    --answers "$TMP/ans_b.txt" 2> /dev/null
+  cmp "$TMP/ans_a.txt" "$TMP/ans_b.txt" || {
+    echo "scenario_smoke.sh: replayed answer stream differs" >&2
+    exit 1
+  }
+  "$SERVE" --scenario multi-community-churn --quick --threads 4 \
+    --requests "$TMP/req.script" --answers "$TMP/ans_c.txt" 2> /dev/null
+  cmp "$TMP/ans_a.txt" "$TMP/ans_c.txt" || {
+    echo "scenario_smoke.sh: threads=4 answer stream differs" >&2
+    exit 1
+  }
+  echo "serve answer stream byte-identical across replay and --threads 4"
+
+  # The serve JSONL is a strict schema surface: dynsub_stats must accept
+  # it, and an independent key check guards the guard.
+  if [[ -x "$STATS" ]]; then
+    "$STATS" "$TMP/serve_a.jsonl" > /dev/null || {
+      echo "scenario_smoke.sh: dynsub_stats rejected the serve JSONL" >&2
+      exit 1
+    }
+    echo "dynsub_stats accepted the serve JSONL"
+  fi
+  python3 - "$TMP/serve_a.jsonl" <<'EOF'
+import json, sys
+KEYS = ["req", "kind", "status", "node", "round", "arrival_round",
+        "arrival_ns", "answer_ns", "latency_ns", "answer", "list_count",
+        "backlog"]
+count = 0
+for line in open(sys.argv[1], encoding="utf-8"):
+    rec = json.loads(line)
+    if list(rec) != KEYS:
+        print("scenario_smoke.sh: serve JSONL keys drifted:", list(rec),
+              file=sys.stderr)
+        sys.exit(1)
+    count += 1
+if count == 0:
+    print("scenario_smoke.sh: serve JSONL is empty", file=sys.stderr)
+    sys.exit(1)
+print(f"serve JSONL schema ok ({count} answer records)")
+EOF
+
+  # Chaos leg: a lane outage mid-run must surface as kInconsistent answers
+  # at the degraded nodes (the model's honest "cannot say"), and the same
+  # nodes must answer definitively once the network re-converges.
+  : > "$TMP/chaos.script"
+  for v in $(seq 0 15); do
+    echo "@5 query $v edge $v:$(( (v + 1) % 16 ))" >> "$TMP/chaos.script"
+  done
+  for v in $(seq 0 15); do
+    echo "@80 query $v edge $v:$(( (v + 1) % 16 ))" >> "$TMP/chaos.script"
+  done
+  "$SERVE" --scenario 'churn(n=16, rounds=30, seed=9)' --threads 2 \
+    --faults 'chaos(seed=7, kill_lane=0, kill_from=3, kill_until=6)' \
+    --requests "$TMP/chaos.script" --answers "$TMP/ans_chaos.txt" \
+    2> "$TMP/serve_chaos.err"
+  grep -q '^settled:    yes' "$TMP/serve_chaos.err" || {
+    echo "scenario_smoke.sh: chaos serve run did not re-converge" >&2
+    cat "$TMP/serve_chaos.err" >&2
+    exit 1
+  }
+  during=$(grep -c 'round=5 .*answer=inconsistent' "$TMP/ans_chaos.txt" || true)
+  after=$(grep -c 'round=80 .*answer=inconsistent' "$TMP/ans_chaos.txt" || true)
+  if [[ "$during" -eq 0 ]]; then
+    echo "scenario_smoke.sh: no kInconsistent answer during the outage" >&2
+    cat "$TMP/ans_chaos.txt" >&2
+    exit 1
+  fi
+  if [[ "$after" -ne 0 ]]; then
+    echo "scenario_smoke.sh: still answering kInconsistent after re-convergence" >&2
+    cat "$TMP/ans_chaos.txt" >&2
+    exit 1
+  fi
+  echo "chaos serve leg ok: $during inconsistent answer(s) during the outage, 0 after"
+else
+  echo "scenario_smoke.sh: dynsub_serve not built at $SERVE; skipping serve leg" >&2
+fi
+
 if [[ -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
   mkdir -p "$SMOKE_ARTIFACT_DIR"
   cp "$TMP/trace.json" "$SMOKE_ARTIFACT_DIR/chrome_trace.json"
   cp "$TMP/tel_a.jsonl" "$SMOKE_ARTIFACT_DIR/telemetry_rounds.jsonl"
+  if [[ -f "$TMP/serve_a.jsonl" ]]; then
+    cp "$TMP/serve_a.jsonl" "$SMOKE_ARTIFACT_DIR/serve_answers.jsonl"
+  fi
   echo "telemetry artifacts copied to $SMOKE_ARTIFACT_DIR"
 fi
 
