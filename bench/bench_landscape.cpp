@@ -29,10 +29,11 @@ std::string num(std::size_t v) { return std::to_string(v); }
 harness::RunSummary run_spec(const std::string& spec,
                              const net::NodeFactory& factory,
                              std::size_t threads = 0,
-                             const net::FaultPlan& faults = {}) {
+                             const net::FaultPlan& faults = {},
+                             std::size_t shards = 1) {
   scenario::ScenarioBuild built = bench::build_scenario_or_die(spec);
   return bench::run_experiment(built.nodes, factory, *built.workload,
-                               10000000, threads, faults);
+                               10000000, threads, faults, shards);
 }
 
 }  // namespace
@@ -282,6 +283,48 @@ int main(int argc, char** argv) {
                  bench.quick() ? 25 : 60);
     parallel_row("churn_1m", 1000000, bench.quick() ? 1000 : 5000,
                  bench.quick() ? 10 : 30);
+    // --- Shard-engine rows on the churn_1m regime. -----------------------
+    // The same heavy-churn stream runs on one Router (s1) and partitioned
+    // into S per-shard Routers (default 4; --shards overrides) trading
+    // encoded lane-batch frames at the round barrier.  The engines are
+    // bit-identical (ShardEquivalence), so the ratio is pure frame-seam
+    // overhead -- and the fault-free cross-shard path must never touch
+    // the retry machinery: the retries / lost_batches counters below are
+    // pinned to {"max": 0} in perf_baseline.json.  Like `.par.`, the
+    // `.sharded.` keys are shard-count independent (`.sharded.shards`
+    // records the actual S), so the perf gate's required keys exist for
+    // every --shards override.
+    {
+      const std::size_t shards = std::max<std::size_t>(1, bench.shards_or(4));
+      const std::string spec =
+          "churn(n=" + num(1000000) + ", target=" + num(2000000) + ", max=" +
+          num(bench.quick() ? 1000 : 5000) + ", rounds=" +
+          num(bench.quick() ? 10 : 30) + ", seed=" +
+          num(bench.seed_or(0x51AB) + 2) + ")";
+      auto measure = [&](std::size_t s) {
+        return run_spec(spec, bench::detector_factory_or_die("triangle"),
+                        lanes, {}, s);
+      };
+      const harness::RunSummary one = measure(1);
+      const harness::RunSummary sharded = measure(shards);
+      DYNSUB_CHECK(sharded.amortized == one.amortized);
+      DYNSUB_CHECK(sharded.rounds == one.rounds);
+      DYNSUB_CHECK(sharded.messages == one.messages);
+      std::printf(
+          "    triangle n=1000000  %9.0f r/s at s=1, %9.0f r/s at s=%zu "
+          "(t=%zu; retries %llu, lost %llu)\n",
+          one.rounds_per_sec, sharded.rounds_per_sec, shards, lanes,
+          static_cast<unsigned long long>(sharded.transport_retries),
+          static_cast<unsigned long long>(sharded.transport_lost_batches));
+      bench.metric("churn_1m.s1.rounds_per_sec", one.rounds_per_sec);
+      bench.metric("churn_1m.sharded.rounds_per_sec",
+                   sharded.rounds_per_sec);
+      bench.metric("churn_1m.sharded.shards", static_cast<double>(shards));
+      bench.metric("churn_1m.sharded.retries",
+                   static_cast<double>(sharded.transport_retries));
+      bench.metric("churn_1m.sharded.lost_batches",
+                   static_cast<double>(sharded.transport_lost_batches));
+    }
     // The n = 10^7 row the sharded routing fabric was built to reach: the
     // dense bootstrap alone stages 10^7 outboxes through the Router, and
     // the heavy-churn rounds keep tens of thousands of nodes active.

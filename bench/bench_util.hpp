@@ -95,8 +95,10 @@ struct BenchOptions {
   bool list = false;
   bool has_seed = false;
   bool has_threads = false;
+  bool has_shards = false;
   std::uint64_t seed = 0;
   std::size_t threads = 0;
+  std::size_t shards = 1;
   std::string json_path;
 };
 
@@ -125,12 +127,33 @@ inline BenchOptions parse_options(int argc, char** argv) {
     opts.threads = static_cast<std::size_t>(*v);
     opts.has_threads = true;
   };
+  auto parse_shards = [&](std::string_view text) {
+    const auto v = parse_u64(text);
+    if (!v || *v == 0 || *v > 64) {
+      std::fprintf(stderr,
+                   "%s: --shards wants an unsigned integer in 1..64, got "
+                   "'%s'\n",
+                   argv[0], std::string(text).c_str());
+      std::exit(2);
+    }
+    opts.shards = static_cast<std::size_t>(*v);
+    opts.has_shards = true;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--quick") {
       opts.quick = true;
     } else if (arg == "--list") {
       opts.list = true;
+    } else if (arg == "--shards") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --shards requires a value argument\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      parse_shards(argv[++i]);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      parse_shards(arg.substr(9));
     } else if (arg == "--threads") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s: --threads requires a value argument\n",
@@ -167,6 +190,10 @@ inline BenchOptions parse_options(int argc, char** argv) {
       std::printf("  --threads <T>  override the lane count of the bench's\n");
       std::printf("                 parallel-engine rows (results are\n");
       std::printf("                 bit-identical at every T)\n");
+      std::printf("  --shards <S>   override the shard count of the bench's\n");
+      std::printf("                 shard-engine rows (per-shard Routers,\n");
+      std::printf("                 cross-shard lane-batch frames; results\n");
+      std::printf("                 are bit-identical at every S)\n");
       std::printf("  --json <path>  write results as a JSON document\n");
       std::printf("  --list         describe what this bench measures, then exit\n");
       std::exit(0);
@@ -221,6 +248,12 @@ class Bench {
   /// count for its parallel-engine rows.
   [[nodiscard]] std::size_t threads_or(std::size_t dflt) const {
     return opts_.has_threads ? opts_.threads : dflt;
+  }
+
+  /// The --shards override when given, else the bench's own default shard
+  /// count for its shard-engine rows.
+  [[nodiscard]] std::size_t shards_or(std::size_t dflt) const {
+    return opts_.has_shards ? opts_.shards : dflt;
   }
 
   /// Picks the full or reduced sweep depending on --quick.
@@ -341,7 +374,8 @@ inline harness::RunSummary run_experiment(std::size_t n,
                                           net::Workload& workload,
                                           std::size_t max_rounds = 10000000,
                                           std::size_t threads = 0,
-                                          const net::FaultPlan& faults = {}) {
+                                          const net::FaultPlan& faults = {},
+                                          std::size_t shards = 1) {
   // Histogram-only telemetry: O(lanes) memory whatever the round count,
   // feeding the latency_p50/p99 percentiles of the bench JSON.
   telemetry::TelemetryRecorder rec(telemetry::RecorderOptions{
@@ -351,6 +385,7 @@ inline harness::RunSummary run_experiment(std::size_t n,
                                   .sparse_rounds = true,
                                   .collect_phase_timings = true,
                                   .threads = threads,
+                                  .shards = shards,
                                   .faults = faults,
                                   .telemetry = &rec});
   const auto start = std::chrono::steady_clock::now();

@@ -3,7 +3,7 @@
 # BENCH_<name>.json per bench -- the machine-readable perf trajectory.
 #
 #   bench/run_all.sh [--quick] [--build-dir DIR] [--out-dir DIR]
-#                    [--threads LIST]
+#                    [--threads LIST] [--shards LIST]
 #
 #   --quick       reduced sweeps (CI smoke; seconds instead of minutes)
 #   --build-dir   where the bench binaries live (default: build/release,
@@ -13,6 +13,10 @@
 #                 bench_landscape once per count, emitting a per-thread
 #                 BENCH_landscape_t<T>.json row set -- the threads-vs-
 #                 speedup curve of the sharded routing fabric
+#   --shards      comma-separated shard counts (e.g. 1,2,4): re-runs
+#                 bench_landscape once per count, emitting a per-shard
+#                 BENCH_landscape_s<S>.json row set -- the shards-vs-
+#                 overhead curve of the partitioned shard engine
 #
 # Every emitted file is validated as JSON; the script FAILS FAST -- the
 # first bench that exits non-zero or writes an invalid document stops the
@@ -25,6 +29,7 @@ QUICK=0
 BUILD_DIR=""
 OUT_DIR="$ROOT"
 THREAD_SWEEP=""
+SHARD_SWEEP=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -32,8 +37,9 @@ while [[ $# -gt 0 ]]; do
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out-dir) OUT_DIR="$2"; shift 2 ;;
     --threads) THREAD_SWEEP="$2"; shift 2 ;;
+    --shards) SHARD_SWEEP="$2"; shift 2 ;;
     -h|--help)
-      sed -n '2,18p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
+      sed -n '2,22p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "run_all.sh: unknown argument '$1' (try --help)" >&2; exit 2 ;;
   esac
@@ -105,6 +111,37 @@ if [[ -n "$THREAD_SWEEP" ]]; then
     [[ "$QUICK" -eq 1 ]] && args+=(--quick)
     if ! "$BUILD_DIR/bench_landscape" "${args[@]}"; then
       echo "run_all.sh: bench_landscape --threads $t FAILED" >&2
+      exit 1
+    fi
+    if ! validate_json "$out"; then
+      echo "run_all.sh: $out is not valid JSON" >&2
+      exit 1
+    fi
+    emitted+=("$out")
+  done
+fi
+
+# --shards sweep: per-shard-count landscape rows for the overhead curve
+# of the partitioned shard engine.
+if [[ -n "$SHARD_SWEEP" ]]; then
+  if [[ ! -x "$BUILD_DIR/bench_landscape" ]]; then
+    echo "run_all.sh: --shards needs $BUILD_DIR/bench_landscape" >&2
+    exit 2
+  fi
+  IFS=',' read -ra sweep <<< "$SHARD_SWEEP"
+  for s in "${sweep[@]}"; do
+    if ! [[ "$s" =~ ^[0-9]+$ ]]; then
+      echo "run_all.sh: --shards wants a comma-separated integer list," \
+           "got '$s'" >&2
+      exit 2
+    fi
+    out="$OUT_DIR/BENCH_landscape_s${s}.json"
+    echo
+    echo "### bench_landscape --shards $s -> $out"
+    args=(--json "$out" --shards "$s")
+    [[ "$QUICK" -eq 1 ]] && args+=(--quick)
+    if ! "$BUILD_DIR/bench_landscape" "${args[@]}"; then
+      echo "run_all.sh: bench_landscape --shards $s FAILED" >&2
       exit 1
     fi
     if ! validate_json "$out"; then

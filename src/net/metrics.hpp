@@ -98,9 +98,32 @@ struct TransportStats {
                          const TransportStats&) = default;
 };
 
+/// Per-shard cross-shard exchange accounting for the partitioned engine:
+/// what arrived on one shard's ingress over the wire.  Lives strictly off
+/// the byte-equality surfaces (never in RoundRecord, recorded traces, or
+/// result comparisons) -- the frame counts depend on the shard geometry by
+/// construction.  Exported separately (`dynsub_run --shard-stats`).
+struct ShardStats {
+  std::uint64_t frames = 0;        // cross-shard frames delivered
+  std::uint64_t wire_bytes = 0;    // encoded bytes received (incl. resends)
+  std::uint64_t faults = 0;        // fault events injected on this ingress
+  std::uint64_t lost_batches = 0;  // ingress frames lost after every retry
+
+  ShardStats& operator+=(const ShardStats& o) {
+    frames += o.frames;
+    wire_bytes += o.wire_bytes;
+    faults += o.faults;
+    lost_batches += o.lost_batches;
+    return *this;
+  }
+
+  friend bool operator==(const ShardStats&, const ShardStats&) = default;
+};
+
 class Metrics {
  public:
-  explicit Metrics(std::size_t n) : node_inconsistent_(n), node_changes_(n) {}
+  explicit Metrics(std::size_t n)
+      : shard_(1), node_inconsistent_(n), node_changes_(n) {}
 
   /// Per-round accounting.  `inconsistent_nodes` is the number of nodes
   /// whose flag is down at the end of the round -- the simulator maintains
@@ -149,6 +172,17 @@ class Metrics {
   [[nodiscard]] const TransportStats& transport() const { return transport_; }
   [[nodiscard]] TransportStats& transport_mut() { return transport_; }
 
+  /// Per-shard ingress accounting (see ShardStats).  The engine sizes the
+  /// books once at construction; transports accumulate at the barrier
+  /// (single-threaded by contract).
+  void set_shards(std::size_t shards) { shard_.resize(shards); }
+  [[nodiscard]] const std::vector<ShardStats>& shard_stats() const {
+    return shard_;
+  }
+  [[nodiscard]] ShardStats& shard_mut(std::size_t shard) {
+    return shard_[shard];
+  }
+
   [[nodiscard]] const std::vector<std::uint64_t>& node_inconsistent() const {
     return node_inconsistent_;
   }
@@ -165,6 +199,7 @@ class Metrics {
   std::uint64_t payload_bits_ = 0;
   double amortized_sup_ = 0.0;
   TransportStats transport_;
+  std::vector<ShardStats> shard_;
   std::vector<std::uint64_t> node_inconsistent_;
   std::vector<std::uint64_t> node_changes_;
 };

@@ -1,0 +1,73 @@
+// Node-id -> shard mapping for the partitioned round engine.
+//
+// Two kinds:
+//   * kContiguous -- shard s owns the id range [n*s/S, n*(s+1)/S).  This is
+//     the kind the engine runs on: contiguous ascending ranges are what let
+//     slot-ordered staging reproduce the sequential engine's ascending
+//     sender order byte for byte (see shard_fabric.hpp).
+//   * kHash -- shard_of(v) = v % S.  Exercised by the partition and frame
+//     tests, and the shape a future multi-process deployment with
+//     non-contiguous ownership would use; the in-process fabric rejects it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dynsub::net {
+
+class Partition {
+ public:
+  enum class Kind : std::uint8_t { kContiguous, kHash };
+
+  [[nodiscard]] static Partition contiguous(std::size_t n,
+                                            std::size_t shards) {
+    return Partition(Kind::kContiguous, n, shards);
+  }
+  [[nodiscard]] static Partition hashed(std::size_t n, std::size_t shards) {
+    return Partition(Kind::kHash, n, shards);
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+
+  [[nodiscard]] std::size_t shard_of(NodeId v) const {
+    DYNSUB_CHECK(v < n_);
+    if (kind_ == Kind::kHash) return v % shards_;
+    // Invert begin(s) = floor(n*s/S): the closed-form guess is off by at
+    // most one shard on either side of a range boundary.
+    std::size_t s = static_cast<std::size_t>(
+        static_cast<std::uint64_t>(v) * shards_ / n_);
+    if (s >= shards_) s = shards_ - 1;
+    while (v < begin(s)) --s;
+    while (v >= end(s)) ++s;
+    return s;
+  }
+
+  /// First id owned by shard s (contiguous partitions only).
+  [[nodiscard]] NodeId begin(std::size_t s) const {
+    DYNSUB_CHECK(kind_ == Kind::kContiguous && s <= shards_);
+    return static_cast<NodeId>(static_cast<std::uint64_t>(n_) * s / shards_);
+  }
+  /// One past the last id owned by shard s (contiguous partitions only).
+  [[nodiscard]] NodeId end(std::size_t s) const { return begin(s + 1); }
+  /// Number of ids owned by shard s (contiguous partitions only).
+  [[nodiscard]] std::size_t size(std::size_t s) const {
+    return end(s) - begin(s);
+  }
+
+ private:
+  Partition(Kind kind, std::size_t n, std::size_t shards)
+      : kind_(kind), n_(n), shards_(shards) {
+    DYNSUB_CHECK(n >= 1 && shards >= 1);
+  }
+
+  Kind kind_;
+  std::size_t n_;
+  std::size_t shards_;
+};
+
+}  // namespace dynsub::net

@@ -159,16 +159,21 @@ std::uint32_t batch_crc(std::span<const std::uint8_t> bytes) {
 }  // namespace
 
 Router::Router(std::size_t n, std::size_t lanes, RouterConfig config)
+    : Router(n, lanes, config, 0, n) {}
+
+Router::Router(std::size_t n, std::size_t lanes, RouterConfig config,
+               NodeId base, std::size_t count)
     : config_(config),
       n_(n),
       budget_bits_(bandwidth_bits(n)),
-      payloads_(n, lanes),
-      busy_(n, lanes),
-      two_hop_(n, lanes),
+      payloads_(base, count, lanes),
+      busy_(base, count, lanes),
+      two_hop_(base, count, lanes),
       lane_traffic_(lanes),
       lane_epoch_(lanes, 1),
       lane_dst_scratch_(lanes) {
   DYNSUB_CHECK(lanes >= 1);
+  DYNSUB_CHECK(base + count <= n);
 }
 
 void Router::begin_round(Round round) {
@@ -180,11 +185,10 @@ void Router::begin_round(Round round) {
   for (auto& t : lane_traffic_) t = LaneTraffic{};
 }
 
-void Router::stage_outbox(std::size_t lane, NodeId sender, Outbox& out,
-                          const oracle::TimestampedGraph& graph) {
-  DYNSUB_DCHECK(lane < lane_traffic_.size());
-  LaneTraffic& traffic = lane_traffic_[lane];
-  for (auto& dm : out.directed_mut()) {
+void Router::validate_outbox(NodeId sender, const Outbox& out,
+                             const oracle::TimestampedGraph& graph,
+                             std::vector<NodeId>& dst_scratch) const {
+  for (const auto& dm : out.directed()) {
     DYNSUB_CHECK_MSG(dm.dst < n_, "node " << sender << " sent to bad id");
     DYNSUB_CHECK_MSG(graph.has_edge(Edge(sender, dm.dst)),
                      "round " << round_ << ": node " << sender
@@ -195,17 +199,14 @@ void Router::stage_outbox(std::size_t lane, NodeId sender, Outbox& out,
                        "round " << round_ << ": node " << sender
                                 << " payload of " << sz
                                 << " bits exceeds budget " << budget_bits_);
-      traffic.payload_bits += sz;
     }
-    payloads_.stage(lane, dm.dst, Inbox::Item{sender, std::move(dm.msg)});
-    ++traffic.messages;
   }
   // Duplicate-destination rule (at most one payload per directed link per
-  // round): a sender's whole outbox is staged by this one lane, so a sort
-  // over its destinations is a complete check even though no cross-lane
-  // state is shared.
+  // round): a sender's whole outbox passes through this one call, so a
+  // sort over its destinations is a complete check even though no
+  // cross-caller state is shared.
   if (config_.enforce_bandwidth && out.directed().size() > 1) {
-    auto& dsts = lane_dst_scratch_[lane];
+    auto& dsts = dst_scratch;
     dsts.clear();
     for (const auto& dm : out.directed()) dsts.push_back(dm.dst);
     std::sort(dsts.begin(), dsts.end());
@@ -214,6 +215,37 @@ void Router::stage_outbox(std::size_t lane, NodeId sender, Outbox& out,
                                                  << sender
                                                  << " sent two payloads to "
                                                  << *dup);
+  }
+}
+
+void Router::stage_payload(std::size_t lane, NodeId dst, Inbox::Item item,
+                           std::uint64_t bits) {
+  DYNSUB_DCHECK(lane < lane_traffic_.size());
+  payloads_.stage(lane, dst, std::move(item));
+  LaneTraffic& traffic = lane_traffic_[lane];
+  ++traffic.messages;
+  traffic.payload_bits += bits;
+}
+
+void Router::stage_busy(std::size_t lane, NodeId dst, NodeId sender) {
+  busy_.stage(lane, dst, sender);
+}
+
+void Router::stage_two_hop(std::size_t lane, NodeId dst, NodeId sender) {
+  two_hop_.stage(lane, dst, sender);
+}
+
+void Router::stage_outbox(std::size_t lane, NodeId sender, Outbox& out,
+                          const oracle::TimestampedGraph& graph) {
+  DYNSUB_DCHECK(lane < lane_traffic_.size());
+  validate_outbox(sender, out, graph, lane_dst_scratch_[lane]);
+  LaneTraffic& traffic = lane_traffic_[lane];
+  for (auto& dm : out.directed_mut()) {
+    if (config_.enforce_bandwidth) {
+      traffic.payload_bits += dm.msg.payload_bits(n_);
+    }
+    payloads_.stage(lane, dm.dst, Inbox::Item{sender, std::move(dm.msg)});
+    ++traffic.messages;
   }
   // Control bits are broadcast to all current neighbors.
   if (!out.is_empty_flag() || !out.are_neighbors_empty_flag()) {
@@ -233,20 +265,22 @@ LaneTraffic Router::merge() {
   return total;
 }
 
-LaneBatchHeader Router::lane_header(std::size_t lane) const {
-  DYNSUB_DCHECK(lane < lane_traffic_.size());
+LaneBatchHeader make_lane_header(std::uint16_t lane, Round round,
+                                 std::uint64_t seq, std::uint32_t epoch,
+                                 LaneTraffic traffic,
+                                 const LaneBatchView& view) {
   LaneBatchHeader h;
-  h.lane = static_cast<std::uint16_t>(lane);
-  h.round = round_;
-  h.payload_count = payloads_.lane_staged(lane).size();
-  h.busy_count = busy_.lane_staged(lane).size();
-  h.two_hop_count = two_hop_.lane_staged(lane).size();
-  h.messages = lane_traffic_[lane].messages;
-  h.payload_bits = lane_traffic_[lane].payload_bits;
-  h.seq = seq_;
-  h.epoch = lane_epoch_[lane];
+  h.lane = lane;
+  h.round = round;
+  h.payload_count = view.payloads.size();
+  h.busy_count = view.busy.size();
+  h.two_hop_count = view.two_hop.size();
+  h.messages = traffic.messages;
+  h.payload_bits = traffic.payload_bits;
+  h.seq = seq;
+  h.epoch = epoch;
   std::uint64_t bytes = 0;
-  for (const auto& [dst, item] : payloads_.lane_staged(lane)) {
+  for (const auto& [dst, item] : view.payloads) {
     (void)dst;
     // dst + from + kind/path_len/ttl + 4 node ids + aux + aux2 + blob len.
     bytes += 4 + 4 + 3 + 16 + 4 + 4 + 4 + item.msg.blob.size();
@@ -255,9 +289,12 @@ LaneBatchHeader Router::lane_header(std::size_t lane) const {
   return h;
 }
 
-void Router::encode_lane(std::size_t lane,
-                         std::vector<std::uint8_t>& out) const {
-  const LaneBatchHeader h = lane_header(lane);
+void encode_lane_batch(std::uint16_t lane, Round round, std::uint64_t seq,
+                       std::uint32_t epoch, LaneTraffic traffic,
+                       const LaneBatchView& view,
+                       std::vector<std::uint8_t>& out) {
+  const LaneBatchHeader h =
+      make_lane_header(lane, round, seq, epoch, traffic, view);
   const std::size_t start = out.size();
   out.reserve(start + h.wire_size());
   put_u32(out, h.magic);
@@ -273,16 +310,16 @@ void Router::encode_lane(std::size_t lane,
   put_u64(out, h.seq);
   put_u32(out, h.epoch);
   put_u32(out, 0);  // crc placeholder, patched below
-  for (const auto& [dst, item] : payloads_.lane_staged(lane)) {
+  for (const auto& [dst, item] : view.payloads) {
     put_u32(out, dst);
     put_u32(out, item.from);
     encode_message(out, item.msg);
   }
-  for (const auto& [dst, sender] : busy_.lane_staged(lane)) {
+  for (const auto& [dst, sender] : view.busy) {
     put_u32(out, dst);
     put_u32(out, sender);
   }
-  for (const auto& [dst, sender] : two_hop_.lane_staged(lane)) {
+  for (const auto& [dst, sender] : view.two_hop) {
     put_u32(out, dst);
     put_u32(out, sender);
   }
@@ -293,6 +330,53 @@ void Router::encode_lane(std::size_t lane,
     out[start + LaneBatchHeader::kCrcOffset + i] =
         static_cast<std::uint8_t>(crc >> (8 * i));
   }
+}
+
+std::uint64_t peek_frame_size(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0, lane = 0;
+  std::uint64_t round = 0, payload_count = 0, busy_count = 0, two_hop_count = 0,
+                payload_bytes = 0;
+  if (!r.read_u32(&magic) || !r.read_u16(&version) || !r.read_u16(&lane) ||
+      !r.read_u64(&round) || !r.read_u64(&payload_count) ||
+      !r.read_u64(&busy_count) || !r.read_u64(&two_hop_count) ||
+      !r.read_u64(&payload_bytes)) {
+    return 0;
+  }
+  if (magic != LaneBatchHeader::kMagic ||
+      version != LaneBatchHeader::kVersion) {
+    return 0;
+  }
+  // Same overflow guards as decode_lane: a corrupt size field must not
+  // wrap wire_size() back into plausible range.
+  constexpr std::uint64_t kSizeCap = std::uint64_t{1} << 62;
+  if (payload_bytes >= kSizeCap || busy_count >= kSizeCap / 16 ||
+      two_hop_count >= kSizeCap / 16) {
+    return 0;
+  }
+  return LaneBatchHeader::kWireBytes + payload_bytes +
+         8 * (busy_count + two_hop_count);
+}
+
+LaneBatchHeader Router::lane_header(std::size_t lane) const {
+  DYNSUB_DCHECK(lane < lane_traffic_.size());
+  return make_lane_header(
+      static_cast<std::uint16_t>(lane), round_, seq_, lane_epoch_[lane],
+      lane_traffic_[lane],
+      LaneBatchView{payloads_.lane_staged(lane), busy_.lane_staged(lane),
+                    two_hop_.lane_staged(lane)});
+}
+
+void Router::encode_lane(std::size_t lane,
+                         std::vector<std::uint8_t>& out) const {
+  DYNSUB_DCHECK(lane < lane_traffic_.size());
+  encode_lane_batch(
+      static_cast<std::uint16_t>(lane), round_, seq_, lane_epoch_[lane],
+      lane_traffic_[lane],
+      LaneBatchView{payloads_.lane_staged(lane), busy_.lane_staged(lane),
+                    two_hop_.lane_staged(lane)},
+      out);
 }
 
 bool Router::decode_lane(std::span<const std::uint8_t> bytes,

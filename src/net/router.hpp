@@ -166,10 +166,19 @@ class ShardedBuckets {
   static constexpr std::size_t kDecayFloor = 256;
 
   ShardedBuckets(std::size_t n, std::size_t lanes)
-      : mark_(n, 0),
-        count_(n, 0),
-        offset_(n, 0),
-        cursor_(n, 0),
+      : ShardedBuckets(0, n, lanes) {}
+
+  /// Variant owning only the destination range [base, base + count): the
+  /// per-destination index arrays are sized `count` and addressed by
+  /// dst - base, so S per-shard instances over disjoint ranges cost the
+  /// same index memory as one global instance.  touched() still reports
+  /// global ids.
+  ShardedBuckets(NodeId base, std::size_t count, std::size_t lanes)
+      : base_(base),
+        mark_(count, 0),
+        count_(count, 0),
+        offset_(count, 0),
+        cursor_(count, 0),
         staged_(lanes) {
     DYNSUB_CHECK(lanes >= 1);
   }
@@ -205,7 +214,7 @@ class ShardedBuckets {
   /// state: concurrent stage() calls on distinct lanes never race.
   void stage(std::size_t lane, NodeId dst, T item) {
     DYNSUB_DCHECK(lane < staged_.size());
-    DYNSUB_DCHECK(dst < mark_.size());
+    DYNSUB_DCHECK(dst >= base_ && dst - base_ < mark_.size());
     staged_[lane].emplace_back(dst, std::move(item));
   }
 
@@ -222,24 +231,26 @@ class ShardedBuckets {
     last_total_ = total;
     for (const auto& lane : staged_) {
       for (const auto& [dst, item] : lane) {
-        if (mark_[dst] != epoch_) {
-          mark_[dst] = epoch_;
-          count_[dst] = 0;
+        const std::size_t d = dst - base_;
+        if (mark_[d] != epoch_) {
+          mark_[d] = epoch_;
+          count_[d] = 0;
           touched_.push_back(dst);
         }
-        ++count_[dst];
+        ++count_[d];
       }
     }
     std::uint32_t running = 0;
     for (NodeId dst : touched_) {
-      offset_[dst] = running;
-      cursor_[dst] = running;
-      running += count_[dst];
+      const std::size_t d = dst - base_;
+      offset_[d] = running;
+      cursor_[d] = running;
+      running += count_[d];
     }
     items_.resize(total);
     for (auto& lane : staged_) {
       for (auto& [dst, item] : lane) {
-        items_[cursor_[dst]++] = std::move(item);
+        items_[cursor_[dst - base_]++] = std::move(item);
       }
     }
   }
@@ -247,8 +258,10 @@ class ShardedBuckets {
   /// Items merged for `dst` this round (empty span when none); valid after
   /// merge().
   [[nodiscard]] std::span<const T> bucket(NodeId dst) const {
-    if (dst >= mark_.size() || mark_[dst] != epoch_) return {};
-    return {items_.data() + offset_[dst], count_[dst]};
+    if (dst < base_) return {};
+    const std::size_t d = dst - base_;
+    if (d >= mark_.size() || mark_[d] != epoch_) return {};
+    return {items_.data() + offset_[d], count_[d]};
   }
 
   /// Destinations that received at least one item this round, in first-
@@ -303,11 +316,12 @@ class ShardedBuckets {
   }
 
   std::uint64_t epoch_ = 0;
-  std::vector<std::uint64_t> mark_;    // epoch stamp per destination
+  NodeId base_ = 0;                    // first owned destination id
+  std::vector<std::uint64_t> mark_;    // epoch stamp per owned destination
   std::vector<std::uint32_t> count_;   // valid when mark_ == epoch_
   std::vector<std::uint32_t> offset_;  // valid after merge()
   std::vector<std::uint32_t> cursor_;  // merge() scratch (write position)
-  std::vector<NodeId> touched_;
+  std::vector<NodeId> touched_;        // global ids
   std::vector<std::vector<std::pair<NodeId, T>>> staged_;  // per lane
   std::vector<T> items_;
   std::size_t last_total_ = 0;
@@ -385,6 +399,39 @@ struct RouterConfig {
   bool enforce_bandwidth = true;
 };
 
+/// Borrowed view of one lane batch's staged sections, in staging order --
+/// what the free-standing encoder below serializes.  The shard fabric's
+/// egress books encode through this without owning a Router lane.
+struct LaneBatchView {
+  std::span<const std::pair<NodeId, Inbox::Item>> payloads;
+  std::span<const std::pair<NodeId, NodeId>> busy;
+  std::span<const std::pair<NodeId, NodeId>> two_hop;
+};
+
+/// Computes the v2 header `view` would serialize under with the given
+/// stream stamps and traffic counters (crc left zero; encode stamps it).
+[[nodiscard]] LaneBatchHeader make_lane_header(std::uint16_t lane, Round round,
+                                               std::uint64_t seq,
+                                               std::uint32_t epoch,
+                                               LaneTraffic traffic,
+                                               const LaneBatchView& view);
+
+/// Appends one v2 lane-batch frame -- header + payload/busy/two-hop
+/// sections, CRC32C stamped -- to `out`.  Router::encode_lane and the
+/// shard fabric's cross-shard egress frames both serialize through here,
+/// so a frame's bytes do not depend on which side produced it.
+void encode_lane_batch(std::uint16_t lane, Round round, std::uint64_t seq,
+                       std::uint32_t epoch, LaneTraffic traffic,
+                       const LaneBatchView& view,
+                       std::vector<std::uint8_t>& out);
+
+/// Sizes the first frame of a byte stream: returns its wire_size() if
+/// `bytes` starts with a plausible v2 header prefix (magic, version, and
+/// in-range section sizes), or 0 when even the prefix is malformed or too
+/// short.  Full validation stays decode_lane's job -- this only lets a
+/// stream reader slice frame boundaries.
+[[nodiscard]] std::uint64_t peek_frame_size(std::span<const std::uint8_t> bytes);
+
 /// The routing layer of the round engine.  Lanes stage their shard of the
 /// active set's traffic concurrently during Phase 1 (stage_outbox), the
 /// barrier merges deterministically (merge), the receive half reads the
@@ -392,6 +439,13 @@ struct RouterConfig {
 class Router {
  public:
   Router(std::size_t n, std::size_t lanes, RouterConfig config = {});
+
+  /// Shard-scoped variant: this router owns only destinations in
+  /// [base, base + count) (its bucket index arrays are sized `count`), but
+  /// validates against the global `n` and its bandwidth budget.  The
+  /// default constructor above is the base == 0, count == n case.
+  Router(std::size_t n, std::size_t lanes, RouterConfig config, NodeId base,
+         std::size_t count);
 
   [[nodiscard]] std::size_t lanes() const { return lane_traffic_.size(); }
 
@@ -410,6 +464,25 @@ class Router {
   /// check lane-local yet complete.
   void stage_outbox(std::size_t lane, NodeId sender, Outbox& out,
                     const oracle::TimestampedGraph& graph);
+
+  /// Runs stage_outbox's validation half only -- bad-id / absent-link /
+  /// bandwidth-budget / duplicate-destination checks -- without staging
+  /// anything.  `dst_scratch` is the caller's duplicate-check buffer (one
+  /// per concurrent caller).  The shard fabric validates each sender once
+  /// here, then splits the outbox across per-shard raw staging calls.
+  void validate_outbox(NodeId sender, const Outbox& out,
+                       const oracle::TimestampedGraph& graph,
+                       std::vector<NodeId>& dst_scratch) const;
+
+  /// Raw staging entry points for pre-validated traffic (the shard
+  /// fabric's split path).  stage_payload charges `bits` and one message
+  /// against the lane's traffic counters; the control-bit stages charge
+  /// nothing, matching stage_outbox's accounting.  Same concurrency
+  /// contract as stage_outbox: lane-local state only.
+  void stage_payload(std::size_t lane, NodeId dst, Inbox::Item item,
+                     std::uint64_t bits);
+  void stage_busy(std::size_t lane, NodeId dst, NodeId sender);
+  void stage_two_hop(std::size_t lane, NodeId dst, NodeId sender);
 
   /// Barrier-side deterministic merge of every lane batch (lane-major:
   /// senders ascend within a lane, lanes ascend by shard, so

@@ -29,14 +29,16 @@ Simulator::Simulator(std::size_t n, NodeFactory factory,
       consistent_(n, true),
       metrics_(n),
       events_by_node_(n),
-      router_(n, std::max<std::size_t>(1, config.threads),
-              RouterConfig{config.enforce_bandwidth}),
-      lane_outbox_(std::max<std::size_t>(1, config.threads)),
-      lane_books_(std::max<std::size_t>(1, config.threads)),
+      shards_(std::max<std::size_t>(1, config.shards)),
+      lanes_(std::max<std::size_t>(1, config.threads)),
+      fabric_(n, lanes_, shards_, RouterConfig{config.enforce_bandwidth}),
+      lane_outbox_(lanes_),
+      lane_books_(lanes_ * shards_),
       active_mark_(n, 0),
       degraded_(n, false),
       pending_incident_(n, 0) {
   DYNSUB_CHECK(n >= 1);
+  metrics_.set_shards(shards_);
   nodes_.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
     nodes_.push_back(factory(v, n));
@@ -49,7 +51,8 @@ Simulator::Simulator(std::size_t n, NodeFactory factory,
   }
   if (config_.telemetry != nullptr) {
     telemetry_timing_ = config_.telemetry->timing_enabled();
-    config_.telemetry->on_lanes(std::max<std::size_t>(1, config_.threads));
+    config_.telemetry->on_lanes(fabric_.slots());
+    config_.telemetry->on_shards(shards_, lanes_);
   }
   if (config_.threads > 0) {
     pool_ = std::make_unique<WorkerPool>(config_.threads,
@@ -61,6 +64,14 @@ Simulator::Simulator(std::size_t n, NodeFactory factory,
     receive_task_ = [this](std::size_t lane, std::size_t b, std::size_t e) {
       receive_shard(lane, b, e);
     };
+    if (shards_ > 1) {
+      react_slots_task_ = [this](std::size_t lane, std::size_t b,
+                                 std::size_t e) { react_slots(lane, b, e); };
+      receive_slots_task_ = [this](std::size_t lane, std::size_t b,
+                                   std::size_t e) {
+        receive_slots(lane, b, e);
+      };
+    }
   }
 }
 
@@ -96,7 +107,7 @@ void Simulator::set_sparse_rounds(bool enabled) {
 void Simulator::debug_prime_epoch_wrap(std::uint64_t steps) {
   active_epoch_ = ~std::uint64_t{0} - steps;
   events_by_node_.debug_prime_epoch_wrap(steps);
-  router_.debug_prime_epoch_wrap(steps);
+  fabric_.debug_prime_epoch_wrap(steps);
 }
 
 void Simulator::react_shard(std::size_t lane, std::size_t begin,
@@ -114,7 +125,7 @@ void Simulator::react_shard(std::size_t lane, std::size_t begin,
     // node's traffic is hot -- one scratch outbox per lane replaces the
     // old per-active-node pool, and Phase 2's sequential scatter becomes
     // the Router's deterministic lane-major merge at the barrier.
-    router_.stage_outbox(lane, v, out, g_);
+    fabric_.stage_outbox(lane, v, out, g_);
   }
   if (telemetry_timing_) {
     emit_span(telemetry::Phase::kReact, lane, s0, Clock::now());
@@ -123,7 +134,7 @@ void Simulator::react_shard(std::size_t lane, std::size_t begin,
 
 void Simulator::receive_shard_node(NodeId v) {
   NodeContext ctx{v, nodes_.size(), round_};
-  nodes_[v]->receive_and_update(ctx, router_.inbox(v));
+  nodes_[v]->receive_and_update(ctx, fabric_.inbox(v));
 }
 
 void Simulator::receive_shard(std::size_t lane, std::size_t begin,
@@ -151,6 +162,88 @@ void Simulator::receive_shard(std::size_t lane, std::size_t begin,
   if (telemetry_timing_) {
     emit_span(telemetry::Phase::kReceive, lane, s0, Clock::now());
   }
+}
+
+void Simulator::compute_shard_bounds(const std::vector<NodeId>& ids,
+                                     std::vector<std::size_t>& bounds) const {
+  // ids is ascending and the partition is contiguous, so each shard's
+  // members form one contiguous run; bounds[s]..bounds[s+1] delimits it.
+  const Partition& part = fabric_.partition();
+  bounds.resize(shards_ + 1);
+  bounds[0] = 0;
+  for (std::size_t s = 1; s < shards_; ++s) {
+    bounds[s] = static_cast<std::size_t>(
+        std::lower_bound(ids.begin(), ids.end(), part.begin(s)) - ids.begin());
+  }
+  bounds[shards_] = ids.size();
+}
+
+void Simulator::react_slot(std::size_t slot, std::size_t pool_lane) {
+  // Slot s*L + l reacts chunk l of shard s's slice of active_.  Slots in
+  // ascending order cover active_ in ascending sender order, so the
+  // lane-major merge at every destination router stays sender-sorted --
+  // the byte-identity anchor of the shard engine.
+  const std::size_t s = slot / lanes_;
+  const std::size_t l = slot % lanes_;
+  const std::size_t sb = active_bounds_[s];
+  const std::size_t sc = active_bounds_[s + 1] - sb;
+  const std::size_t begin = sb + sc * l / lanes_;
+  const std::size_t end = sb + sc * (l + 1) / lanes_;
+  if (begin >= end) return;
+  Clock::time_point s0;
+  if (telemetry_timing_) s0 = Clock::now();
+  const std::size_t n = nodes_.size();
+  Outbox& out = lane_outbox_[pool_lane];
+  for (std::size_t i = begin; i < end; ++i) {
+    const NodeId v = active_[i];
+    out.reset();
+    NodeContext ctx{v, n, round_};
+    nodes_[v]->react_and_send(ctx, events_by_node_.bucket(v), out);
+    fabric_.stage_outbox(slot, v, out, g_);
+  }
+  if (telemetry_timing_) {
+    emit_span(telemetry::Phase::kReact, slot, s0, Clock::now());
+  }
+}
+
+void Simulator::react_slots(std::size_t pool_lane, std::size_t begin,
+                            std::size_t end) {
+  for (std::size_t p = begin; p < end; ++p) react_slot(p, pool_lane);
+}
+
+void Simulator::receive_slot(std::size_t slot, std::size_t pool_lane) {
+  (void)pool_lane;  // books are per slot; no pool-lane-local state here
+  const std::size_t s = slot / lanes_;
+  const std::size_t l = slot % lanes_;
+  const std::size_t sb = stepped_bounds_[s];
+  const std::size_t sc = stepped_bounds_[s + 1] - sb;
+  const std::size_t begin = sb + sc * l / lanes_;
+  const std::size_t end = sb + sc * (l + 1) / lanes_;
+  if (begin >= end) return;
+  Clock::time_point s0;
+  if (telemetry_timing_) s0 = Clock::now();
+  // Per-slot book: ascending slot order covers stepped_ in ascending id
+  // order, so the barrier's slot-order reduction replays the sequential
+  // engine's bookkeeping walk exactly (see receive_shard).
+  LaneBook& book = lane_books_[slot];
+  for (std::size_t i = begin; i < end; ++i) {
+    const NodeId v = stepped_[i];
+    receive_shard_node(v);
+    const bool ok = nodes_[v]->consistent() && !degraded_[v];
+    if (ok != consistent_[v]) book.flips.emplace_back(v, ok);
+    if (!ok) metrics_.record_node_inconsistent(v);
+    if (config_.sparse_rounds && nodes_[v]->wants_to_act()) {
+      book.carry.push_back(v);
+    }
+  }
+  if (telemetry_timing_) {
+    emit_span(telemetry::Phase::kReceive, slot, s0, Clock::now());
+  }
+}
+
+void Simulator::receive_slots(std::size_t pool_lane, std::size_t begin,
+                              std::size_t end) {
+  for (std::size_t p = begin; p < end; ++p) receive_slot(p, pool_lane);
 }
 
 void Simulator::emit_span(telemetry::Phase phase, std::size_t lane,
@@ -368,8 +461,20 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   // lane's scratch outbox, and its lane's router batch.  Shards are
   // contiguous ascending ranges of active_, so lane-major staging order
   // is ascending sender order -- exactly the sequential engine's. ---
-  router_.begin_round(round_);
-  if (pool_ != nullptr) {
+  fabric_.begin_round(round_);
+  if (shards_ > 1) {
+    // Shard engine: every staging slot s*L + l reacts its own contiguous
+    // chunk of its shard's slice of active_; cross-shard traffic lands in
+    // per-slot egress batches that cross the Transport seam as encoded
+    // frames in Phase 2.  run_tasks skips the inline cutoff -- W slots is
+    // a task count, not a node count.
+    compute_shard_bounds(active_, active_bounds_);
+    if (pool_ != nullptr && active_.size() > config_.threads_inline_cutoff) {
+      pool_->run_tasks(fabric_.slots(), react_slots_task_);
+    } else {
+      react_slots(0, 0, fabric_.slots());
+    }
+  } else if (pool_ != nullptr) {
     pool_->run_sharded(active_.size(), react_task_);
   } else {
     react_shard(0, 0, active_.size());
@@ -389,7 +494,7 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
   // lane-order reduction of the per-lane traffic counters. ---
   loss_.lost_destinations.clear();
   round_had_loss_ = false;
-  transport_->exchange(router_, round_, metrics_, &loss_);
+  transport_->exchange(fabric_, round_, metrics_, &loss_);
   Clock::time_point te;
   if (telemetry_timing_) {
     te = Clock::now();
@@ -400,14 +505,17 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
     apply_loss();
   }
   if (sink != nullptr) {
-    // Per-lane encoded batch sizes (timing/diagnostic channel only: they
-    // depend on the lane count, so they never enter RoundRecord).  Must
-    // be sampled here -- merge() moves the staged items out.
-    for (std::size_t lane = 0; lane < lane_outbox_.size(); ++lane) {
-      sink->on_wire_bytes(router_.lane_header(lane).wire_size());
+    // Per-ingress-frame encoded sizes (timing/diagnostic channel only:
+    // they depend on the shard/lane geometry, so they never enter
+    // RoundRecord).  Must be sampled here -- merge() moves the staged
+    // items out.  With one shard this is exactly the old per-lane loop.
+    for (std::size_t d = 0; d < shards_; ++d) {
+      for (std::size_t j = 0; j < fabric_.slots(); ++j) {
+        sink->on_wire_bytes(fabric_.ingress_header(d, j).wire_size());
+      }
     }
   }
-  const LaneTraffic traffic = router_.merge();
+  const LaneTraffic traffic = fabric_.merge();
 
   // Pure receivers join the receive half of the round.
   receive_extra_.clear();
@@ -417,9 +525,12 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
       receive_extra_.push_back(u);
     }
   };
-  for (NodeId u : router_.payload_touched()) note_receiver(u);
-  for (NodeId u : router_.busy_touched()) note_receiver(u);
-  for (NodeId u : router_.two_hop_touched()) note_receiver(u);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    const Router& r = fabric_.router(s);
+    for (NodeId u : r.payload_touched()) note_receiver(u);
+    for (NodeId u : r.busy_touched()) note_receiver(u);
+    for (NodeId u : r.two_hop_touched()) note_receiver(u);
+  }
   std::sort(receive_extra_.begin(), receive_extra_.end());
   Clock::time_point t3;
   if (timed) {
@@ -451,7 +562,14 @@ RoundResult Simulator::step(std::span<const EdgeEvent> events) {
     book.flips.clear();
     book.carry.clear();
   }
-  if (pool_ != nullptr) {
+  if (shards_ > 1) {
+    compute_shard_bounds(stepped_, stepped_bounds_);
+    if (pool_ != nullptr && stepped_.size() > config_.threads_inline_cutoff) {
+      pool_->run_tasks(fabric_.slots(), receive_slots_task_);
+    } else {
+      receive_slots(0, 0, fabric_.slots());
+    }
+  } else if (pool_ != nullptr) {
     pool_->run_sharded(stepped_.size(), receive_task_);
   } else {
     receive_shard(0, 0, stepped_.size());

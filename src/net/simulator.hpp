@@ -83,6 +83,7 @@
 #include "net/metrics.hpp"
 #include "net/node.hpp"
 #include "net/router.hpp"
+#include "net/shard_fabric.hpp"
 #include "net/transport.hpp"
 #include "net/worker_pool.hpp"
 #include "oracle/timestamped_graph.hpp"
@@ -123,6 +124,15 @@ struct SimulatorConfig {
   /// work; identical results either way).  The equivalence/tsan suites
   /// set 0 to race every dispatch.
   std::size_t threads_inline_cutoff = WorkerPool::kInlineCutoff;
+  /// Shard count S for the partitioned engine (net/shard_fabric.hpp).
+  /// 0 or 1 = the single-router engine (the reference).  S >= 2 splits the
+  /// node-id space into S contiguous partitions, each with its own Router
+  /// and per-shard metrics books; cross-shard traffic crosses the
+  /// Transport seam as encoded wire-v2 frames at the round barrier.
+  /// Results, metrics, audits, and recorded traces are bit-identical to
+  /// S = 1 for every S (ShardEquivalence suite).  Composes with threads:
+  /// each shard's work splits across the worker lanes.
+  std::size_t shards = 1;
   /// Fault plan for the transport seam.  Disabled (the default) keeps the
   /// zero-overhead LocalTransport; an enabled plan routes every lane batch
   /// through the fault-injecting ChaosTransport (see the header comment).
@@ -243,8 +253,13 @@ class Simulator {
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] const PhaseTimings& phase_timings() const { return timings_; }
 
-  /// The routing fabric (for tests / memory instrumentation).
-  [[nodiscard]] const Router& router() const { return router_; }
+  /// Shard 0's Router (for tests / memory instrumentation; the whole
+  /// fabric at S = 1).
+  [[nodiscard]] const Router& router() const { return fabric_.router(0); }
+
+  /// The partitioned routing fabric (for tests / shard instrumentation).
+  [[nodiscard]] const ShardFabric& fabric() const { return fabric_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_; }
 
   /// Outbox scratch slots currently held -- one per execution lane, never
   /// one per node (the regression surface for the old pool's dense-
@@ -281,6 +296,20 @@ class Simulator {
   void react_shard(std::size_t lane, std::size_t begin, std::size_t end);
   void receive_shard(std::size_t lane, std::size_t begin, std::size_t end);
   void receive_shard_node(NodeId v);
+  // Slot bodies for the partitioned engine (S > 1): slot p = s * L + l
+  // covers chunk l of shard s's sub-range of active_ / stepped_
+  // (boundaries precomputed into *_bounds_ by binary search on the
+  // partition).  `pool_lane` indexes the scratch outbox; `p` indexes the
+  // fabric staging slot and the Phase 3 book.
+  void react_slots(std::size_t pool_lane, std::size_t begin, std::size_t end);
+  void receive_slots(std::size_t pool_lane, std::size_t begin,
+                     std::size_t end);
+  void react_slot(std::size_t slot, std::size_t pool_lane);
+  void receive_slot(std::size_t slot, std::size_t pool_lane);
+  // Fills `bounds` (size S + 1) with the partition boundaries of the
+  // ascending id vector `ids`: shard s owns ids[bounds[s]..bounds[s+1]).
+  void compute_shard_bounds(const std::vector<NodeId>& ids,
+                            std::vector<std::size_t>& bounds) const;
   // Timing-channel helper: emits one Span covering [from, to] to the
   // telemetry sink.  Only called when telemetry_timing_ (so the compiler
   // keeps every clock read off the telemetry-off path).
@@ -304,12 +333,16 @@ class Simulator {
   PhaseTimings timings_;
 
   // Persistent, reused round state: the event fan-out buckets plus the
-  // sharded routing fabric (O(n) memory once, O(active + messages) work
-  // per round, no steady-state allocation).
+  // partitioned routing fabric (O(n) memory once, O(active + messages)
+  // work per round, no steady-state allocation).
   DestBuckets<EdgeEvent> events_by_node_;
-  Router router_;                      // the sharded message path
-  std::vector<Outbox> lane_outbox_;    // one scratch outbox per lane
-  std::vector<LaneBook> lane_books_;   // Phase 3 accounting, per lane
+  std::size_t shards_;                 // effective S (max(1, config.shards))
+  std::size_t lanes_;                  // effective L (max(1, config.threads))
+  ShardFabric fabric_;                 // the partitioned message path
+  std::vector<Outbox> lane_outbox_;    // one scratch outbox per pool lane
+  std::vector<LaneBook> lane_books_;   // Phase 3 accounting, per slot
+  std::vector<std::size_t> active_bounds_;   // partition bounds in active_
+  std::vector<std::size_t> stepped_bounds_;  // partition bounds in stepped_
   std::vector<NodeId> active_;        // this round's send-half set, ascending
   std::vector<NodeId> receive_extra_; // pure receivers, ascending
   std::vector<NodeId> stepped_;       // ascending merge of the two, reused
@@ -338,6 +371,8 @@ class Simulator {
   // std::function construction would allocate in steady state).
   WorkerPool::ShardFn react_task_;
   WorkerPool::ShardFn receive_task_;
+  WorkerPool::ShardFn react_slots_task_;    // S > 1 slot-grid dispatch
+  WorkerPool::ShardFn receive_slots_task_;
 };
 
 }  // namespace dynsub::net

@@ -12,8 +12,8 @@ namespace dynsub::net {
 namespace {
 
 // Distinct salts keep every fault decision an independent coin: the same
-// (seed, round, lane, attempt) never reuses a hash across decision types.
-// 0xb0ff is reserved by backoff_units() in faults.cpp.
+// (seed, round, frame key, attempt) never reuses a hash across decision
+// types.  0xb0ff is reserved by backoff_units() in faults.cpp.
 constexpr std::uint32_t kSaltReorder = 0x5e0d;
 constexpr std::uint32_t kSaltDrop = 0xd409;
 constexpr std::uint32_t kSaltDelay = 0xde1a;
@@ -23,14 +23,41 @@ constexpr std::uint32_t kSaltDuplicate = 0xd0b1;
 
 }  // namespace
 
+void LocalTransport::exchange(ShardFabric& fabric, Round round,
+                              Metrics& metrics, LossReport* loss) {
+  (void)round;
+  (void)loss;
+  const std::size_t shards = fabric.shards();
+  if (shards == 1) return;  // everything staged in place, as pre-shard
+  const std::size_t slots = fabric.slots();
+  for (std::size_t d = 0; d < shards; ++d) {
+    ShardStats& book = metrics.shard_mut(d);
+    for (std::size_t j = 0; j < slots; ++j) {
+      if (fabric.shard_of_slot(j) == d) continue;  // local, already staged
+      if (fabric.ingress_empty(d, j)) continue;
+      wire_.clear();
+      fabric.encode_ingress(d, j, wire_);
+      LaneBatch batch;
+      std::string error;
+      DYNSUB_CHECK_MSG(Router::decode_lane(wire_, &batch, &error),
+                       "local transport: frame (" << d << ", " << j
+                                                  << "): " << error);
+      fabric.deliver(d, j, std::move(batch));
+      ++book.frames;
+      book.wire_bytes += wire_.size();
+    }
+  }
+}
+
 ChaosTransport::ChaosTransport(FaultPlan plan) : plan_(std::move(plan)) {
   DYNSUB_CHECK(plan_.enabled);
 }
 
-void ChaosTransport::exchange(Router& router, Round round, Metrics& metrics,
-                              LossReport* loss) {
+void ChaosTransport::exchange(ShardFabric& fabric, Round round,
+                              Metrics& metrics, LossReport* loss) {
   TransportStats& stats = metrics.transport_mut();
-  const std::size_t lanes = router.lanes();
+  const std::size_t slots = fabric.slots();
+  const std::size_t frames = fabric.shards() * slots;
 
   // Delayed copies parked in an earlier round arrive now.  Their headers
   // carry that round's seq (and possibly a pre-outage epoch), so the same
@@ -39,8 +66,8 @@ void ChaosTransport::exchange(Router& router, Round round, Metrics& metrics,
   for (const Parked& p : parked_) {
     LaneBatch stale;
     if (Router::decode_lane(p.bytes, &stale)) {
-      DYNSUB_CHECK(stale.header.seq != router.wire_seq() ||
-                   stale.header.epoch != router.wire_epoch(p.lane));
+      DYNSUB_CHECK(stale.header.seq != fabric.wire_seq() ||
+                   stale.header.epoch != fabric.wire_epoch(p.shard, p.slot));
       ++stats.redeliveries;
     } else {
       ++stats.corruptions;
@@ -48,11 +75,13 @@ void ChaosTransport::exchange(Router& router, Round round, Metrics& metrics,
   }
   parked_.clear();
 
-  // Service order: ascending by default; with probability plan_.reorder
-  // the round services lanes in a hash-permuted order.  Harmless by
-  // construction -- delivery is keyed by the header's lane field and
-  // merge() order is fixed by lane index -- but it exercises the claim.
-  order_.resize(lanes);
+  // Service order over every ingress frame, keyed k = shard * slots +
+  // slot: ascending by default; with probability plan_.reorder the round
+  // services frames in a hash-permuted order.  Harmless by construction
+  // -- delivery is keyed by the header's lane field and merge() order is
+  // fixed by lane index -- but it exercises the claim.  With one shard
+  // the keys are exactly the lane indices of the pre-shard transport.
+  order_.resize(frames);
   std::iota(order_.begin(), order_.end(), std::size_t{0});
   if (plan_.reorder > 0.0 &&
       fault_unit(plan_.seed, round, /*lane=*/0, /*attempt=*/0, kSaltReorder) <
@@ -68,14 +97,18 @@ void ChaosTransport::exchange(Router& router, Round round, Metrics& metrics,
               });
   }
 
-  for (const std::size_t lane : order_) {
-    deliver_lane(router, round, lane, stats, loss);
+  for (const std::size_t key : order_) {
+    deliver_frame(fabric, round, key / slots, key % slots, metrics, loss);
   }
 }
 
-void ChaosTransport::deliver_lane(Router& router, Round round,
-                                  std::size_t lane, TransportStats& stats,
-                                  LossReport* loss) {
+void ChaosTransport::deliver_frame(ShardFabric& fabric, Round round,
+                                   std::size_t shard, std::size_t slot,
+                                   Metrics& metrics, LossReport* loss) {
+  TransportStats& stats = metrics.transport_mut();
+  const std::size_t key = shard * fabric.slots() + slot;
+  const bool cross = fabric.shard_of_slot(slot) != shard;
+  ShardStats& book = metrics.shard_mut(shard);
   const std::uint32_t attempts = 1 + plan_.max_retries;
   LaneBatch accepted;
   bool delivered = false;
@@ -84,42 +117,46 @@ void ChaosTransport::deliver_lane(Router& router, Round round,
        ++attempt) {
     if (attempt > 1) {
       // NACK received for the previous attempt: wait out the capped
-      // exponential backoff, then resend from the still-staged batch.
+      // exponential backoff, then resend from the still-staged frame.
       ++stats.retries;
-      stats.backoff_units += backoff_units(plan_, round, lane, attempt - 1);
+      stats.backoff_units += backoff_units(plan_, round, key, attempt - 1);
     }
 
     wire_.clear();
-    router.encode_lane(lane, wire_);
+    fabric.encode_ingress(shard, slot, wire_);
     stats.wire_bytes += wire_.size();
+    if (cross) book.wire_bytes += wire_.size();
 
-    if (plan_.kills(lane, round) ||
+    if (plan_.kills(key, round) ||
         (plan_.drop > 0.0 &&
-         fault_unit(plan_.seed, round, lane, attempt, kSaltDrop) <
+         fault_unit(plan_.seed, round, key, attempt, kSaltDrop) <
              plan_.drop)) {
-      // The batch vanishes in flight; the receiver's timeout NACKs it.
+      // The frame vanishes in flight; the receiver's timeout NACKs it.
       ++stats.drops;
+      if (cross) ++book.faults;
       continue;
     }
 
     if (plan_.delay > 0.0 &&
-        fault_unit(plan_.seed, round, lane, attempt, kSaltDelay) <
+        fault_unit(plan_.seed, round, key, attempt, kSaltDelay) <
             plan_.delay) {
       // The copy is severely delayed: it will surface next round (where
       // seq rejects it); for this attempt the receiver times out.
       ++stats.delays;
-      parked_.push_back(Parked{lane, wire_});
+      if (cross) ++book.faults;
+      parked_.push_back(Parked{shard, slot, wire_});
       continue;
     }
 
     if (plan_.corrupt > 0.0 &&
-        fault_unit(plan_.seed, round, lane, attempt, kSaltCorrupt) <
+        fault_unit(plan_.seed, round, key, attempt, kSaltCorrupt) <
             plan_.corrupt) {
       // Deterministic single-bit flip somewhere in the frame.  CRC32C
       // detects every single-bit error, so decode must reject it below.
       const std::uint64_t h =
-          fault_hash(plan_.seed, round, lane, attempt, kSaltCorruptByte);
+          fault_hash(plan_.seed, round, key, attempt, kSaltCorruptByte);
       wire_[h % wire_.size()] ^= static_cast<std::uint8_t>(1u << (h >> 61));
+      if (cross) ++book.faults;
     }
 
     LaneBatch batch;
@@ -129,23 +166,24 @@ void ChaosTransport::deliver_lane(Router& router, Round round,
       ++stats.corruptions;
       continue;
     }
-    if (batch.header.lane != lane ||
+    if (batch.header.lane != slot ||
         batch.header.round != static_cast<std::int64_t>(round) ||
-        batch.header.seq != router.wire_seq() ||
-        batch.header.epoch != router.wire_epoch(lane)) {
+        batch.header.seq != fabric.wire_seq() ||
+        batch.header.epoch != fabric.wire_epoch(shard, slot)) {
       // A structurally valid frame that is not this round's fresh batch
-      // for this lane (cannot happen on this synchronous path, but the
-      // receiver refuses to assume that).
+      // for this ingress lane (cannot happen on this synchronous path,
+      // but the receiver refuses to assume that).
       ++stats.redeliveries;
       continue;
     }
 
     if (plan_.duplicate > 0.0 &&
-        fault_unit(plan_.seed, round, lane, attempt, kSaltDuplicate) <
+        fault_unit(plan_.seed, round, key, attempt, kSaltDuplicate) <
             plan_.duplicate) {
       // A second copy of the accepted frame arrives; its seq was already
       // consumed, so the receiver discards it.
       ++stats.redeliveries;
+      if (cross) ++book.faults;
     }
 
     accepted = std::move(batch);
@@ -154,21 +192,23 @@ void ChaosTransport::deliver_lane(Router& router, Round round,
 
   ++stats.batches;
   if (delivered) {
-    router.replace_lane(lane, std::move(accepted));
+    fabric.deliver(shard, slot, std::move(accepted));
+    if (cross) ++book.frames;
     return;
   }
 
-  // Retries exhausted: the batch is lost for good.  Report every
+  // Retries exhausted: the frame is lost for good.  Report every
   // destination it would have reached (the engine marks them
   // inconsistent), drop the staged traffic so merge() cannot deliver a
-  // batch the "network" never did, and bump the lane's wire epoch so any
-  // copy from the dead period is stale forever.
+  // frame the "network" never did, and bump the ingress lane's wire epoch
+  // so any copy from the dead period is stale forever.
   ++stats.lost_batches;
+  if (cross) ++book.lost_batches;
   if (loss != nullptr) {
-    router.collect_lane_destinations(lane, &loss->lost_destinations);
+    fabric.collect_destinations(shard, slot, &loss->lost_destinations);
   }
-  router.clear_lane(lane);
-  router.set_wire_epoch(lane, router.wire_epoch(lane) + 1);
+  fabric.clear_ingress(shard, slot);
+  fabric.set_wire_epoch(shard, slot, fabric.wire_epoch(shard, slot) + 1);
 }
 
 }  // namespace dynsub::net

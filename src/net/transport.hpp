@@ -1,29 +1,38 @@
 // The transport seam between lane staging and the barrier merge.
 //
-// Phase 1 ends with every lane's outbox traffic staged inside the Router.
-// Before merge(), the engine hands the staged batches to a Transport --
-// the point where a real deployment would serialize each lane batch and
-// ship it across a network.  Two implementations:
+// Phase 1 ends with every slot's outbox traffic staged inside the shard
+// fabric: shard-local traffic in the owning Router, cross-shard traffic in
+// the fabric's egress books.  Before merge(), the engine hands the fabric
+// to a Transport -- the point where a real deployment would serialize each
+// ingress frame and ship it across a network.  The unit of delivery is the
+// ingress frame (destination shard d, source slot j); see
+// net/shard_fabric.hpp for the geometry.  Two implementations:
 //
-//   * LocalTransport -- the default.  Batches are already where they need
-//     to be; exchange() is a no-op (one virtual call per round, nothing
-//     per message), so the fault-free engine keeps its existing path and
-//     its existing performance.
+//   * LocalTransport -- the default.  Shard-local batches are already
+//     where they need to be; with one shard exchange() is a no-op.  With
+//     S > 1 every non-empty cross-shard frame still makes the full
+//     encode -> decode -> deliver trip (no shared-memory shortcut -- the
+//     byte boundary is the point), accounted in Metrics' per-shard books
+//     but never in TransportStats (fault-free rows keep their zero
+//     ceilings).
 //
-//   * ChaosTransport -- drives each lane batch through the v2 wire format
-//     (encode -> adversarial network -> decode -> validate) under a seeded
-//     FaultPlan.  Drops and corruptions trigger a bounded NACK-and-resend
-//     protocol with capped exponential backoff; duplicates and stale
-//     delayed copies are rejected by the header's seq/epoch stamps; lane
-//     reordering is absorbed because delivery is keyed by the header's
-//     lane field, never by arrival order.  Every fault decision is a pure
-//     hash of (seed, round, lane, attempt) -- see net/faults.hpp -- so a
-//     chaos run is bit-reproducible at any thread count and under replay.
+//   * ChaosTransport -- drives every ingress frame through the v2 wire
+//     format (encode -> adversarial network -> decode -> validate) under a
+//     seeded FaultPlan.  Drops and corruptions trigger a bounded
+//     NACK-and-resend protocol with capped exponential backoff; duplicates
+//     and stale delayed copies are rejected by the header's seq/epoch
+//     stamps; frame reordering is absorbed because delivery is keyed by
+//     the header's lane field, never by arrival order.  Every fault
+//     decision is a pure hash of (seed, round, frame key, attempt) with
+//     frame key d * slots + j -- see net/faults.hpp -- so a chaos run is
+//     bit-reproducible at any thread count and under replay, and with one
+//     shard the key collapses to the lane index, reproducing the
+//     single-router chaos byte stream exactly.
 //
-// When retries exhaust (e.g. a kill-lane outage window), the batch is
-// genuinely lost: the transport reports every destination the batch would
-// have reached so the engine can mark them inconsistent -- the honest
-// degraded mode -- and bumps the lane's wire epoch so stragglers from the
+// When retries exhaust (e.g. a kill-lane outage window), the frame is
+// genuinely lost: the transport reports every destination it would have
+// reached so the engine can mark them inconsistent -- the honest degraded
+// mode -- and bumps the ingress lane's wire epoch so stragglers from the
 // dead period can never pass for fresh traffic.
 #pragma once
 
@@ -33,33 +42,38 @@
 #include "common/types.hpp"
 #include "net/faults.hpp"
 #include "net/metrics.hpp"
-#include "net/router.hpp"
+#include "net/shard_fabric.hpp"
 
 namespace dynsub::net {
 
-/// Destinations whose lane batch could not be delivered this round even
-/// after every retry (may contain duplicates; empty on a clean round).
+/// Destinations whose frame could not be delivered this round even after
+/// every retry (may contain duplicates; empty on a clean round).
 struct LossReport {
   std::vector<NodeId> lost_destinations;
 
   [[nodiscard]] bool any() const { return !lost_destinations.empty(); }
 };
 
-/// Carries the round's staged lane batches from staging to the barrier.
-/// exchange() runs single-threaded at the barrier, after every lane has
-/// finished staging and strictly before Router::merge().
+/// Carries the round's staged frames from staging to the barrier.
+/// exchange() runs single-threaded at the barrier, after every slot has
+/// finished staging and strictly before the fabric's merge().
 class Transport {
  public:
   virtual ~Transport() = default;
 
-  virtual void exchange(Router& router, Round round, Metrics& metrics,
+  virtual void exchange(ShardFabric& fabric, Round round, Metrics& metrics,
                         LossReport* loss) = 0;
 };
 
-/// In-process delivery: the staged batches are already in place.
+/// In-process delivery: shard-local batches are already in place; only
+/// non-empty cross-shard frames cross the byte boundary.
 class LocalTransport final : public Transport {
  public:
-  void exchange(Router&, Round, Metrics&, LossReport*) override {}
+  void exchange(ShardFabric& fabric, Round round, Metrics& metrics,
+                LossReport* loss) override;
+
+ private:
+  std::vector<std::uint8_t> wire_;  // per-frame encode scratch
 };
 
 /// Fault-injecting delivery under a seeded deterministic FaultPlan.
@@ -67,29 +81,30 @@ class ChaosTransport final : public Transport {
  public:
   explicit ChaosTransport(FaultPlan plan);
 
-  void exchange(Router& router, Round round, Metrics& metrics,
+  void exchange(ShardFabric& fabric, Round round, Metrics& metrics,
                 LossReport* loss) override;
 
  private:
-  /// Runs the delivery protocol for one lane's batch: up to
-  /// 1 + plan_.max_retries attempts, each independently subjected to the
-  /// plan's faults.  On success the (decoded) batch replaces the staged
-  /// one; on exhaustion the lane is cleared, its wire epoch bumped, and
-  /// its destinations appended to `loss`.
-  void deliver_lane(Router& router, Round round, std::size_t lane,
-                    TransportStats& stats, LossReport* loss);
+  /// Runs the delivery protocol for one ingress frame (shard, slot): up
+  /// to 1 + plan_.max_retries attempts, each independently subjected to
+  /// the plan's faults.  On success the (decoded) frame is delivered into
+  /// the destination router; on exhaustion the frame is cleared, its
+  /// ingress wire epoch bumped, and its destinations appended to `loss`.
+  void deliver_frame(ShardFabric& fabric, Round round, std::size_t shard,
+                     std::size_t slot, Metrics& metrics, LossReport* loss);
 
   /// An encoded copy the plan delayed: it "arrives" next round, where the
   /// seq check rejects it as stale.
   struct Parked {
-    std::size_t lane;
+    std::size_t shard;
+    std::size_t slot;
     std::vector<std::uint8_t> bytes;
   };
 
   FaultPlan plan_;
   std::vector<Parked> parked_;
-  std::vector<std::uint8_t> wire_;       // per-attempt encode scratch
-  std::vector<std::size_t> order_;       // lane service order scratch
+  std::vector<std::uint8_t> wire_;  // per-attempt encode scratch
+  std::vector<std::size_t> order_;  // frame service order scratch
 };
 
 }  // namespace dynsub::net

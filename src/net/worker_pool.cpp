@@ -39,7 +39,6 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::run_sharded(std::size_t count, const ShardFn& fn) {
-  const std::size_t lanes = workers_.size() + 1;
   // Tiny batches run inline on the calling thread: a fork-join dispatch
   // costs microseconds, which dwarfs a handful of node steps (the
   // quiescent/sparse regime).  Identical results either way -- shard
@@ -48,6 +47,21 @@ void WorkerPool::run_sharded(std::size_t count, const ShardFn& fn) {
     if (count > 0) fn(0, 0, count);
     return;
   }
+  dispatch(count, fn);
+}
+
+void WorkerPool::run_tasks(std::size_t count, const ShardFn& fn) {
+  // No inline cutoff: a "count" of a dozen staging slots can still carry
+  // thousands of node steps each, so the caller decides when forking pays.
+  if (workers_.empty()) {
+    if (count > 0) fn(0, 0, count);
+    return;
+  }
+  dispatch(count, fn);
+}
+
+void WorkerPool::dispatch(std::size_t count, const ShardFn& fn) {
+  const std::size_t lanes = workers_.size() + 1;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     task_ = &fn;

@@ -69,6 +69,13 @@ class WorkerPool {
   /// on the calling thread.
   void run_sharded(std::size_t count, const ShardFn& fn);
 
+  /// Like run_sharded, but for pre-chunked task grids (e.g. the shard
+  /// engine's W = shards x lanes staging slots): the inline cutoff is
+  /// ignored because `count` counts *tasks*, not node steps -- the caller
+  /// already decided the batch is worth forking.  Runs inline only when
+  /// the pool has no workers.
+  void run_tasks(std::size_t count, const ShardFn& fn);
+
   /// Attach a TIMING-enabled telemetry sink (or nullptr to detach): each
   /// pooled dispatch then emits a lane-0 kBarrier span covering the time
   /// the calling thread spent waiting on the join after finishing its own
@@ -79,6 +86,7 @@ class WorkerPool {
 
  private:
   void worker_loop(std::size_t lane, std::size_t lanes);
+  void dispatch(std::size_t count, const ShardFn& fn);
 
   std::mutex mutex_;
   std::condition_variable work_ready_;

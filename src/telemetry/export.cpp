@@ -125,13 +125,20 @@ void write_chrome_trace(std::ostream& os,
     if (!first) out += ',';
     first = false;
   };
-  // One named track per lane (pid 0, tid = lane).
+  // One named track per staging slot (pid 0, tid = slot), labeled by the
+  // shard grid: slot p = shard * L + lane-within-shard.  A recorder that
+  // never saw on_shards (manual sinks, old captures) reads as one shard.
+  const std::size_t per_shard = recorder.lanes_per_shard() > 0
+                                    ? recorder.lanes_per_shard()
+                                    : recorder.lanes();
   for (std::size_t lane = 0; lane < recorder.lanes(); ++lane) {
     comma();
     out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
     u64_to(out, lane);
-    out += ",\"args\":{\"name\":\"lane ";
-    u64_to(out, lane);
+    out += ",\"args\":{\"name\":\"shard";
+    u64_to(out, lane / per_shard);
+    out += "/lane";
+    u64_to(out, lane % per_shard);
     out += "\"}}";
   }
   for (std::size_t lane = 0; lane < recorder.lanes(); ++lane) {

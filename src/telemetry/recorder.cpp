@@ -16,6 +16,14 @@ void TelemetryRecorder::on_lanes(std::size_t lanes) {
   lane_phase_ns_.resize(lanes);
 }
 
+void TelemetryRecorder::on_shards(std::size_t shards,
+                                  std::size_t lanes_per_shard) {
+  DYNSUB_CHECK(shards >= 1);
+  DYNSUB_CHECK(lanes_per_shard >= 1);
+  shards_ = shards;
+  lanes_per_shard_ = lanes_per_shard;
+}
+
 void TelemetryRecorder::on_round(const RoundRecord& record) {
   if (opts_.keep_rounds) rounds_.push_back(record);
 }

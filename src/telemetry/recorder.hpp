@@ -42,6 +42,7 @@ class TelemetryRecorder final : public TelemetrySink {
   explicit TelemetryRecorder(RecorderOptions opts = {});
 
   void on_lanes(std::size_t lanes) override;
+  void on_shards(std::size_t shards, std::size_t lanes_per_shard) override;
   void on_round(const RoundRecord& record) override;
   void on_span(const Span& span) override;
   void on_wire_bytes(std::uint64_t bytes) override;
@@ -49,6 +50,13 @@ class TelemetryRecorder final : public TelemetrySink {
 
   [[nodiscard]] const RecorderOptions& options() const { return opts_; }
   [[nodiscard]] std::size_t lanes() const { return lane_phase_ns_.size(); }
+  /// Slot-grid geometry announced by the engine (1 shard until told
+  /// otherwise; lanes_per_shard == 0 means "never announced" and
+  /// exporters fall back to treating every lane as shard 0).
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+  [[nodiscard]] std::size_t lanes_per_shard() const {
+    return lanes_per_shard_;
+  }
   [[nodiscard]] const std::vector<RoundRecord>& rounds() const {
     return rounds_;
   }
@@ -75,6 +83,8 @@ class TelemetryRecorder final : public TelemetrySink {
 
  private:
   RecorderOptions opts_;
+  std::size_t shards_ = 1;
+  std::size_t lanes_per_shard_ = 0;  // 0 = geometry never announced
   std::vector<RoundRecord> rounds_;
   std::vector<std::vector<Span>> lane_spans_;  // [lane] -> spans
   // [lane][phase] -> duration histogram; kRound always lands on lane 0

@@ -105,7 +105,18 @@ class TelemetrySink {
 
   /// Announced once before the first round: the engine's lane count.
   /// Lets sinks pre-size per-lane state so on_span stays race-free.
+  /// Under the shard engine "lanes" counts STAGING SLOTS (shards x
+  /// lanes-per-shard); span.lane is the slot index.
   virtual void on_lanes(std::size_t lanes) { (void)lanes; }
+
+  /// Announced once before the first round: the slot grid's geometry
+  /// (slot p = shard * lanes_per_shard + lane within the shard).  Purely
+  /// presentational -- lets exporters label tracks "shard<s>/lane<l>";
+  /// sinks that ignore it see the flat slot index from on_lanes.
+  virtual void on_shards(std::size_t shards, std::size_t lanes_per_shard) {
+    (void)shards;
+    (void)lanes_per_shard;
+  }
 
   /// Deterministic channel; called once per step() at the round barrier
   /// (single-threaded).

@@ -3,11 +3,15 @@
 // resets, the capacity-decay policy, and the lane batch wire format.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "net/message.hpp"
 #include "net/router.hpp"
+#include "net/shard_fabric.hpp"
 #include "net/simulator.hpp"
 #include "oracle/timestamped_graph.hpp"
 
@@ -497,6 +501,175 @@ TEST(LaneBatchTest, SeqAndEpochStampsTrackRouterState) {
   r.encode_lane(0, fresh);
   ASSERT_TRUE(Router::decode_lane(fresh, &batch, &error)) << error;
   EXPECT_EQ(batch.header.epoch, 2u);
+}
+
+// ------------------------------------------ multi-shard frame streams ----
+
+/// Stages a round of real cross-shard traffic on an S=2, L=2 fabric over
+/// the complete graph on 8 nodes: senders from both shards (each on a
+/// slot its shard owns), payloads and busy bits to destinations on both
+/// sides of the partition.
+void stage_two_shard_round(ShardFabric& fabric,
+                           const oracle::TimestampedGraph& g) {
+  auto send_from = [&](std::size_t slot, NodeId sender,
+                       std::initializer_list<NodeId> dsts) {
+    Outbox out;
+    for (const NodeId dst : dsts) {
+      out.send(dst, WireMessage::edge_insert(Edge(sender, dst)));
+    }
+    out.declare_busy();
+    fabric.stage_outbox(slot, sender, out, g);
+  };
+  // Partition of [0, 8) into 2 shards: shard 0 owns {0..3} (slots 0, 1),
+  // shard 1 owns {4..7} (slots 2, 3).
+  send_from(0, 0, {1, 5});   // local + cross
+  send_from(1, 2, {6, 7});   // cross only
+  send_from(2, 4, {0, 6});   // cross + local
+  send_from(3, 7, {3});      // cross only
+}
+
+/// Encodes every non-empty ingress frame of `fabric` into one byte
+/// stream, interleaving destination shards per slot -- the shape a
+/// multi-process barrier exchange would put on one connection -- and
+/// records each frame's end offset.
+std::vector<std::uint8_t> encode_frame_stream(
+    const ShardFabric& fabric, std::vector<std::size_t>* boundaries) {
+  std::vector<std::uint8_t> stream;
+  for (std::size_t slot = 0; slot < fabric.slots(); ++slot) {
+    for (std::size_t d = 0; d < fabric.shards(); ++d) {
+      if (fabric.ingress_empty(d, slot)) continue;
+      fabric.encode_ingress(d, slot, stream);
+      boundaries->push_back(stream.size());
+    }
+  }
+  return stream;
+}
+
+/// Walks a concatenated frame stream with peek_frame_size + decode_lane.
+/// Returns the decoded frame count, or nullopt when the stream is not a
+/// whole number of valid frames.
+std::optional<std::size_t> walk_frame_stream(
+    std::span<const std::uint8_t> stream) {
+  std::size_t frames = 0;
+  while (!stream.empty()) {
+    const std::size_t size = peek_frame_size(stream);
+    if (size == 0 || size > stream.size()) return std::nullopt;
+    LaneBatch batch;
+    if (!Router::decode_lane(stream.first(size), &batch)) {
+      return std::nullopt;
+    }
+    stream = stream.subspan(size);
+    ++frames;
+  }
+  return frames;
+}
+
+TEST(MultiShardFrameStreamTest, EveryPrefixOfAFrameSequenceRejectsMidFrame) {
+  // The all-prefix fuzz, lifted from one frame to a *sequence* of frames:
+  // peek_frame_size must let a receiver walk a concatenated multi-shard
+  // stream frame by frame, and every truncation that is not a frame
+  // boundary must reject cleanly -- never accept a partial frame, never
+  // read past the prefix.
+  const std::size_t n = 8;
+  const auto g = complete_graph(n);
+  ShardFabric fabric(n, /*lanes_per_shard=*/2, /*shards=*/2);
+  fabric.begin_round(3);
+  stage_two_shard_round(fabric, g);
+
+  std::vector<std::size_t> boundaries;
+  const std::vector<std::uint8_t> stream =
+      encode_frame_stream(fabric, &boundaries);
+  // The staged round produces several frames (locally staged slots plus
+  // real cross-shard egress); the walk must account for every byte.
+  ASSERT_GE(boundaries.size(), 4u);
+  ASSERT_EQ(boundaries.back(), stream.size());
+  EXPECT_EQ(walk_frame_stream(stream), boundaries.size());
+
+  std::size_t next_boundary = 0;
+  for (std::size_t len = 0; len < stream.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(stream.data(), len);
+    if (next_boundary < boundaries.size() &&
+        boundaries[next_boundary] == len) {
+      ++next_boundary;
+    }
+    if (len == 0 || (next_boundary > 0 &&
+                     boundaries[next_boundary - 1] == len)) {
+      // A frame-boundary prefix IS a valid shorter stream.
+      EXPECT_EQ(walk_frame_stream(prefix), next_boundary) << "len=" << len;
+    } else {
+      EXPECT_EQ(walk_frame_stream(prefix), std::nullopt)
+          << "accepted a " << len << "-byte prefix cutting frame "
+          << next_boundary << " short";
+    }
+  }
+  // Trailing garbage after the last whole frame fails the walk too.
+  auto longer = stream;
+  longer.push_back(0);
+  EXPECT_EQ(walk_frame_stream(longer), std::nullopt);
+}
+
+TEST(MultiShardFrameStreamTest, InterleavedSeqContinuityAcrossEpochWrap) {
+  // Per-shard wire sequence continuity, fuzzed across the bucket-epoch
+  // wrap reset: both routers stay in seq lockstep round after round, every
+  // interleaved ingress frame of a round carries that round's seq and its
+  // lane's current epoch, and any frame kept from an earlier round stays
+  // structurally valid but identifies itself as stale -- including in the
+  // rounds where debug-primed epoch counters wrap.
+  const std::size_t n = 8;
+  const auto g = complete_graph(n);
+  ShardFabric fabric(n, /*lanes_per_shard=*/2, /*shards=*/2);
+  fabric.debug_prime_epoch_wrap(/*steps=*/3);  // wraps a few rounds in
+
+  std::uint64_t prev_seq = 0;
+  std::vector<std::uint8_t> stale;  // one cross-shard frame, one round old
+  std::size_t stale_slot = 0;
+  for (Round round = 1; round <= 8; ++round) {
+    fabric.begin_round(round);
+    stage_two_shard_round(fabric, g);
+
+    const std::uint64_t seq = fabric.wire_seq();
+    if (round > 1) {
+      EXPECT_EQ(seq, prev_seq + 1) << "seq discontinuity at round " << round;
+    }
+    for (std::size_t s = 0; s < fabric.shards(); ++s) {
+      EXPECT_EQ(fabric.router(s).wire_seq(), seq)
+          << "shard " << s << " fell out of lockstep at round " << round;
+    }
+
+    std::vector<std::uint8_t> wire;
+    for (std::size_t slot = 0; slot < fabric.slots(); ++slot) {
+      for (std::size_t d = 0; d < fabric.shards(); ++d) {
+        if (fabric.ingress_empty(d, slot)) continue;
+        wire.clear();
+        fabric.encode_ingress(d, slot, wire);
+        LaneBatch batch;
+        std::string error;
+        ASSERT_TRUE(Router::decode_lane(wire, &batch, &error))
+            << "round " << round << " frame (" << d << ", " << slot
+            << "): " << error;
+        EXPECT_EQ(batch.header.seq, seq);
+        EXPECT_EQ(batch.header.lane, slot);
+        EXPECT_EQ(batch.header.round, static_cast<std::int64_t>(round));
+        EXPECT_EQ(batch.header.epoch, fabric.wire_epoch(d, slot));
+        if (fabric.shard_of_slot(slot) != d && stale.empty()) {
+          stale = wire;
+          stale_slot = slot;
+        }
+      }
+    }
+
+    if (!stale.empty()) {
+      LaneBatch old;
+      ASSERT_TRUE(Router::decode_lane(stale, &old));
+      if (old.header.seq != seq) {
+        // A keeper from an earlier round: CRC-clean, refused by seq.
+        EXPECT_LT(old.header.seq, seq);
+      }
+      (void)stale_slot;
+    }
+    fabric.merge();
+    prev_seq = seq;
+  }
 }
 
 // ------------------------------------------- simulator memory policy ----

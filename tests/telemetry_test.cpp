@@ -16,6 +16,7 @@
 //     work (no spans, phase_timings untouched).
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -133,7 +134,7 @@ namespace {
 /// simulator's round count.
 std::size_t run_churn(TelemetryRecorder& rec, std::size_t threads,
                       std::uint64_t seed = 0xD1u,
-                      net::FaultPlan faults = {}) {
+                      net::FaultPlan faults = {}, std::size_t shards = 1) {
   dynamics::RandomChurnParams cp;
   cp.n = 24;
   cp.target_edges = 48;
@@ -144,6 +145,7 @@ std::size_t run_churn(TelemetryRecorder& rec, std::size_t threads,
   net::SimulatorConfig cfg;
   cfg.threads = threads;
   cfg.threads_inline_cutoff = 0;  // race every dispatch
+  cfg.shards = shards;
   cfg.faults = faults;
   cfg.telemetry = &rec;
   net::Simulator sim(cp.n, testing::factory_of<core::TriangleNode>(), cfg);
@@ -261,6 +263,26 @@ TEST(TelemetryDeterminismTest, JsonlByteIdenticalAcrossThreadCounts) {
     run_churn(rec, threads);
     EXPECT_TRUE(base.rounds() == rec.rounds()) << threads << " threads";
     EXPECT_EQ(expected, jsonl_of(rec)) << threads << " threads";
+  }
+}
+
+TEST(TelemetryDeterminismTest, JsonlByteIdenticalAcrossShardCounts) {
+  // The deterministic channel is partition-blind: the RoundRecord stream
+  // (and its serialized JSONL bytes) must not change when the engine is
+  // split into shards, at any thread count.
+  TelemetryRecorder base;
+  run_churn(base, 0);
+  const std::string expected = jsonl_of(base);
+  ASSERT_FALSE(expected.empty());
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    for (const std::size_t threads : {1u, 4u}) {
+      TelemetryRecorder rec;
+      run_churn(rec, threads, 0xD1u, {}, shards);
+      EXPECT_TRUE(base.rounds() == rec.rounds())
+          << shards << " shards, " << threads << " threads";
+      EXPECT_EQ(expected, jsonl_of(rec))
+          << shards << " shards, " << threads << " threads";
+    }
   }
 }
 
@@ -425,6 +447,37 @@ TEST(ChromeTraceTest, ExportIsValidJsonWithPerLaneTracks) {
   EXPECT_GT(complete, 0u);
   EXPECT_TRUE(saw_lane1) << "no spans on the worker lane";
   EXPECT_EQ(round_spans, rounds);  // one whole-round span per step
+}
+
+TEST(ChromeTraceTest, TracksAreNamedByShardGrid) {
+  // Under the shard engine every staging slot p = s * L + l gets its own
+  // track, labeled shard<s>/lane<l>; tids stay the flat slot index so
+  // span attribution is unchanged.
+  TelemetryRecorder rec(
+      RecorderOptions{.timing = true, .keep_rounds = false, .keep_spans = true});
+  run_churn(rec, /*threads=*/2, 0xD1u, {}, /*shards=*/2);
+  ASSERT_EQ(rec.shards(), 2u);
+  ASSERT_EQ(rec.lanes_per_shard(), 2u);
+  ASSERT_EQ(rec.lanes(), 4u);  // slots = shards * lanes_per_shard
+
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os, rec);
+  const auto doc = harness::Json::parse(os.str());
+  ASSERT_TRUE(doc.has_value()) << "chrome trace is not valid JSON";
+  const harness::Json* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::map<double, std::string> track_names;
+  for (const harness::Json& ev : events->items()) {
+    if (ev.find("ph")->as_string() != "M") continue;
+    track_names[ev.find("tid")->as_number()] =
+        ev.find("args")->find("name")->as_string();
+  }
+  ASSERT_EQ(track_names.size(), 4u);
+  EXPECT_EQ(track_names[0.0], "shard0/lane0");
+  EXPECT_EQ(track_names[1.0], "shard0/lane1");
+  EXPECT_EQ(track_names[2.0], "shard1/lane0");
+  EXPECT_EQ(track_names[3.0], "shard1/lane1");
 }
 
 }  // namespace

@@ -197,7 +197,7 @@ oracle::TimestampedGraph complete_graph(std::size_t n) {
 
 TEST(ChaosTransportTest, KillLaneExhaustsRetriesAndDegradesDestinations) {
   const auto g = complete_graph(4);
-  net::Router r(4, 1);
+  net::ShardFabric r(4, /*lanes_per_shard=*/1, /*shards=*/1);
   r.begin_round(3);
   net::Outbox out;
   out.send(1, net::WireMessage::edge_insert(Edge(0, 1)));
@@ -212,7 +212,7 @@ TEST(ChaosTransportTest, KillLaneExhaustsRetriesAndDegradesDestinations) {
   net::ChaosTransport transport(plan);
   net::Metrics metrics(4);
   net::LossReport loss;
-  EXPECT_EQ(r.wire_epoch(0), 1u);
+  EXPECT_EQ(r.wire_epoch(0, 0), 1u);
   transport.exchange(r, 3, metrics, &loss);
 
   // All 3 attempts killed: the lane is lost, its destination reported,
@@ -225,14 +225,14 @@ TEST(ChaosTransportTest, KillLaneExhaustsRetriesAndDegradesDestinations) {
   EXPECT_GT(s.backoff_units, 0u);
   ASSERT_EQ(loss.lost_destinations.size(), 1u);
   EXPECT_EQ(loss.lost_destinations[0], 1u);
-  EXPECT_EQ(r.wire_epoch(0), 2u);
+  EXPECT_EQ(r.wire_epoch(0, 0), 2u);
   r.merge();
   EXPECT_TRUE(r.inbox(1).payloads.empty());
 }
 
 TEST(ChaosTransportTest, CertainDelayParksCopiesThatArriveStale) {
   const auto g = complete_graph(3);
-  net::Router r(3, 1);
+  net::ShardFabric r(3, /*lanes_per_shard=*/1, /*shards=*/1);
   net::FaultPlan plan;
   plan.enabled = true;
   plan.delay = 1.0;  // every attempt parked: the batch is lost both rounds
@@ -266,9 +266,9 @@ TEST(ChaosTransportTest, CertainDelayParksCopiesThatArriveStale) {
 
 TEST(ChaosTransportTest, DuplicatesAndReordersAreAbsorbed) {
   const auto g = complete_graph(4);
-  net::Router reference(4, 2);
-  net::Router chaotic(4, 2);
-  auto stage = [&](net::Router& r) {
+  net::ShardFabric reference(4, /*lanes_per_shard=*/2, /*shards=*/1);
+  net::ShardFabric chaotic(4, /*lanes_per_shard=*/2, /*shards=*/1);
+  auto stage = [&](net::ShardFabric& r) {
     r.begin_round(1);
     net::Outbox a;
     a.send(1, net::WireMessage::edge_insert(Edge(0, 1)));

@@ -37,6 +37,7 @@
 #include "harness/experiment.hpp"
 #include "harness/json.hpp"
 #include "net/faults.hpp"
+#include "net/metrics.hpp"
 #include "net/trace.hpp"
 #include "net/workload.hpp"
 #include "scenario/registry.hpp"
@@ -53,10 +54,12 @@ struct Options {
   std::string json_path;
   std::string telemetry_path;
   std::string chrome_trace_path;
+  std::string shard_stats_path;
   std::string detector = "triangle";
   net::FaultPlan faults{};
   std::size_t n = 0;
   std::size_t threads = 0;
+  std::size_t shards = 1;
   std::uint64_t seed = 1;
   bool quick = false;
   bool list = false;
@@ -81,6 +84,14 @@ void usage(const char* argv0) {
       "                  the simulator is sized to fit the scenario)\n"
       "  --threads T     parallel round engine with T lanes (0 = the\n"
       "                  sequential engine; results are bit-identical)\n"
+      "  --shards S      partition the network into S shards, each with\n"
+      "                  its own Router; cross-shard traffic crosses the\n"
+      "                  transport seam as encoded lane-batch frames at\n"
+      "                  the round barrier (default 1; results are\n"
+      "                  bit-identical at every S)\n"
+      "  --shard-stats PATH  write one JSON line per shard (frames,\n"
+      "                  wire bytes, faults, lost batches crossing that\n"
+      "                  shard's ingress); summarize with dynsub_stats\n"
       "  --faults F      fault plan for the lane-batch transport seam:\n"
       "                  'none' (default) or 'chaos(seed=7, drop=0.01,\n"
       "                  corrupt=0.005, duplicate=0.01, reorder=0.1,\n"
@@ -166,6 +177,17 @@ std::optional<Options> parse_args(int argc, char** argv) {
                      argv[0], o.threads);
         parse_failed = true;
       }
+    } else if (arg == "--shards") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.shards = static_cast<std::size_t>(parse_flag_u64("--shards", v));
+      if (o.shards == 0 || o.shards > 64) {
+        std::fprintf(stderr, "%s: --shards %zu is out of range (1..64)\n",
+                     argv[0], o.shards);
+        parse_failed = true;
+      }
+    } else if (arg == "--shard-stats") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.shard_stats_path = v;
     } else if (arg == "--faults") {
       if ((v = value(i)) == nullptr) return std::nullopt;
       std::string error;
@@ -304,6 +326,7 @@ int run(const Options& o) {
                .sparse_rounds = true,
                .collect_phase_timings = false,
                .threads = o.threads,
+               .shards = o.shards,
                .faults = o.faults};
   if (want_telemetry) sopts.sim.telemetry = &recorder;
 
@@ -455,6 +478,30 @@ int run(const Options& o) {
     }
     std::printf("telemetry:  %s (%zu rounds)\n", o.telemetry_path.c_str(),
                 recorder.rounds().size());
+  }
+  if (!o.shard_stats_path.empty()) {
+    // One JSON line per shard, leading key "shard" (dynsub_stats
+    // discriminates record types by that key).  The counters are the
+    // cross-seam story only: frames and wire bytes that actually crossed
+    // this shard's ingress, plus faults and lost batches charged to it.
+    std::ofstream out(o.shard_stats_path);
+    const auto& per_shard = session->sim().metrics().shard_stats();
+    for (std::size_t s = 0; s < per_shard.size(); ++s) {
+      const net::ShardStats& st = per_shard[s];
+      if (out) {
+        out << "{\"shard\":" << s << ",\"frames\":" << st.frames
+            << ",\"wire_bytes\":" << st.wire_bytes
+            << ",\"faults\":" << st.faults
+            << ",\"lost_batches\":" << st.lost_batches << "}\n";
+      }
+    }
+    if (!out.good()) {
+      std::fprintf(stderr, "dynsub_run: failed to write shard stats '%s'\n",
+                   o.shard_stats_path.c_str());
+      return 1;
+    }
+    std::printf("shards:     %s (%zu shards)\n", o.shard_stats_path.c_str(),
+                per_shard.size());
   }
   if (!o.chrome_trace_path.empty()) {
     std::ofstream out(o.chrome_trace_path);

@@ -76,6 +76,7 @@ struct Options {
   net::FaultPlan faults{};
   std::size_t n = 0;
   std::size_t threads = 0;
+  std::size_t shards = 1;
   std::uint64_t seed = 1;
   bool quick = false;
   bool use_stdin = false;
@@ -117,6 +118,10 @@ void usage(const char* argv0) {
       "  --n N           default node count (scenario may raise it)\n"
       "  --threads T     parallel round engine with T lanes (0 = seq;\n"
       "                  the answer stream is bit-identical either way)\n"
+      "  --shards S      partition the network into S shards with\n"
+      "                  per-shard Routers trading lane-batch frames at\n"
+      "                  the round barrier (default 1; the answer stream\n"
+      "                  is bit-identical at every S)\n"
       "  --faults F      fault plan ('none' or chaos(...); see dynsub_run)\n"
       "  --seed S        default seed for stochastic scenarios\n"
       "  --quick         shrink default round counts (CI smoke)\n"
@@ -191,6 +196,14 @@ std::optional<Options> parse_args(int argc, char** argv) {
       if (o.threads > 256) {
         std::fprintf(stderr, "%s: --threads %zu is out of range (max 256)\n",
                      argv[0], o.threads);
+        parse_failed = true;
+      }
+    } else if (arg == "--shards") {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      o.shards = static_cast<std::size_t>(parse_flag_u64("--shards", v));
+      if (o.shards == 0 || o.shards > 64) {
+        std::fprintf(stderr, "%s: --shards %zu is out of range (1..64)\n",
+                     argv[0], o.shards);
         parse_failed = true;
       }
     } else if (arg == "--faults") {
@@ -404,6 +417,7 @@ int run(const Options& o) {
                .sparse_rounds = true,
                .collect_phase_timings = false,
                .threads = o.threads,
+               .shards = o.shards,
                .faults = o.faults};
   if (!o.telemetry_path.empty()) sopts.sim.telemetry = &recorder;
 

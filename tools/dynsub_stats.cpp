@@ -10,13 +10,17 @@
 //   * amortized-sup over time (evenly spaced samples),
 //   * transport fault totals and the degraded-mode story (loss rounds,
 //     degraded rounds, recovery events),
+//   * per-shard cross-seam totals (frames, wire bytes, faults, lost
+//     batches) when the stream carries shard records,
 //   * the serve-layer story when the stream carries answer records: query
 //     counts, shed counts, round-to-answer percentiles, throughput, and
 //     the worst backlog depth.
 //
-// Two record types share the stream, discriminated by their leading key:
+// Three record types share the stream, discriminated by their leading key:
 // round records start with "round" (tools/dynsub_run.cpp --telemetry),
-// serve answer records with "req" (serve::write_serve_jsonl).  The tool
+// serve answer records with "req" (serve::write_serve_jsonl), and
+// per-shard transport records with "shard" (dynsub_run --shard-stats:
+// cross-seam frames, wire bytes, faults, lost batches).  The tool
 // is also the schema guard: every line must parse as a JSON object
 // carrying exactly its type's documented keys with the documented types
 // (round numbers strictly increasing for round records, non-decreasing
@@ -164,6 +168,69 @@ void print_hist(const char* name, const Log2Histogram& h) {
               static_cast<unsigned long long>(h.max()));
 }
 
+// --- Per-shard transport records (dynsub_run --shard-stats; "shard"
+// leads).  Same strictness as the round schema: exactly the documented
+// keys, all numbers, shard ids strictly increasing from 0. ---
+
+constexpr const char* kShardKeys[] = {
+    "shard", "frames", "wire_bytes", "faults", "lost_batches"};
+
+struct ShardRecord {
+  std::uint64_t shard = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t lost_batches = 0;
+};
+
+bool parse_shard_record(const Json& doc, std::size_t line_no,
+                        ShardRecord& out) {
+  if (doc.members().size() != std::size(kShardKeys)) {
+    return fail(line_no, "expected " + std::to_string(std::size(kShardKeys)) +
+                             " keys in a shard record, got " +
+                             std::to_string(doc.members().size()));
+  }
+  for (const char* key : kShardKeys) {
+    const Json* v = doc.find(key);
+    if (v == nullptr) {
+      return fail(line_no, std::string("missing key \"") + key + "\"");
+    }
+    if (v->type() != Json::Type::kNumber) {
+      return fail(line_no, std::string("key \"") + key + "\" not a number");
+    }
+  }
+  out.shard = as_u64(*doc.find("shard"));
+  out.frames = as_u64(*doc.find("frames"));
+  out.wire_bytes = as_u64(*doc.find("wire_bytes"));
+  out.faults = as_u64(*doc.find("faults"));
+  out.lost_batches = as_u64(*doc.find("lost_batches"));
+  return true;
+}
+
+void print_shards_section(const std::vector<ShardRecord>& shards) {
+  std::uint64_t frames = 0, wire_bytes = 0, faults = 0, lost = 0;
+  std::printf("\nshards:\n");
+  for (const ShardRecord& s : shards) {
+    std::printf("  shard %-15llu frames %llu, wire bytes %llu, faults %llu, "
+                "lost batches %llu\n",
+                static_cast<unsigned long long>(s.shard),
+                static_cast<unsigned long long>(s.frames),
+                static_cast<unsigned long long>(s.wire_bytes),
+                static_cast<unsigned long long>(s.faults),
+                static_cast<unsigned long long>(s.lost_batches));
+    frames += s.frames;
+    wire_bytes += s.wire_bytes;
+    faults += s.faults;
+    lost += s.lost_batches;
+  }
+  std::printf("  %-21s frames %llu, wire bytes %llu, faults %llu, "
+              "lost batches %llu\n",
+              "total", static_cast<unsigned long long>(frames),
+              static_cast<unsigned long long>(wire_bytes),
+              static_cast<unsigned long long>(faults),
+              static_cast<unsigned long long>(lost));
+}
+
 // --- Serve answer records (serve::write_serve_jsonl; "req" leads). ---
 
 struct ServeRecord {
@@ -309,6 +376,7 @@ int main(int argc, char** argv) {
 
   std::vector<Record> records;
   std::vector<ServeRecord> answers;
+  std::vector<ShardRecord> shards;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(*in, line)) {
@@ -318,6 +386,18 @@ int main(int argc, char** argv) {
     if (!doc || doc->type() != Json::Type::kObject) {
       fail(line_no, "not a JSON object");
       return 1;
+    }
+    if (doc->find("shard") != nullptr) {
+      ShardRecord r;
+      if (!parse_shard_record(*doc, line_no, r)) return 1;
+      if (r.shard != shards.size()) {
+        fail(line_no, "shard id " + std::to_string(r.shard) +
+                          " out of order (expected " +
+                          std::to_string(shards.size()) + ")");
+        return 1;
+      }
+      shards.push_back(r);
+      continue;
     }
     if (doc->find("req") != nullptr) {
       ServeRecord r;
@@ -341,12 +421,13 @@ int main(int argc, char** argv) {
     }
     records.push_back(r);
   }
-  if (records.empty() && answers.empty()) {
+  if (records.empty() && answers.empty() && shards.empty()) {
     std::cerr << "dynsub_stats: no records\n";
     return 1;
   }
   if (records.empty()) {
-    print_queries_section(answers);
+    if (!shards.empty()) print_shards_section(shards);
+    if (!answers.empty()) print_queries_section(answers);
     return 0;
   }
 
@@ -465,6 +546,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(loss_rounds),
               static_cast<unsigned long long>(degraded_rounds));
 
+  if (!shards.empty()) print_shards_section(shards);
   if (!answers.empty()) print_queries_section(answers);
   return 0;
 }

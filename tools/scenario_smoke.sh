@@ -244,6 +244,76 @@ cmp "$TMP/tel_d.jsonl" "$TMP/tel_e.jsonl" || {
 }
 echo "timing channel does not perturb the deterministic channel"
 
+echo "== partitioned shard engine (--shards) =="
+# The shard engine is byte-identical: at any shard count, the recorded
+# trace, the telemetry JSONL, and the run summary must match the
+# single-Router run byte for byte -- fault-free and under recoverable
+# chaos on real cross-shard frames -- and at S >= 2 the --shard-stats
+# counters must show frames actually crossing the transport seam.
+for s in 2 4; do
+  "$BIN" --scenario multi-community-churn --quick --shards "$s" \
+    --record "$TMP/ts$s.trace" --telemetry "$TMP/tel_s$s.jsonl" \
+    --json "$TMP/shard$s.json" > /dev/null
+  cmp "$TMP/t.trace" "$TMP/ts$s.trace" || {
+    echo "scenario_smoke.sh: shards=$s recorded trace differs" >&2
+    exit 1
+  }
+  cmp "$TMP/tel_a.jsonl" "$TMP/tel_s$s.jsonl" || {
+    echo "scenario_smoke.sh: shards=$s telemetry differs" >&2
+    exit 1
+  }
+  python3 - "$TMP/a.json" "$TMP/shard$s.json" <<EOF
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+if a["summary"] != b["summary"]:
+    print("scenario_smoke.sh: shards=$s summary mismatch", file=sys.stderr)
+    sys.exit(1)
+EOF
+done
+echo "recorded trace, telemetry, summary identical at --shards 2 and 4"
+
+# One chaos scenario through the shard engine: the random-churn topology
+# crosses every partition boundary, so the fault plan perturbs real
+# cross-shard frames -- and bounded retries must still recover to the
+# byte-identical trace.
+SHARD_SPEC='churn(n=48, rounds=40, seed=11)'
+"$BIN" --scenario "$SHARD_SPEC" --quick \
+  --record "$TMP/sref.trace" --shard-stats "$TMP/shards1.jsonl" > /dev/null
+"$BIN" --scenario "$SHARD_SPEC" --quick --shards 4 --threads 2 \
+  --faults "$FAULTS" --record "$TMP/schaos.trace" \
+  --shard-stats "$TMP/shards4.jsonl" > /dev/null
+cmp "$TMP/sref.trace" "$TMP/schaos.trace" || {
+  echo "scenario_smoke.sh: shards=4 chaos recorded trace differs" >&2
+  exit 1
+}
+echo "chaos at --shards 4 recovers to the byte-identical trace"
+
+python3 - "$TMP/shards1.jsonl" "$TMP/shards4.jsonl" <<'EOF'
+import json, sys
+s1 = [json.loads(l) for l in open(sys.argv[1], encoding="utf-8")]
+s4 = [json.loads(l) for l in open(sys.argv[2], encoding="utf-8")]
+if len(s1) != 1 or any(v for k, v in s1[0].items() if k != "shard"):
+    print("scenario_smoke.sh: S=1 shard stats should be one all-zero row,"
+          " got", s1, file=sys.stderr)
+    sys.exit(1)
+if len(s4) != 4 or not all(r["frames"] > 0 and r["wire_bytes"] > 0
+                           for r in s4):
+    print("scenario_smoke.sh: S=4 shard stats missing cross-shard traffic:",
+          s4, file=sys.stderr)
+    sys.exit(1)
+print("shard stats ok: all-zero at S=1, cross-shard wire bytes on every"
+      " shard at S=4")
+EOF
+STATS="$(dirname "$BIN")/dynsub_stats"
+if [[ -x "$STATS" ]]; then
+  "$STATS" "$TMP/shards4.jsonl" > /dev/null || {
+    echo "scenario_smoke.sh: dynsub_stats rejected the shard JSONL" >&2
+    exit 1
+  }
+  echo "dynsub_stats accepted the shard JSONL"
+fi
+
 echo "== serve layer =="
 SERVE="$(dirname "$BIN")/dynsub_serve"
 if [[ -x "$SERVE" ]]; then
@@ -281,6 +351,19 @@ EOF
     exit 1
   }
   echo "serve answer stream byte-identical across replay and --threads 4"
+
+  # The shard engine serves the same bytes: snapshots are taken at the
+  # round barrier after the cross-shard frame exchange, so the answer
+  # stream -- latencies included -- must not change with --shards.
+  for s in 2 4; do
+    "$SERVE" --scenario multi-community-churn --quick --shards "$s" \
+      --requests "$TMP/req.script" --answers "$TMP/ans_s$s.txt" 2> /dev/null
+    cmp "$TMP/ans_a.txt" "$TMP/ans_s$s.txt" || {
+      echo "scenario_smoke.sh: shards=$s answer stream differs" >&2
+      exit 1
+    }
+  done
+  echo "serve answer stream byte-identical across --shards 2 and 4"
 
   # The serve JSONL is a strict schema surface: dynsub_stats must accept
   # it, and an independent key check guards the guard.
